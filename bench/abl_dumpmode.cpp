@@ -1,0 +1,64 @@
+//===- abl_dumpmode.cpp - Ablation: trace buffer-dump modes ----------------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// Sec. 6.1 motivates the second buffer-dump mode: microservice workloads
+// are killed with SIGKILL after the first response, so threads never run
+// their termination handlers and flush-on-full buffers lose their
+// unflushed tails; memory-mapped trace files survive. This ablation runs
+// the same instrumented microservice under both modes and compares trace
+// completeness and the quality of the resulting cu profile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Builder.h"
+#include "src/profiling/Analyses.h"
+#include "src/workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace nimg;
+
+int main() {
+  BenchmarkSpec Spec = microserviceBenchmark("micronaut");
+  std::vector<std::string> Errors;
+  std::unique_ptr<Program> P = compileBenchmark(Spec, Errors);
+  if (!P)
+    return 1;
+
+  BuildConfig Cfg;
+  Cfg.Seed = 77;
+  Cfg.Instrumented = true;
+  NativeImage Img = buildNativeImage(*P, Cfg);
+
+  std::printf("Ablation — buffer-dump modes under SIGKILL "
+              "(micronaut, cu tracing)\n");
+  std::printf("%-14s %12s %16s %14s\n", "mode", "traceWords",
+              "cuProfileSize", "probeUnits");
+
+  size_t MmapProfile = 0;
+  for (DumpMode Mode : {DumpMode::FlushOnFull, DumpMode::MemoryMapped}) {
+    TraceOptions TOpts;
+    TOpts.Mode = TraceMode::CuOrder;
+    TOpts.Dump = Mode;
+    RunConfig RC;
+    RC.StopAtFirstResponse = true; // SIGKILL after the first response.
+    RC.Trace = &TOpts;
+    TraceCapture Capture;
+    RunStats Stats = runImage(Img, RC, &Capture);
+    CodeProfile Profile = analyzeCuOrder(*P, Capture);
+    std::printf("%-14s %12zu %16zu %14llu\n",
+                Mode == DumpMode::FlushOnFull ? "flush-on-full"
+                                              : "memory-mapped",
+                Capture.totalWords(), Profile.Sigs.size(),
+                (unsigned long long)Stats.ProbeUnits);
+    if (Mode == DumpMode::MemoryMapped)
+      MmapProfile = Profile.Sigs.size();
+  }
+  std::printf("\nflush-on-full loses every buffer not yet full at the kill "
+              "point; memory-mapped keeps all %zu first-executed CUs "
+              "(Sec. 6.1's rationale).\n",
+              MmapProfile);
+  return 0;
+}

@@ -1,0 +1,145 @@
+//===- micro_pipeline.cpp - google-benchmark: pipeline-stage costs ---------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// Micro-benchmarks for the build-pipeline stages (what "approximate time
+// to reproduce" is made of): frontend compilation, reachability analysis,
+// CU formation, snapshotting, path-graph numbering, trace replay, and the
+// paging simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Builder.h"
+#include "src/lang/Compile.h"
+#include "src/profiling/Analyses.h"
+#include "src/runtime/Paging.h"
+#include "src/workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace nimg;
+
+static void BM_FrontendCompile(benchmark::State &State) {
+  BenchmarkSpec Spec = awfyBenchmark("Richards");
+  for (auto _ : State) {
+    std::vector<std::string> Errors;
+    std::unique_ptr<Program> P = compileBenchmark(Spec, Errors);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_FrontendCompile);
+
+namespace {
+
+struct ProgFixture {
+  std::unique_ptr<Program> P;
+  ReachabilityResult Reach;
+
+  ProgFixture() {
+    std::vector<std::string> Errors;
+    P = compileBenchmark(awfyBenchmark("Richards"), Errors);
+    assert(P && "Richards failed to compile");
+    ensureClassMetaClass(*P);
+    Reach = analyzeReachability(*P);
+  }
+  static ProgFixture &get() {
+    static ProgFixture F;
+    return F;
+  }
+};
+
+} // namespace
+
+static void BM_Reachability(benchmark::State &State) {
+  ProgFixture &F = ProgFixture::get();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeReachability(*F.P));
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(F.P->numMethods()));
+}
+BENCHMARK(BM_Reachability);
+
+static void BM_InlinerCuFormation(benchmark::State &State) {
+  ProgFixture &F = ProgFixture::get();
+  InlinerConfig Cfg;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        buildCompilationUnits(*F.P, F.Reach, Cfg, State.range(0) != 0));
+}
+BENCHMARK(BM_InlinerCuFormation)->Arg(0)->Arg(1);
+
+static void BM_FullImageBuild(benchmark::State &State) {
+  ProgFixture &F = ProgFixture::get();
+  BuildConfig Cfg;
+  Cfg.Seed = 9;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildNativeImage(*F.P, Cfg));
+}
+BENCHMARK(BM_FullImageBuild);
+
+static void BM_PathGraphBuild(benchmark::State &State) {
+  ProgFixture &F = ProgFixture::get();
+  std::vector<MethodId> Methods = F.Reach.compiledMethods(*F.P);
+  for (auto _ : State) {
+    size_t Paths = 0;
+    for (MethodId M : Methods)
+      Paths += PathGraph::build(*F.P, M)->numPaths();
+    benchmark::DoNotOptimize(Paths);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Methods.size()));
+}
+BENCHMARK(BM_PathGraphBuild);
+
+static void BM_TraceCollectAndReplay(benchmark::State &State) {
+  ProgFixture &F = ProgFixture::get();
+  BuildConfig Cfg;
+  Cfg.Seed = 3;
+  Cfg.Instrumented = true;
+  NativeImage Img = buildNativeImage(*F.P, Cfg);
+  TraceOptions TOpts;
+  TOpts.Mode = TraceMode::HeapOrder;
+  RunConfig RC;
+  RC.Trace = &TOpts;
+  TraceCapture Capture;
+  runImage(Img, RC, &Capture);
+  PathGraphCache Paths(*F.P);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeHeapAccessOrder(*F.P, Capture, Paths));
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Capture.totalWords()));
+}
+BENCHMARK(BM_TraceCollectAndReplay);
+
+static void BM_PagingTouch(benchmark::State &State) {
+  PagingSim Paging(16 << 20, 16 << 20, PagingConfig());
+  uint64_t Off = 0;
+  for (auto _ : State) {
+    Paging.touch(ImageSection::Text, Off % (16 << 20), 64);
+    Off += 4096;
+    if (Off >= (16u << 20)) {
+      Off = 0;
+      Paging.dropCaches();
+    }
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()));
+}
+BENCHMARK(BM_PagingTouch);
+
+static void BM_InterpreterThroughput(benchmark::State &State) {
+  ProgFixture &F = ProgFixture::get();
+  for (auto _ : State) {
+    Heap H(*F.P);
+    InterpConfig Cfg;
+    Cfg.RunClinits = true;
+    Interpreter I(*F.P, H, Cfg);
+    Value R = I.runToCompletion(F.P->MainMethod, {});
+    benchmark::DoNotOptimize(R);
+    State.SetItemsProcessed(State.items_processed() +
+                            int64_t(I.instructionsExecuted()));
+  }
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+BENCHMARK_MAIN();

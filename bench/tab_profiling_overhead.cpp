@@ -1,0 +1,51 @@
+//===- tab_profiling_overhead.cpp - Reproduces Sec. 7.4's numbers ----------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// Sec. 7.4: execution-time overhead of the tracing profiler, per
+// instrumentation kind. Paper reference — AWFY (flush-on-full dump mode):
+// cu 1.21x, method 1.83x, heap 1.36x; microservices (memory-mapped dump
+// mode): cu 1.90x, method 3.68x, heap 2.16x. The heap overhead is a single
+// number because the emitted instrumentation is the same for all three
+// heap-ordering strategies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace nimg;
+using namespace nimg::benchutil;
+
+static void printSuite(const char *Title,
+                       const std::vector<BenchmarkEval> &Evals) {
+  std::printf("%s\n", Title);
+  std::printf("%-12s %10s %10s %10s\n", "benchmark", "cu", "method", "heap");
+  std::vector<double> Cu, Method, Heap;
+  for (const BenchmarkEval &E : Evals) {
+    std::printf("%-12s %10.2f %10.2f %10.2f\n", E.Benchmark.c_str(),
+                E.CuOverhead, E.MethodOverhead, E.HeapOverhead);
+    Cu.push_back(E.CuOverhead);
+    Method.push_back(E.MethodOverhead);
+    Heap.push_back(E.HeapOverhead);
+  }
+  std::printf("%-12s %10.2f %10.2f %10.2f\n\n", "geomean", geomean(Cu),
+              geomean(Method), geomean(Heap));
+}
+
+int main() {
+  EvalOptions Opts = defaultOptions();
+  std::printf("Sec. 7.4 — tracing-profiler execution-time overhead "
+              "(instrumented / baseline)\n\n");
+
+  std::vector<BenchmarkEval> Awfy =
+      evaluateSuite(awfyBenchmarkNames(), /*Microservices=*/false, Opts);
+  printSuite("AWFY (buffer dump mode: flush on full / at termination)",
+             Awfy);
+
+  std::vector<BenchmarkEval> Micro =
+      evaluateSuite(microserviceNames(), /*Microservices=*/true, Opts);
+  printSuite("microservices (buffer dump mode: memory-mapped trace files)",
+             Micro);
+  return 0;
+}

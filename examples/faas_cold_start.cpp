@@ -1,0 +1,87 @@
+//===- faas_cold_start.cpp - FaaS cold-start scenario -----------------------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// The paper's motivating scenario (Sec. 1): a FaaS platform evicts idle
+// functions and cold-starts them on the next request, with the program's
+// code fetched through a cold page cache while the request waits. This
+// example takes an AWFY function (the FaaS-style workload of Sec. 7.1),
+// applies the full profile-guided pipeline, and shows what the fault
+// reduction means for an SLA: how many cold starts per hour a platform
+// could afford at a fixed latency budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Builder.h"
+#include "src/workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace nimg;
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "Towers";
+  std::printf("FaaS cold-start scenario: AWFY '%s' as the function body\n\n",
+              Name.c_str());
+
+  BenchmarkSpec Spec = awfyBenchmark(Name);
+  std::vector<std::string> Errors;
+  std::unique_ptr<Program> P = compileBenchmark(Spec, Errors);
+  if (!P) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+
+  RunConfig Run;
+  BuildConfig InstrCfg;
+  InstrCfg.Seed = 2001;
+  CollectedProfiles Prof = collectProfiles(*P, InstrCfg, Run);
+
+  BuildConfig Base;
+  Base.Seed = 3;
+  NativeImage Baseline = buildNativeImage(*P, Base);
+
+  BuildConfig Opt = Base;
+  Opt.CodeOrder = CodeStrategy::CuOrder;
+  Opt.CodeProf = &Prof.Cu;
+  Opt.UseHeapOrder = true;
+  Opt.HeapOrder = HeapStrategy::HeapPath;
+  Opt.HeapProf = &Prof.HeapPath;
+  NativeImage Optimized = buildNativeImage(*P, Opt);
+
+  // Simulate repeated cold invocations (caches dropped between requests,
+  // as the platform evicted the function in between).
+  const int Invocations = 5;
+  double BaseTotal = 0, OptTotal = 0;
+  for (int I = 0; I < Invocations; ++I) {
+    RunStats B = runImage(Baseline, Run);
+    RunStats O = runImage(Optimized, Run);
+    BaseTotal += B.TimeNs;
+    OptTotal += O.TimeNs;
+    if (I == 0) {
+      std::printf("function output: %s",
+                  O.Output.substr(0, O.Output.find('\n') + 1).c_str());
+      std::printf("per-invocation faults: baseline %llu, optimized %llu\n\n",
+                  (unsigned long long)B.totalFaults(),
+                  (unsigned long long)O.totalFaults());
+    }
+  }
+  double BaseMs = BaseTotal / Invocations / 1e6;
+  double OptMs = OptTotal / Invocations / 1e6;
+  std::printf("mean cold start: baseline %.2f ms, optimized %.2f ms "
+              "(speedup %.2fx)\n",
+              BaseMs, OptMs, BaseMs / OptMs);
+
+  // SLA framing (Sec. 1: faster startup lets the platform evict idle
+  // functions more aggressively without breaking the latency percentile).
+  double BudgetMs = BaseMs * 1.05; // a budget the baseline barely meets
+  std::printf("\nwith a %.2f ms p99 cold-start budget:\n", BudgetMs);
+  std::printf("  baseline headroom:  %6.2f ms\n", BudgetMs - BaseMs);
+  std::printf("  optimized headroom: %6.2f ms — the platform can evict "
+              "sooner and still meet the SLA\n",
+              BudgetMs - OptMs);
+  return 0;
+}

@@ -1,0 +1,269 @@
+//===- nimage_cli.cpp - Command-line driver for the pipeline ----------------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// A small CLI over the public API:
+//
+//   nimage_cli build  <bench|file.mj> [--out image.nimg] [--seed N]
+//                     [--code cu|method] [--heap inc|struct|path]
+//   nimage_cli run    <bench|file.mj> [--image image.nimg] [--warm]
+//   nimage_cli profile <bench|file.mj> [--dir profiles/]
+//
+// <bench> is an AWFY benchmark name (e.g. Richards), a microservice name
+// (micronaut/quarkus/spring), or a path to a MiniJava source file (which
+// is linked against the som library and the runtime prelude).
+// `build --code/--heap` reads the CSV profiles written by `profile`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Builder.h"
+#include "src/image/ImageFile.h"
+#include "src/lang/Compile.h"
+#include "src/workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace nimg;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::string &Data) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out.write(Data.data(), std::streamsize(Data.size()));
+  return bool(Out);
+}
+
+std::unique_ptr<Program> loadTarget(const std::string &Target) {
+  std::vector<std::string> Errors;
+  std::unique_ptr<Program> P;
+  bool IsAwfy = false;
+  for (const std::string &N : awfyBenchmarkNames())
+    if (N == Target)
+      IsAwfy = true;
+  bool IsMicro = false;
+  for (const std::string &N : microserviceNames())
+    if (N == Target)
+      IsMicro = true;
+
+  if (IsAwfy) {
+    P = compileBenchmark(awfyBenchmark(Target), Errors);
+  } else if (IsMicro) {
+    P = compileBenchmark(microserviceBenchmark(Target), Errors);
+  } else {
+    std::string Source;
+    if (!readFile(Target, Source)) {
+      std::fprintf(stderr, "error: cannot read '%s' (and it is not a known "
+                           "benchmark name)\n",
+                   Target.c_str());
+      return nullptr;
+    }
+    P = std::make_unique<Program>();
+    if (!compileSources({somLibrarySource(), runtimePreludeSource(), Source},
+                        *P, Errors))
+      P.reset();
+  }
+  if (!P) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return nullptr;
+  }
+  return P;
+}
+
+const char *flagValue(int Argc, char **Argv, const char *Flag) {
+  for (int I = 0; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return Argv[I + 1];
+  return nullptr;
+}
+
+bool hasFlag(int Argc, char **Argv, const char *Flag) {
+  for (int I = 0; I < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return true;
+  return false;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  nimage_cli build   <target> [--out F] [--seed N] "
+               "[--profiles DIR] [--code cu|method] [--heap inc|struct|path]\n"
+               "  nimage_cli run     <target> [--image F] [--warm]\n"
+               "  nimage_cli profile <target> [--dir DIR]\n");
+  return 2;
+}
+
+int cmdProfile(const std::string &Target, int Argc, char **Argv) {
+  std::unique_ptr<Program> P = loadTarget(Target);
+  if (!P)
+    return 1;
+  std::string Dir = flagValue(Argc, Argv, "--dir") ? flagValue(Argc, Argv, "--dir") : ".";
+  RunConfig Run;
+  BuildConfig Cfg;
+  Cfg.Seed = 1001;
+  CollectedProfiles Prof = collectProfiles(*P, Cfg, Run);
+  bool Ok = writeFile(Dir + "/cu.csv", Prof.Cu.toCsv()) &&
+            writeFile(Dir + "/method.csv", Prof.Method.toCsv()) &&
+            writeFile(Dir + "/heap_inc.csv", Prof.IncrementalId.toCsv()) &&
+            writeFile(Dir + "/heap_struct.csv", Prof.StructuralHash.toCsv()) &&
+            writeFile(Dir + "/heap_path.csv", Prof.HeapPath.toCsv());
+  if (!Ok) {
+    std::fprintf(stderr, "error: cannot write profiles to %s\n", Dir.c_str());
+    return 1;
+  }
+  std::printf("wrote ordering profiles to %s/{cu,method,heap_inc,"
+              "heap_struct,heap_path}.csv\n",
+              Dir.c_str());
+  std::printf("  cu entries: %zu, methods: %zu, heap objects: %zu\n",
+              Prof.Cu.Sigs.size(), Prof.Method.Sigs.size(),
+              Prof.HeapPath.Ids.size());
+  return 0;
+}
+
+int cmdBuild(const std::string &Target, int Argc, char **Argv) {
+  std::unique_ptr<Program> P = loadTarget(Target);
+  if (!P)
+    return 1;
+  BuildConfig Cfg;
+  if (const char *Seed = flagValue(Argc, Argv, "--seed"))
+    Cfg.Seed = uint64_t(std::atoll(Seed));
+  std::string Dir = flagValue(Argc, Argv, "--profiles")
+                        ? flagValue(Argc, Argv, "--profiles")
+                        : ".";
+
+  CodeProfile CodeProf;
+  HeapProfile HeapProf;
+  if (const char *Code = flagValue(Argc, Argv, "--code")) {
+    std::string Csv;
+    std::string File = Dir + (std::strcmp(Code, "method") == 0
+                                  ? "/method.csv"
+                                  : "/cu.csv");
+    if (!readFile(File, Csv)) {
+      std::fprintf(stderr, "error: missing profile %s (run 'profile' "
+                           "first)\n",
+                   File.c_str());
+      return 1;
+    }
+    CodeProf = CodeProfile::fromCsv(Csv);
+    Cfg.CodeOrder = std::strcmp(Code, "method") == 0
+                        ? CodeStrategy::MethodOrder
+                        : CodeStrategy::CuOrder;
+    Cfg.CodeProf = &CodeProf;
+  }
+  if (const char *HeapFlag = flagValue(Argc, Argv, "--heap")) {
+    std::string File = Dir;
+    if (std::strcmp(HeapFlag, "inc") == 0) {
+      Cfg.HeapOrder = HeapStrategy::IncrementalId;
+      File += "/heap_inc.csv";
+    } else if (std::strcmp(HeapFlag, "struct") == 0) {
+      Cfg.HeapOrder = HeapStrategy::StructuralHash;
+      File += "/heap_struct.csv";
+    } else {
+      Cfg.HeapOrder = HeapStrategy::HeapPath;
+      File += "/heap_path.csv";
+    }
+    std::string Csv;
+    if (!readFile(File, Csv)) {
+      std::fprintf(stderr, "error: missing profile %s (run 'profile' "
+                           "first)\n",
+                   File.c_str());
+      return 1;
+    }
+    HeapProf = HeapProfile::fromCsv(Csv);
+    Cfg.UseHeapOrder = true;
+    Cfg.HeapProf = &HeapProf;
+  }
+
+  NativeImage Img = buildNativeImage(*P, Cfg);
+  if (Img.Built.Failed) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 Img.Built.FailureMessage.c_str());
+    return 1;
+  }
+  std::printf("built image: %zu CUs, %zu snapshot objects, %llu KiB "
+              "(.text %llu KiB + .svm_heap %llu KiB)\n",
+              Img.Code.CUs.size(), Img.Snapshot.numStored(),
+              (unsigned long long)(Img.imageBytes() / 1024),
+              (unsigned long long)(Img.Layout.TextSize / 1024),
+              (unsigned long long)(Img.Layout.HeapSize / 1024));
+  if (const char *Out = flagValue(Argc, Argv, "--out")) {
+    std::vector<uint8_t> Bytes = serializeImage(*P, Img);
+    std::string Blob(Bytes.begin(), Bytes.end());
+    if (!writeFile(Out, Blob)) {
+      std::fprintf(stderr, "error: cannot write %s\n", Out);
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", Out, Bytes.size());
+  }
+  return 0;
+}
+
+int cmdRun(const std::string &Target, int Argc, char **Argv) {
+  std::unique_ptr<Program> P = loadTarget(Target);
+  if (!P)
+    return 1;
+  NativeImage Img;
+  if (const char *File = flagValue(Argc, Argv, "--image")) {
+    std::string Blob;
+    if (!readFile(File, Blob)) {
+      std::fprintf(stderr, "error: cannot read %s\n", File);
+      return 1;
+    }
+    std::vector<uint8_t> Bytes(Blob.begin(), Blob.end());
+    std::string Error;
+    if (!deserializeImage(*P, Bytes, Img, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  } else {
+    BuildConfig Cfg;
+    Img = buildNativeImage(*P, Cfg);
+  }
+  RunConfig Run;
+  Run.ColdCache = !hasFlag(Argc, Argv, "--warm");
+  RunStats S = runImage(Img, Run);
+  std::fputs(S.Output.c_str(), stdout);
+  if (S.Trapped) {
+    std::fprintf(stderr, "trap: %s\n", S.TrapMessage.c_str());
+    return 1;
+  }
+  std::printf("[%s cache] %llu text + %llu heap faults, %.2f ms (model), "
+              "%llu instructions\n",
+              Run.ColdCache ? "cold" : "warm",
+              (unsigned long long)S.TextFaults,
+              (unsigned long long)S.HeapFaults, S.TimeNs / 1e6,
+              (unsigned long long)S.Instructions);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  std::string Cmd = Argv[1];
+  std::string Target = Argv[2];
+  if (Cmd == "profile")
+    return cmdProfile(Target, Argc, Argv);
+  if (Cmd == "build")
+    return cmdBuild(Target, Argc, Argv);
+  if (Cmd == "run")
+    return cmdRun(Target, Argc, Argv);
+  return usage();
+}

@@ -1,0 +1,110 @@
+//===- CodeSize.cpp - Machine-code size model ------------------------------===//
+
+#include "src/compiler/CodeSize.h"
+
+using namespace nimg;
+
+uint32_t nimg::instrCodeSize(const Instr &In) {
+  switch (In.Op) {
+  case Opcode::ConstInt:
+  case Opcode::ConstDouble:
+  case Opcode::ConstBool:
+  case Opcode::ConstNull:
+  case Opcode::ConstString:
+    return 8;
+  case Opcode::Move:
+  case Opcode::I2D:
+  case Opcode::D2I:
+    return 4;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::BitAnd:
+  case Opcode::BitOr:
+  case Opcode::BitXor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    return 6;
+  case Opcode::Concat:
+    return 16;
+  case Opcode::NewObject:
+  case Opcode::NewArray:
+    return 24;
+  case Opcode::ArrayLen:
+    return 8;
+  case Opcode::ALoad:
+  case Opcode::AStore:
+    return 10;
+  case Opcode::GetField:
+  case Opcode::PutField:
+    return 8;
+  case Opcode::GetStatic:
+  case Opcode::PutStatic:
+    return 10;
+  case Opcode::CallStatic:
+    return 20 + 4 * In.ArgsCount;
+  case Opcode::CallVirtual:
+    return 28 + 4 * In.ArgsCount;
+  case Opcode::CallNative:
+    return 20 + 4 * In.ArgsCount;
+  case Opcode::Ret:
+    return 8;
+  case Opcode::Br:
+    return 8;
+  case Opcode::Jmp:
+    return 4;
+  }
+  return 8;
+}
+
+uint32_t nimg::instrProbeSize(const Instr &In) {
+  uint32_t Probe = 0;
+  // Cut points emit a trace record: calls, returns, and (conservatively)
+  // branches that may be loop back edges.
+  switch (In.Op) {
+  case Opcode::CallStatic:
+  case Opcode::CallVirtual:
+  case Opcode::CallNative:
+    Probe += 24;
+    break;
+  case Opcode::Ret:
+    Probe += 24;
+    break;
+  case Opcode::Br:
+  case Opcode::Jmp:
+    Probe += 8; // path-register update
+    break;
+  default:
+    break;
+  }
+  // Heap-access sites store object identifiers into the thread-local
+  // buffer (Sec. 6.1).
+  Probe += 20 * traceSlotCount(In.Op, In.Aux);
+  return Probe;
+}
+
+uint32_t nimg::methodCodeSize(const Program &P, MethodId M,
+                              bool Instrumented) {
+  const Method &Meth = P.method(M);
+  uint32_t Size = 16; // prologue
+  if (Instrumented)
+    Size += 16; // CU-entry / method-entry probe
+  for (const BasicBlock &BB : Meth.Blocks) {
+    for (const Instr &In : BB.Instrs) {
+      Size += instrCodeSize(In);
+      if (Instrumented)
+        Size += instrProbeSize(In);
+    }
+  }
+  return Size;
+}

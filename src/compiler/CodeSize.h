@@ -1,0 +1,40 @@
+//===- CodeSize.h - Machine-code size model --------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the machine-code size of compiled methods. The inliner is
+/// size-driven (Sec. 2: "inlining decisions are furthermore code-size
+/// driven, so instrumentation code may make the inliner behave differently
+/// between compilations of the instrumented and the regular image"); the
+/// instrumented size includes the tracing probes of Sec. 6.1, which is the
+/// primary source of divergence between the profiling and optimized builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_COMPILER_CODESIZE_H
+#define NIMG_COMPILER_CODESIZE_H
+
+#include "src/ir/Program.h"
+
+namespace nimg {
+
+/// Byte-size estimate of one lowered instruction.
+uint32_t instrCodeSize(const Instr &In);
+
+/// Extra bytes the tracing instrumentation adds for one instruction
+/// (path-register updates at terminators, record emission at cut points,
+/// identifier stores at heap-access sites).
+uint32_t instrProbeSize(const Instr &In);
+
+/// Byte-size estimate of a whole method body (prologue included).
+/// \p Instrumented adds the probe sizes plus the CU-entry / method-entry
+/// probe in the prologue.
+uint32_t methodCodeSize(const Program &P, MethodId M, bool Instrumented);
+
+} // namespace nimg
+
+#endif // NIMG_COMPILER_CODESIZE_H

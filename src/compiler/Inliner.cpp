@@ -1,0 +1,142 @@
+//===- Inliner.cpp - Size-driven inlining into compilation units ----------===//
+
+#include "src/compiler/Inliner.h"
+
+#include "src/compiler/CodeSize.h"
+#include "src/support/Murmur3.h"
+#include "src/support/SplitMix64.h"
+
+#include <algorithm>
+
+using namespace nimg;
+
+namespace {
+
+class InlinerDriver {
+public:
+  InlinerDriver(const Program &P, const ReachabilityResult &Reach,
+                const InlinerConfig &Config, bool Instrumented)
+      : P(P), Reach(Reach), Config(Config), Instrumented(Instrumented) {}
+
+  CompiledProgram run() {
+    CompiledProgram CP;
+    CP.Instrumented = Instrumented;
+    CP.CuOfMethod.assign(P.numMethods(), -1);
+
+    std::vector<MethodId> Roots = Reach.compiledMethods(P);
+    // Default .text order: alphabetical by root signature (Sec. 2).
+    std::sort(Roots.begin(), Roots.end(), [&](MethodId A, MethodId B) {
+      return P.method(A).Sig < P.method(B).Sig;
+    });
+
+    for (MethodId Root : Roots) {
+      CompilationUnit CU;
+      CU.Root = Root;
+      InlineCopy RootCopy;
+      RootCopy.Method = Root;
+      RootCopy.CodeOffset = 0;
+      RootCopy.CodeSize = methodCodeSize(P, Root, Instrumented);
+      CU.CodeSize = RootCopy.CodeSize;
+      CU.Copies.push_back(RootCopy);
+      Chain.clear();
+      Chain.push_back(Root);
+      inlineInto(CU, 0, 1);
+      CP.CuOfMethod[size_t(Root)] = int32_t(CP.CUs.size());
+      CP.CUs.push_back(std::move(CU));
+    }
+    CP.InlineFingerprint = Fingerprint;
+    return CP;
+  }
+
+private:
+  /// Resolves the statically known target of a call site, or -1: static
+  /// calls resolve directly; virtual calls only when monomorphic.
+  MethodId resolveTarget(const Instr &In) const {
+    if (In.Op == Opcode::CallStatic)
+      return In.Aux;
+    if (In.Op != Opcode::CallVirtual)
+      return -1;
+    if (!Reach.isMonomorphic(P, In.Aux))
+      return -1;
+    std::vector<MethodId> Targets = Reach.reachableTargets(P, In.Aux);
+    return Targets.size() == 1 ? Targets[0] : -1;
+  }
+
+  bool shouldInline(MethodId Target, uint32_t Size, const CompilationUnit &CU,
+                    int Depth) const {
+    const Method &Meth = P.method(Target);
+    if (Meth.IsAbstract || Meth.IsClinit)
+      return false;
+    // No recursive inlining.
+    if (std::find(Chain.begin(), Chain.end(), Target) != Chain.end())
+      return false;
+    if (CU.CodeSize + Size > Config.MaxCuSize)
+      return false;
+    if (Size <= Config.TrivialSize)
+      return true;
+    return Size <= Config.SmallSize && Depth < Config.MaxDepth;
+  }
+
+  void inlineInto(CompilationUnit &CU, int32_t CopyIdx, int Depth) {
+    // Note: CU.Copies may reallocate during recursion; index, don't hold
+    // references.
+    MethodId M = CU.Copies[size_t(CopyIdx)].Method;
+    const Method &Meth = P.method(M);
+    for (size_t B = 0; B < Meth.Blocks.size(); ++B) {
+      const BasicBlock &BB = Meth.Blocks[B];
+      for (size_t I = 0; I < BB.Instrs.size(); ++I) {
+        const Instr &In = BB.Instrs[I];
+        if (In.Op != Opcode::CallStatic && In.Op != Opcode::CallVirtual)
+          continue;
+        uint32_t Site = makeSiteId(BlockId(B), I);
+        MethodId Target = resolveTarget(In);
+        if (Target == -1) {
+          noteDecision(CU.Root, CopyIdx, Site, -1);
+          continue;
+        }
+        uint32_t Size = methodCodeSize(P, Target, Instrumented);
+        if (!shouldInline(Target, Size, CU, Depth)) {
+          noteDecision(CU.Root, CopyIdx, Site, -1);
+          continue;
+        }
+        InlineCopy Copy;
+        Copy.Method = Target;
+        Copy.ParentCopy = CopyIdx;
+        Copy.SiteId = Site;
+        Copy.CodeOffset = CU.CodeSize;
+        Copy.CodeSize = Size;
+        CU.CodeSize += Size;
+        int32_t NewIdx = int32_t(CU.Copies.size());
+        CU.Copies.push_back(Copy);
+        CU.InlineMap.emplace(CompilationUnit::siteKey(CopyIdx, Site), NewIdx);
+        noteDecision(CU.Root, CopyIdx, Site, Target);
+        Chain.push_back(Target);
+        inlineInto(CU, NewIdx, Depth + 1);
+        Chain.pop_back();
+      }
+    }
+  }
+
+  void noteDecision(MethodId Root, int32_t Copy, uint32_t Site,
+                    MethodId Inlined) {
+    uint64_t Key = (uint64_t(uint32_t(Root)) << 40) ^
+                   (uint64_t(uint32_t(Copy)) << 32) ^ Site;
+    Fingerprint = mix64(Fingerprint, mix64(Key, uint64_t(Inlined + 2)));
+  }
+
+  const Program &P;
+  const ReachabilityResult &Reach;
+  const InlinerConfig &Config;
+  bool Instrumented;
+  std::vector<MethodId> Chain;
+  uint64_t Fingerprint = 0x9e3779b97f4a7c15ULL;
+};
+
+} // namespace
+
+CompiledProgram nimg::buildCompilationUnits(const Program &P,
+                                            const ReachabilityResult &Reach,
+                                            const InlinerConfig &Config,
+                                            bool Instrumented) {
+  return InlinerDriver(P, Reach, Config, Instrumented).run();
+}

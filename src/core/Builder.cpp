@@ -1,0 +1,109 @@
+//===- Builder.cpp - The Native-Image build pipeline -------------------------===//
+
+#include "src/core/Builder.h"
+
+#include "src/support/SplitMix64.h"
+
+using namespace nimg;
+
+NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
+  assert(P.MainMethod != -1 && "program has no entry point");
+  NativeImage Img;
+  Img.P = &P;
+  Img.Instrumented = Cfg.Instrumented;
+  Img.Seed = Cfg.Seed;
+
+  // Builtin runtime classes must exist before the analysis fixes the
+  // class-id space.
+  ensureClassMetaClass(P);
+
+  // 1. Points-to-style reachability (Sec. 2).
+  Img.Reach = analyzeReachability(P, Cfg.Reach);
+
+  // 2. Compilation: size-driven inlining into CUs. Instrumentation
+  //    inflates sizes, diverging the CU set from the optimized build's.
+  Img.Code =
+      buildCompilationUnits(P, Img.Reach, Cfg.Inliner, Cfg.Instrumented);
+
+  // 3. Code ordering (Sec. 4) — determines .text placement and, through
+  //    it, the default object traversal order.
+  std::vector<int32_t> CuOrder;
+  if (Cfg.CodeOrder != CodeStrategy::None && Cfg.CodeProf)
+    CuOrder = orderCusWithProfile(P, Img.Code, *Cfg.CodeProf,
+                                  Cfg.CodeOrder == CodeStrategy::MethodOrder);
+
+  // 4. Build-time initialization (permuted) and heap snapshotting.
+  Img.Built = initializeBuildHeap(P, Img.Reach, Cfg.Seed);
+  if (Img.Built.Failed)
+    return Img;
+
+  SnapshotConfig SnapCfg;
+  SnapCfg.EnablePea = Cfg.EnablePea;
+  SnapCfg.PeaRate = Cfg.PeaRate;
+  SnapCfg.PeaFingerprint = mix64(Img.Code.InlineFingerprint, Cfg.Seed);
+  SnapCfg.CuOrder = CuOrder;
+  Img.Snapshot = buildSnapshot(P, *Img.Built.BuildHeap, Img.Built, Img.Code,
+                               Img.Reach, SnapCfg);
+
+  // 5. Identifier assignment (Sec. 5): the profiling build stores these in
+  //    the image; the optimizing build uses them only for matching.
+  Img.Ids = computeIdTable(P, *Img.Built.BuildHeap, Img.Snapshot,
+                           Cfg.StructuralMaxDepth);
+
+  // 6. Heap ordering (Sec. 5): match the profile's ids against this
+  //    build's snapshot and hoist matched objects to the front.
+  std::vector<int32_t> ObjOrder;
+  if (Cfg.UseHeapOrder && Cfg.HeapProf)
+    ObjOrder = orderObjectsWithProfile(Img.Snapshot, Img.Ids, Cfg.HeapOrder,
+                                       *Cfg.HeapProf);
+
+  // 7. Image layout.
+  Img.Layout =
+      computeImageLayout(P, Img.Code, Img.Snapshot, CuOrder, ObjOrder,
+                         Cfg.Image);
+  return Img;
+}
+
+CollectedProfiles nimg::collectProfiles(Program &P,
+                                        const BuildConfig &InstrumentedCfg,
+                                        const RunConfig &RunCfg) {
+  CollectedProfiles Out;
+
+  BuildConfig Cfg = InstrumentedCfg;
+  Cfg.Instrumented = true;
+  Cfg.CodeOrder = CodeStrategy::None;
+  Cfg.UseHeapOrder = false;
+  NativeImage Img = buildNativeImage(P, Cfg);
+  assert(!Img.Built.Failed && "instrumented build failed");
+
+  PathGraphCache Paths(P);
+
+  auto RunWith = [&](TraceMode Mode, RunStats &StatsOut) {
+    TraceOptions TOpts;
+    TOpts.Mode = Mode;
+    // Workloads killed before clean exit need the memory-mapped dump mode
+    // (Sec. 6.1); AWFY-style runs terminate normally and flush.
+    TOpts.Dump = RunCfg.StopAtFirstResponse ? DumpMode::MemoryMapped
+                                            : DumpMode::FlushOnFull;
+    RunConfig RC = RunCfg;
+    RC.Trace = &TOpts;
+    TraceCapture Capture;
+    StatsOut = runImage(Img, RC, &Capture);
+    return Capture;
+  };
+
+  TraceCapture CuCap = RunWith(TraceMode::CuOrder, Out.CuRun);
+  Out.Cu = analyzeCuOrder(P, CuCap);
+
+  TraceCapture MethodCap = RunWith(TraceMode::MethodOrder, Out.MethodRun);
+  Out.Method = analyzeMethodOrder(P, MethodCap, Paths);
+
+  TraceCapture HeapCap = RunWith(TraceMode::HeapOrder, Out.HeapRun);
+  std::vector<int32_t> AccessOrder = analyzeHeapAccessOrder(P, HeapCap, Paths);
+  Out.IncrementalId =
+      heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::IncrementalId);
+  Out.StructuralHash =
+      heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::StructuralHash);
+  Out.HeapPath = heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::HeapPath);
+  return Out;
+}

@@ -1,0 +1,98 @@
+//===- Builder.h - The Native-Image build pipeline ---------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end build pipeline of the paper's Fig. 1:
+///
+///   points-to analysis -> compile (inline, form CUs) -> [code ordering]
+///   -> run static initializers -> snapshot the heap (+ identifier
+///   assignment) -> [heap ordering] -> lay out the image.
+///
+/// A *profiling build* (Instrumented = true) carries tracing probes (which
+/// perturb inlining via code size) and keeps per-object identifiers for
+/// all three strategies. An *optimizing build* consumes a code profile
+/// and/or a heap profile; it recomputes identifiers for its own snapshot
+/// to match against the profile, and does not store them in the image.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_CORE_BUILDER_H
+#define NIMG_CORE_BUILDER_H
+
+#include "src/image/NativeImage.h"
+#include "src/ordering/Orderers.h"
+#include "src/profiling/Analyses.h"
+#include "src/runtime/ExecEngine.h"
+
+namespace nimg {
+
+struct BuildConfig {
+  /// Build seed: permutes build-time class initialization and (with the
+  /// inline fingerprint) drives PEA elision — the paper's build-to-build
+  /// nondeterminism.
+  uint64_t Seed = 1;
+  bool Instrumented = false;
+
+  ReachabilityConfig Reach;
+  InlinerConfig Inliner;
+  ImageOptions Image;
+
+  bool EnablePea = true;
+  uint32_t PeaRate = 4;
+
+  /// Structural-hash recursion bound (Sec. 7.1 uses 2).
+  int StructuralMaxDepth = DefaultStructuralMaxDepth;
+
+  // Ordering strategies of the optimizing build.
+  CodeStrategy CodeOrder = CodeStrategy::None;
+  HeapStrategy HeapOrder = HeapStrategy::IncrementalId;
+  bool UseHeapOrder = false;
+  const CodeProfile *CodeProf = nullptr;
+  const HeapProfile *HeapProf = nullptr;
+};
+
+/// Runs the full pipeline over \p P. Asserts the program has a main
+/// method; a failed build (trapping initializer) is reported through the
+/// returned image's Built.Failed.
+NativeImage buildNativeImage(Program &P, const BuildConfig &Cfg);
+
+/// All ordering profiles obtained from one instrumented image, plus the
+/// instrumented runs' stats (the profiling-overhead experiment of
+/// Sec. 7.4 reads these).
+struct CollectedProfiles {
+  CodeProfile Cu;
+  CodeProfile Method;
+  HeapProfile IncrementalId;
+  HeapProfile StructuralHash;
+  HeapProfile HeapPath;
+  RunStats CuRun;
+  RunStats MethodRun;
+  RunStats HeapRun;
+
+  const HeapProfile &forStrategy(HeapStrategy S) const {
+    switch (S) {
+    case HeapStrategy::IncrementalId:
+      return IncrementalId;
+    case HeapStrategy::StructuralHash:
+      return StructuralHash;
+    case HeapStrategy::HeapPath:
+      return HeapPath;
+    }
+    return HeapPath;
+  }
+};
+
+/// Builds an instrumented image from \p InstrumentedCfg and runs it three
+/// times (cu / method / heap tracing), post-processing each trace into its
+/// ordering profile. \p RunCfg controls workload execution (microservices
+/// set StopAtFirstResponse and use the memory-mapped dump mode, Sec. 6.1).
+CollectedProfiles collectProfiles(Program &P, const BuildConfig &InstrumentedCfg,
+                                  const RunConfig &RunCfg);
+
+} // namespace nimg
+
+#endif // NIMG_CORE_BUILDER_H

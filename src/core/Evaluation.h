@@ -1,0 +1,98 @@
+//===- Evaluation.h - Paper-evaluation measurement harness -----*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the measurement protocol of Sec. 7.1: per benchmark, build
+/// several images per strategy (the paper builds 10; the seed plays the
+/// role of build-to-build nondeterminism), run each on a cold page cache,
+/// and report factors M_baseline / M_optimized with 95% confidence
+/// intervals. Code strategies are scored on .text faults, heap strategies
+/// on .svm_heap faults, the combined strategy on both — exactly the
+/// figures' conventions. AWFY workloads measure end-to-end time;
+/// microservices measure elapsed time until the first response and are
+/// then killed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_CORE_EVALUATION_H
+#define NIMG_CORE_EVALUATION_H
+
+#include "src/core/Builder.h"
+#include "src/workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace nimg {
+
+struct EvalOptions {
+  /// Images built per strategy (paper: 10). Runs are deterministic given a
+  /// build, so one measured run per image suffices.
+  int Seeds = 3;
+  uint64_t BaseSeed = 1;
+  RunConfig Run;
+  BuildConfig Build;
+};
+
+/// Mean with a 95% confidence interval over build seeds.
+struct Stat {
+  double Mean = 0;
+  double Lo = 0;
+  double Hi = 0;
+};
+
+Stat statOf(const std::vector<double> &Samples);
+
+/// Measurements for one strategy (or the baseline).
+struct VariantEval {
+  std::string Name;
+  Stat TextFaults;
+  Stat HeapFaults;
+  Stat TotalFaults;
+  Stat TimeNs;
+  // Factors versus the baseline (higher is better, Sec. 7.1).
+  double TextFaultFactor = 1.0;
+  double HeapFaultFactor = 1.0;
+  double TotalFaultFactor = 1.0;
+  double Speedup = 1.0;
+};
+
+struct BenchmarkEval {
+  std::string Benchmark;
+  bool Microservice = false;
+  VariantEval Baseline;
+  /// cu, method, incremental id, structural hash, heap path, cu+heap path.
+  std::vector<VariantEval> Variants;
+
+  /// Fraction of stored snapshot objects the baseline run touches
+  /// (Sec. 7.2 reports ~4 % on AWFY).
+  double PctStoredObjectsTouched = 0;
+  size_t SnapshotObjects = 0;
+  uint64_t ImageBytes = 0;
+
+  /// Sec. 7.4 profiling overheads: instrumented time / baseline time.
+  double CuOverhead = 1.0;
+  double MethodOverhead = 1.0;
+  double HeapOverhead = 1.0;
+
+  const VariantEval *variant(const std::string &Name) const;
+};
+
+/// Runs the full per-benchmark evaluation.
+BenchmarkEval evaluateBenchmark(const BenchmarkSpec &Spec,
+                                const EvalOptions &Opts);
+
+/// Geometric mean (the figures' summary statistic).
+double geomean(const std::vector<double> &Factors);
+
+/// Reads NIMAGE_EVAL_SEEDS from the environment (default \p Default);
+/// lets bench binaries trade precision for wall time.
+int evalSeedsFromEnv(int Default);
+
+} // namespace nimg
+
+#endif // NIMG_CORE_EVALUATION_H

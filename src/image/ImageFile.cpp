@@ -1,0 +1,437 @@
+//===- ImageFile.cpp - Binary image serialization ----------------------------===//
+
+#include "src/image/ImageFile.h"
+
+#include "src/heap/BuildHeap.h"
+#include "src/support/ByteBuffer.h"
+#include "src/support/Murmur3.h"
+
+using namespace nimg;
+
+static constexpr uint32_t kMagic = 0x314D494Eu; // "NIM1"
+
+uint64_t nimg::programFingerprint(const Program &P) {
+  ByteBuffer B;
+  for (size_t C = 0; C < P.numClasses(); ++C) {
+    const ClassDef &Def = P.classDef(ClassId(C));
+    B.appendSizedString(Def.Name);
+    B.appendU32(uint32_t(Def.Super + 1));
+    for (const Field &F : Def.InstanceFields) {
+      B.appendSizedString(F.Name);
+      B.appendSizedString(P.typeName(F.Type));
+    }
+    for (const Field &F : Def.StaticFields) {
+      B.appendSizedString(F.Name);
+      B.appendSizedString(P.typeName(F.Type));
+    }
+  }
+  for (size_t M = 0; M < P.numMethods(); ++M) {
+    const Method &Meth = P.method(MethodId(M));
+    B.appendSizedString(Meth.Sig);
+    B.appendU32(uint32_t(Meth.Blocks.size()));
+    for (const BasicBlock &BB : Meth.Blocks) {
+      B.appendU32(uint32_t(BB.Instrs.size()));
+      for (const Instr &In : BB.Instrs) {
+        B.appendU8(uint8_t(In.Op));
+        B.appendU32(uint32_t(In.Dst) | (uint32_t(In.A) << 16));
+        B.appendU32(uint32_t(In.B) | (uint32_t(In.C) << 16));
+        B.appendI64(In.IImm);
+        B.appendF64(In.FImm);
+        B.appendU32(uint32_t(In.Aux));
+        B.appendU32(uint32_t(In.Aux2));
+        B.appendU32(uint32_t(In.Target));
+      }
+    }
+  }
+  for (size_t S = 0; S < P.numStrings(); ++S)
+    B.appendSizedString(P.string(StrId(S)));
+  return murmurHash3(B.bytes());
+}
+
+namespace {
+
+// --- Writer helpers -----------------------------------------------------------
+
+void putBools(ByteBuffer &B, const std::vector<bool> &V) {
+  B.appendU32(uint32_t(V.size()));
+  for (bool X : V)
+    B.appendU8(X ? 1 : 0);
+}
+
+void putU64s(ByteBuffer &B, const std::vector<uint64_t> &V) {
+  B.appendU32(uint32_t(V.size()));
+  for (uint64_t X : V)
+    B.appendU64(X);
+}
+
+void putI32s(ByteBuffer &B, const std::vector<int32_t> &V) {
+  B.appendU32(uint32_t(V.size()));
+  for (int32_t X : V)
+    B.appendU32(uint32_t(X));
+}
+
+void putValue(ByteBuffer &B, const Value &V) {
+  B.appendU8(uint8_t(V.Kind));
+  B.appendI64(V.Kind == ValueKind::Ref ? int64_t(V.Ref) : V.I);
+}
+
+// --- Reader ---------------------------------------------------------------------
+
+class Cursor {
+public:
+  Cursor(const std::vector<uint8_t> &Bytes, std::string &Error)
+      : Bytes(Bytes), Error(Error) {}
+
+  bool ok() const { return !Failed; }
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return Bytes[Pos++];
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= uint32_t(Bytes[Pos++]) << (I * 8);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= uint64_t(Bytes[Pos++]) << (I * 8);
+    return V;
+  }
+  int64_t i64() { return int64_t(u64()); }
+  std::string str() {
+    uint32_t Len = u32();
+    if (!need(Len))
+      return {};
+    std::string S(reinterpret_cast<const char *>(&Bytes[Pos]), Len);
+    Pos += Len;
+    return S;
+  }
+  std::vector<bool> bools() {
+    uint32_t N = u32();
+    std::vector<bool> V;
+    for (uint32_t I = 0; I < N && ok(); ++I)
+      V.push_back(u8() != 0);
+    return V;
+  }
+  std::vector<uint64_t> u64s() {
+    uint32_t N = u32();
+    std::vector<uint64_t> V;
+    for (uint32_t I = 0; I < N && ok(); ++I)
+      V.push_back(u64());
+    return V;
+  }
+  std::vector<int32_t> i32s() {
+    uint32_t N = u32();
+    std::vector<int32_t> V;
+    for (uint32_t I = 0; I < N && ok(); ++I)
+      V.push_back(int32_t(u32()));
+    return V;
+  }
+  Value value() {
+    ValueKind K = ValueKind(u8());
+    int64_t Raw = i64();
+    switch (K) {
+    case ValueKind::Null:
+      return Value::makeNull();
+    case ValueKind::Int:
+      return Value::makeInt(Raw);
+    case ValueKind::Double: {
+      Value V;
+      V.Kind = ValueKind::Double;
+      V.I = Raw;
+      return V;
+    }
+    case ValueKind::Bool:
+      return Value::makeBool(Raw != 0);
+    case ValueKind::Ref:
+      return Value::makeRef(CellIdx(Raw));
+    }
+    fail("corrupt value kind");
+    return Value::makeNull();
+  }
+
+  void fail(const std::string &Msg) {
+    if (!Failed)
+      Error = Msg;
+    Failed = true;
+  }
+
+private:
+  bool need(size_t N) {
+    if (Failed)
+      return false;
+    if (Pos + N > Bytes.size()) {
+      fail("unexpected end of image file");
+      return false;
+    }
+    return true;
+  }
+
+  const std::vector<uint8_t> &Bytes;
+  std::string &Error;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::vector<uint8_t> nimg::serializeImage(const Program &P,
+                                          const NativeImage &Img) {
+  assert(Img.P == &P && "image was built from a different program");
+  ByteBuffer B;
+  B.appendU32(kMagic);
+  B.appendU64(programFingerprint(P));
+  B.appendU8(Img.Instrumented ? 1 : 0);
+  B.appendU64(Img.Seed);
+
+  // Reachability.
+  putBools(B, Img.Reach.ReachableMethods);
+  putBools(B, Img.Reach.InstantiatedClasses);
+  putBools(B, Img.Reach.ReachableClasses);
+  putBools(B, Img.Reach.SaturatedSelectors);
+
+  // Compiled program.
+  B.appendU8(Img.Code.Instrumented ? 1 : 0);
+  B.appendU64(Img.Code.InlineFingerprint);
+  putI32s(B, Img.Code.CuOfMethod);
+  B.appendU32(uint32_t(Img.Code.CUs.size()));
+  for (const CompilationUnit &CU : Img.Code.CUs) {
+    B.appendU32(uint32_t(CU.Root));
+    B.appendU32(CU.CodeSize);
+    B.appendU32(uint32_t(CU.Copies.size()));
+    for (const InlineCopy &C : CU.Copies) {
+      B.appendU32(uint32_t(C.Method));
+      B.appendU32(uint32_t(C.ParentCopy));
+      B.appendU32(C.SiteId);
+      B.appendU32(C.CodeOffset);
+      B.appendU32(C.CodeSize);
+    }
+  }
+
+  // Build heap: cells, statics, init order, metadata, resources.
+  const Heap &H = *Img.Built.BuildHeap;
+  B.appendU32(uint32_t(H.numCells()));
+  for (size_t C = 0; C < H.numCells(); ++C) {
+    const HeapCell &Cell = H.cell(CellIdx(C));
+    B.appendU8(uint8_t(Cell.Kind));
+    B.appendU32(uint32_t(Cell.Class));
+    B.appendU32(uint32_t(Cell.ArrayType));
+    B.appendU32(uint32_t(Cell.Slots.size()));
+    for (const Value &V : Cell.Slots)
+      putValue(B, V);
+    B.appendSizedString(Cell.Str);
+    B.appendU8(H.isInterned(CellIdx(C)) ? 1 : 0);
+  }
+  B.appendU32(uint32_t(Img.Built.Statics.size()));
+  for (const auto &Row : Img.Built.Statics) {
+    B.appendU32(uint32_t(Row.size()));
+    for (const Value &V : Row)
+      putValue(B, V);
+  }
+  putI32s(B, Img.Built.InitOrder);
+  putI32s(B, Img.Built.ClassMetaCells);
+  B.appendU32(uint32_t(Img.Built.ResourceCells.size()));
+  for (const auto &[Name, Cell] : Img.Built.ResourceCells) {
+    B.appendSizedString(Name);
+    B.appendU32(uint32_t(Cell));
+  }
+
+  // Snapshot.
+  B.appendU32(uint32_t(Img.Snapshot.Entries.size()));
+  for (const SnapshotEntry &E : Img.Snapshot.Entries) {
+    B.appendU32(uint32_t(E.Cell));
+    B.appendU32(E.SizeBytes);
+    B.appendU8(uint8_t((E.IsRoot ? 1 : 0) | (E.Elided ? 2 : 0)));
+    B.appendU8(uint8_t(E.Reason.Kind));
+    B.appendSizedString(E.Reason.Detail);
+    B.appendU32(uint32_t(E.ParentEntry));
+    B.appendU32(uint32_t(E.ParentSlot));
+  }
+
+  // Identity tables.
+  putU64s(B, Img.Ids.IncrementalIds);
+  putU64s(B, Img.Ids.StructuralHashes);
+  putU64s(B, Img.Ids.HeapPathHashes);
+
+  // Layout.
+  B.appendU32(Img.Layout.PageSize);
+  putI32s(B, Img.Layout.CuOrder);
+  putU64s(B, Img.Layout.CuOffsets);
+  B.appendU64(Img.Layout.NativeTailOffset);
+  B.appendU64(Img.Layout.NativeTailSize);
+  B.appendU64(Img.Layout.TextSize);
+  putU64s(B, Img.Layout.StaticsBase);
+  B.appendU64(Img.Layout.StaticsSize);
+  putI32s(B, Img.Layout.ObjectOrder);
+  putU64s(B, Img.Layout.ObjectOffsets);
+  B.appendU64(Img.Layout.HeapSize);
+
+  return B.bytes();
+}
+
+bool nimg::deserializeImage(Program &P, const std::vector<uint8_t> &Bytes,
+                            NativeImage &Out, std::string &Error) {
+  // The builtin runtime classes are part of every built image's program;
+  // register them before fingerprinting so a freshly compiled classpath
+  // matches the one the image was built from.
+  ensureClassMetaClass(P);
+  Cursor C(Bytes, Error);
+  if (C.u32() != kMagic) {
+    Error = "not a nimage file (bad magic)";
+    return false;
+  }
+  uint64_t Fingerprint = C.u64();
+  if (Fingerprint != programFingerprint(P)) {
+    Error = "image was built from a different program (fingerprint "
+            "mismatch)";
+    return false;
+  }
+  Out.P = &P;
+  Out.Instrumented = C.u8() != 0;
+  Out.Seed = C.u64();
+
+  Out.Reach.ReachableMethods = C.bools();
+  Out.Reach.InstantiatedClasses = C.bools();
+  Out.Reach.ReachableClasses = C.bools();
+  Out.Reach.SaturatedSelectors = C.bools();
+
+  Out.Code.Instrumented = C.u8() != 0;
+  Out.Code.InlineFingerprint = C.u64();
+  Out.Code.CuOfMethod = C.i32s();
+  uint32_t NumCus = C.u32();
+  Out.Code.CUs.clear();
+  for (uint32_t I = 0; I < NumCus && C.ok(); ++I) {
+    CompilationUnit CU;
+    CU.Root = MethodId(C.u32());
+    CU.CodeSize = C.u32();
+    uint32_t NumCopies = C.u32();
+    for (uint32_t K = 0; K < NumCopies && C.ok(); ++K) {
+      InlineCopy Copy;
+      Copy.Method = MethodId(C.u32());
+      Copy.ParentCopy = int32_t(C.u32());
+      Copy.SiteId = C.u32();
+      Copy.CodeOffset = C.u32();
+      Copy.CodeSize = C.u32();
+      if (K > 0)
+        CU.InlineMap.emplace(
+            CompilationUnit::siteKey(Copy.ParentCopy, Copy.SiteId),
+            int32_t(K));
+      CU.Copies.push_back(Copy);
+    }
+    Out.Code.CUs.push_back(std::move(CU));
+  }
+
+  Out.Built.BuildHeap = std::make_unique<Heap>(P);
+  Heap &H = *Out.Built.BuildHeap;
+  uint32_t NumCells = C.u32();
+  for (uint32_t I = 0; I < NumCells && C.ok(); ++I) {
+    CellKind Kind = CellKind(C.u8());
+    ClassId Class = ClassId(C.u32());
+    TypeId ArrayType = TypeId(C.u32());
+    uint32_t NumSlots = C.u32();
+    std::vector<Value> Slots;
+    for (uint32_t K = 0; K < NumSlots && C.ok(); ++K)
+      Slots.push_back(C.value());
+    std::string Str = C.str();
+    bool Interned = C.u8() != 0;
+    // Recreate the cell at the same index: the serialized graph encodes
+    // sharing via cell indices, so no dedup may happen here. Interned
+    // strings re-register in the intern table afterwards.
+    CellIdx Cell;
+    switch (Kind) {
+    case CellKind::Object:
+      if (Class < 0 || size_t(Class) >= P.numClasses()) {
+        C.fail("cell class out of range");
+        return false;
+      }
+      Cell = H.allocObject(Class);
+      break;
+    case CellKind::Array:
+      if (ArrayType < 0 || size_t(ArrayType) >= P.numTypes() ||
+          P.type(ArrayType).Kind != TypeKind::Array) {
+        C.fail("cell array type out of range");
+        return false;
+      }
+      Cell = H.allocArray(ArrayType, int64_t(NumSlots));
+      break;
+    case CellKind::String:
+      Cell = H.allocString(Str);
+      if (Interned)
+        H.registerInterned(Cell);
+      break;
+    }
+    if (H.cell(Cell).Slots.size() != Slots.size()) {
+      C.fail("cell slot count mismatch");
+      return false;
+    }
+    H.cell(Cell).Slots = std::move(Slots);
+  }
+
+  uint32_t NumStaticRows = C.u32();
+  Out.Built.Statics.clear();
+  for (uint32_t I = 0; I < NumStaticRows && C.ok(); ++I) {
+    uint32_t N = C.u32();
+    std::vector<Value> Row;
+    for (uint32_t K = 0; K < N && C.ok(); ++K)
+      Row.push_back(C.value());
+    Out.Built.Statics.push_back(std::move(Row));
+  }
+  Out.Built.InitOrder = C.i32s();
+  Out.Built.ClassMetaCells = C.i32s();
+  uint32_t NumResources = C.u32();
+  for (uint32_t I = 0; I < NumResources && C.ok(); ++I) {
+    std::string Name = C.str();
+    Out.Built.ResourceCells.emplace(Name, CellIdx(C.u32()));
+  }
+
+  uint32_t NumEntries = C.u32();
+  Out.Snapshot.Entries.clear();
+  Out.Snapshot.EntryOfCell.clear();
+  for (uint32_t I = 0; I < NumEntries && C.ok(); ++I) {
+    SnapshotEntry E;
+    E.Cell = CellIdx(C.u32());
+    E.SizeBytes = C.u32();
+    uint8_t Flags = C.u8();
+    E.IsRoot = Flags & 1;
+    E.Elided = Flags & 2;
+    E.Reason.Kind = InclusionReasonKind(C.u8());
+    E.Reason.Detail = C.str();
+    E.ParentEntry = int32_t(C.u32());
+    E.ParentSlot = int32_t(C.u32());
+    Out.Snapshot.EntryOfCell.emplace(E.Cell, int32_t(I));
+    Out.Snapshot.Entries.push_back(std::move(E));
+  }
+
+  Out.Ids.IncrementalIds = C.u64s();
+  Out.Ids.StructuralHashes = C.u64s();
+  Out.Ids.HeapPathHashes = C.u64s();
+
+  Out.Layout.PageSize = C.u32();
+  Out.Layout.CuOrder = C.i32s();
+  Out.Layout.CuOffsets = C.u64s();
+  Out.Layout.NativeTailOffset = C.u64();
+  Out.Layout.NativeTailSize = C.u64();
+  Out.Layout.TextSize = C.u64();
+  Out.Layout.StaticsBase = C.u64s();
+  Out.Layout.StaticsSize = C.u64();
+  Out.Layout.ObjectOrder = C.i32s();
+  Out.Layout.ObjectOffsets = C.u64s();
+  Out.Layout.HeapSize = C.u64();
+
+  if (!C.ok())
+    return false;
+  if (Out.Layout.CuOffsets.size() != Out.Code.CUs.size() ||
+      Out.Ids.IncrementalIds.size() != Out.Snapshot.Entries.size()) {
+    Error = "inconsistent image file";
+    return false;
+  }
+  return true;
+}

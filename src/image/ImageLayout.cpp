@@ -1,0 +1,65 @@
+//===- ImageLayout.cpp - Binary image layout --------------------------------===//
+
+#include "src/image/ImageLayout.h"
+
+#include <cassert>
+
+using namespace nimg;
+
+static uint64_t alignUp(uint64_t V, uint64_t A) { return (V + A - 1) & ~(A - 1); }
+
+ImageLayout nimg::computeImageLayout(const Program &P,
+                                     const CompiledProgram &CP,
+                                     const HeapSnapshot &Snap,
+                                     const std::vector<int32_t> &CuOrder,
+                                     const std::vector<int32_t> &ObjectOrder,
+                                     const ImageOptions &Opts) {
+  ImageLayout L;
+  L.PageSize = Opts.PageSize;
+
+  // --- .text ---------------------------------------------------------------
+  L.CuOrder = CuOrder;
+  if (L.CuOrder.empty())
+    for (size_t I = 0; I < CP.CUs.size(); ++I)
+      L.CuOrder.push_back(int32_t(I));
+  assert(L.CuOrder.size() == CP.CUs.size() && "CU order must be a permutation");
+
+  L.CuOffsets.assign(CP.CUs.size(), 0);
+  uint64_t Off = 0;
+  for (int32_t CuIdx : L.CuOrder) {
+    Off = alignUp(Off, Opts.CuAlignment);
+    L.CuOffsets[size_t(CuIdx)] = Off;
+    Off += CP.CUs[size_t(CuIdx)].CodeSize;
+  }
+  L.NativeTailOffset = alignUp(Off, Opts.PageSize);
+  L.NativeTailSize = Opts.NativeTailSize;
+  L.TextSize = L.NativeTailOffset + L.NativeTailSize;
+
+  // --- .svm_heap --------------------------------------------------------------
+  L.StaticsBase.assign(P.numClasses(), 0);
+  uint64_t HOff = 0;
+  for (size_t C = 0; C < P.numClasses(); ++C) {
+    L.StaticsBase[C] = HOff;
+    HOff += 8 * P.classDef(ClassId(C)).StaticFields.size();
+  }
+  L.StaticsSize = HOff = alignUp(HOff, Opts.PageSize);
+
+  L.ObjectOrder = ObjectOrder;
+  if (L.ObjectOrder.empty())
+    for (size_t I = 0; I < Snap.Entries.size(); ++I)
+      if (!Snap.Entries[I].Elided)
+        L.ObjectOrder.push_back(int32_t(I));
+  assert(L.ObjectOrder.size() == Snap.numStored() &&
+         "object order must cover exactly the stored entries");
+
+  L.ObjectOffsets.assign(Snap.Entries.size(), ImageLayout::NotStored);
+  for (int32_t EntryIdx : L.ObjectOrder) {
+    const SnapshotEntry &E = Snap.Entries[size_t(EntryIdx)];
+    assert(!E.Elided && "elided entries are not stored");
+    HOff = alignUp(HOff, Opts.ObjectAlignment);
+    L.ObjectOffsets[size_t(EntryIdx)] = HOff;
+    HOff += E.SizeBytes;
+  }
+  L.HeapSize = alignUp(HOff, Opts.PageSize);
+  return L;
+}

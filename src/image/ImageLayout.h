@@ -1,0 +1,76 @@
+//===- ImageLayout.h - Binary image layout ----------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte layout of the two startup-critical image sections. `.text` holds
+/// the compilation units (default: alphabetical by root signature) followed
+/// by a fixed tail of statically linked native code that is never profiled
+/// or reordered (the paper's Fig. 6 notes these methods at the end of
+/// .text). `.svm_heap` holds the per-class static-field storage followed by
+/// the snapshot objects (default: traversal order, which follows the CU
+/// order per Sec. 2).
+///
+/// The ordering steps of Secs. 4-5 produce permutations consumed here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_IMAGE_IMAGELAYOUT_H
+#define NIMG_IMAGE_IMAGELAYOUT_H
+
+#include "src/compiler/Inliner.h"
+#include "src/heap/Snapshot.h"
+
+#include <vector>
+
+namespace nimg {
+
+struct ImageOptions {
+  uint32_t PageSize = 4096;
+  uint32_t CuAlignment = 16;
+  uint32_t ObjectAlignment = 8;
+  /// Bytes of unprofiled statically-linked native code at the end of .text.
+  uint64_t NativeTailSize = 192 * 1024;
+};
+
+struct ImageLayout {
+  uint32_t PageSize = 4096;
+
+  // .text ------------------------------------------------------------------
+  std::vector<int32_t> CuOrder;    ///< CU indices in placement order.
+  std::vector<uint64_t> CuOffsets; ///< Indexed by CU index.
+  uint64_t NativeTailOffset = 0;
+  uint64_t NativeTailSize = 0;
+  uint64_t TextSize = 0;
+
+  // .svm_heap ---------------------------------------------------------------
+  std::vector<uint64_t> StaticsBase; ///< Per class id; offset of its statics.
+  uint64_t StaticsSize = 0;
+  /// Stored snapshot entry indices in placement order.
+  std::vector<int32_t> ObjectOrder;
+  /// Per snapshot entry index; UINT64_MAX when elided (not stored).
+  std::vector<uint64_t> ObjectOffsets;
+  uint64_t HeapSize = 0;
+
+  static constexpr uint64_t NotStored = ~uint64_t(0);
+
+  uint64_t staticSlotOffset(ClassId C, int32_t Idx) const {
+    return StaticsBase[size_t(C)] + 8 * uint64_t(Idx);
+  }
+};
+
+/// Computes the layout. \p CuOrder and \p ObjectOrder are the ordering
+/// steps' outputs: empty means default order (CUs as compiled, objects in
+/// traversal order).
+ImageLayout computeImageLayout(const Program &P, const CompiledProgram &CP,
+                               const HeapSnapshot &Snap,
+                               const std::vector<int32_t> &CuOrder,
+                               const std::vector<int32_t> &ObjectOrder,
+                               const ImageOptions &Opts = {});
+
+} // namespace nimg
+
+#endif // NIMG_IMAGE_IMAGELAYOUT_H

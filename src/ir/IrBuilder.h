@@ -1,0 +1,260 @@
+//===- IrBuilder.h - Convenience builder for MiniJava IR -------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder used by the AST-to-IR lowering and by tests to emit
+/// instructions into a method under construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_IR_IRBUILDER_H
+#define NIMG_IR_IRBUILDER_H
+
+#include "src/ir/Program.h"
+
+#include <cassert>
+
+namespace nimg {
+
+/// Emits instructions into one method. Blocks are created explicitly; the
+/// builder appends to the current block. The builder asserts that no
+/// instruction follows a terminator within a block.
+class IrBuilder {
+public:
+  IrBuilder(Program &P, MethodId M) : Prog(P), MethodIdx(M) {
+    Method &Meth = Prog.method(MethodIdx);
+    if (Meth.Blocks.empty())
+      Meth.Blocks.emplace_back();
+    Cur = 0;
+  }
+
+  Program &program() { return Prog; }
+  Method &method() { return Prog.method(MethodIdx); }
+  MethodId methodId() const { return MethodIdx; }
+
+  uint16_t newReg() {
+    Method &M = method();
+    assert(M.NumRegs < UINT16_MAX && "register file exhausted");
+    return M.NumRegs++;
+  }
+
+  BlockId newBlock() {
+    method().Blocks.emplace_back();
+    return BlockId(method().Blocks.size() - 1);
+  }
+
+  void setBlock(BlockId B) {
+    assert(B >= 0 && size_t(B) < method().Blocks.size() && "invalid block");
+    Cur = B;
+  }
+  BlockId currentBlock() const { return Cur; }
+
+  /// Returns true if the current block already ends in a terminator.
+  bool blockTerminated() const {
+    const BasicBlock &BB = Prog.method(MethodIdx).Blocks[size_t(Cur)];
+    return !BB.Instrs.empty() && isTerminator(BB.Instrs.back().Op);
+  }
+
+  // --- Constants ---------------------------------------------------------
+
+  uint16_t constInt(int64_t V) {
+    Instr I{Opcode::ConstInt};
+    I.Dst = newReg();
+    I.IImm = V;
+    return emitDst(I);
+  }
+  uint16_t constDouble(double V) {
+    Instr I{Opcode::ConstDouble};
+    I.Dst = newReg();
+    I.FImm = V;
+    return emitDst(I);
+  }
+  uint16_t constBool(bool V) {
+    Instr I{Opcode::ConstBool};
+    I.Dst = newReg();
+    I.IImm = V ? 1 : 0;
+    return emitDst(I);
+  }
+  uint16_t constNull() {
+    Instr I{Opcode::ConstNull};
+    I.Dst = newReg();
+    return emitDst(I);
+  }
+  uint16_t constString(StrId S) {
+    Instr I{Opcode::ConstString};
+    I.Dst = newReg();
+    I.Aux = S;
+    return emitDst(I);
+  }
+
+  // --- Arithmetic --------------------------------------------------------
+
+  uint16_t binop(Opcode Op, uint16_t A, uint16_t B) {
+    Instr I{Op};
+    I.Dst = newReg();
+    I.A = A;
+    I.B = B;
+    return emitDst(I);
+  }
+  uint16_t unop(Opcode Op, uint16_t A) {
+    Instr I{Op};
+    I.Dst = newReg();
+    I.A = A;
+    return emitDst(I);
+  }
+  void move(uint16_t Dst, uint16_t Src) {
+    Instr I{Opcode::Move};
+    I.Dst = Dst;
+    I.A = Src;
+    emit(I);
+  }
+
+  // --- Objects and arrays ------------------------------------------------
+
+  uint16_t newObject(ClassId C) {
+    Instr I{Opcode::NewObject};
+    I.Dst = newReg();
+    I.Aux = C;
+    return emitDst(I);
+  }
+  uint16_t newArray(TypeId ArrayTy, uint16_t Len) {
+    Instr I{Opcode::NewArray};
+    I.Dst = newReg();
+    I.A = Len;
+    I.Aux = ArrayTy;
+    return emitDst(I);
+  }
+  uint16_t arrayLen(uint16_t Arr) {
+    Instr I{Opcode::ArrayLen};
+    I.Dst = newReg();
+    I.A = Arr;
+    return emitDst(I);
+  }
+  uint16_t aload(uint16_t Arr, uint16_t Idx) {
+    Instr I{Opcode::ALoad};
+    I.Dst = newReg();
+    I.A = Arr;
+    I.B = Idx;
+    return emitDst(I);
+  }
+  void astore(uint16_t Arr, uint16_t Idx, uint16_t Val) {
+    Instr I{Opcode::AStore};
+    I.A = Arr;
+    I.B = Idx;
+    I.C = Val;
+    emit(I);
+  }
+  uint16_t getField(uint16_t Obj, int32_t LayoutIdx) {
+    Instr I{Opcode::GetField};
+    I.Dst = newReg();
+    I.A = Obj;
+    I.Aux = LayoutIdx;
+    return emitDst(I);
+  }
+  void putField(uint16_t Obj, int32_t LayoutIdx, uint16_t Val) {
+    Instr I{Opcode::PutField};
+    I.A = Obj;
+    I.B = Val;
+    I.Aux = LayoutIdx;
+    emit(I);
+  }
+  uint16_t getStatic(ClassId C, int32_t StaticIdx) {
+    Instr I{Opcode::GetStatic};
+    I.Dst = newReg();
+    I.Aux = C;
+    I.Aux2 = StaticIdx;
+    return emitDst(I);
+  }
+  void putStatic(ClassId C, int32_t StaticIdx, uint16_t Val) {
+    Instr I{Opcode::PutStatic};
+    I.A = Val;
+    I.Aux = C;
+    I.Aux2 = StaticIdx;
+    emit(I);
+  }
+
+  // --- Calls ---------------------------------------------------------------
+
+  uint16_t callStatic(MethodId Callee, const std::vector<uint16_t> &Args) {
+    Instr I{Opcode::CallStatic};
+    I.Dst = newReg();
+    I.Aux = Callee;
+    storeArgs(I, Args);
+    return emitDst(I);
+  }
+  /// \p Args includes the receiver as Args[0].
+  uint16_t callVirtual(MethodId Declared, const std::vector<uint16_t> &Args) {
+    assert(!Args.empty() && "virtual call needs a receiver");
+    Instr I{Opcode::CallVirtual};
+    I.Dst = newReg();
+    I.Aux = Declared;
+    storeArgs(I, Args);
+    return emitDst(I);
+  }
+  uint16_t callNative(NativeId Native, const std::vector<uint16_t> &Args,
+                      int32_t Aux2 = -1) {
+    Instr I{Opcode::CallNative};
+    I.Dst = newReg();
+    I.Aux = int32_t(Native);
+    I.Aux2 = Aux2;
+    storeArgs(I, Args);
+    return emitDst(I);
+  }
+
+  // --- Control flow --------------------------------------------------------
+
+  void retVoid() {
+    Instr I{Opcode::Ret};
+    I.Aux = 0;
+    emit(I);
+  }
+  void ret(uint16_t Val) {
+    Instr I{Opcode::Ret};
+    I.A = Val;
+    I.Aux = 1;
+    emit(I);
+  }
+  void br(uint16_t Cond, BlockId TrueB, BlockId FalseB) {
+    Instr I{Opcode::Br};
+    I.A = Cond;
+    I.Target = TrueB;
+    I.Aux2 = FalseB;
+    emit(I);
+  }
+  void jmp(BlockId B) {
+    Instr I{Opcode::Jmp};
+    I.Target = B;
+    emit(I);
+  }
+
+  void emit(const Instr &I) {
+    assert(!blockTerminated() && "emitting into a terminated block");
+    method().Blocks[size_t(Cur)].Instrs.push_back(I);
+  }
+
+private:
+  uint16_t emitDst(const Instr &I) {
+    emit(I);
+    return I.Dst;
+  }
+
+  void storeArgs(Instr &I, const std::vector<uint16_t> &Args) {
+    Method &M = method();
+    I.ArgsBegin = uint32_t(M.CallArgs.size());
+    I.ArgsCount = uint16_t(Args.size());
+    for (uint16_t A : Args)
+      M.CallArgs.push_back(A);
+  }
+
+  Program &Prog;
+  MethodId MethodIdx;
+  BlockId Cur = 0;
+};
+
+} // namespace nimg
+
+#endif // NIMG_IR_IRBUILDER_H

@@ -1,0 +1,218 @@
+//===- Printer.cpp - Textual IR dump ---------------------------------------===//
+
+#include "src/ir/Printer.h"
+
+#include <sstream>
+
+using namespace nimg;
+
+static const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstInt:
+    return "constint";
+  case Opcode::ConstDouble:
+    return "constdouble";
+  case Opcode::ConstBool:
+    return "constbool";
+  case Opcode::ConstNull:
+    return "constnull";
+  case Opcode::ConstString:
+    return "conststring";
+  case Opcode::Move:
+    return "move";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::BitAnd:
+    return "band";
+  case Opcode::BitOr:
+    return "bor";
+  case Opcode::BitXor:
+    return "bxor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpGt:
+    return "cmpgt";
+  case Opcode::CmpGe:
+    return "cmpge";
+  case Opcode::Concat:
+    return "concat";
+  case Opcode::I2D:
+    return "i2d";
+  case Opcode::D2I:
+    return "d2i";
+  case Opcode::NewObject:
+    return "newobject";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::ArrayLen:
+    return "arraylen";
+  case Opcode::ALoad:
+    return "aload";
+  case Opcode::AStore:
+    return "astore";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::GetStatic:
+    return "getstatic";
+  case Opcode::PutStatic:
+    return "putstatic";
+  case Opcode::CallStatic:
+    return "callstatic";
+  case Opcode::CallVirtual:
+    return "callvirtual";
+  case Opcode::CallNative:
+    return "callnative";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Jmp:
+    return "jmp";
+  }
+  return "?";
+}
+
+std::string nimg::printInstr(const Program &P, const Method &M,
+                             const Instr &In) {
+  std::ostringstream OS;
+  auto Args = [&] {
+    OS << " (";
+    for (size_t I = 0; I < In.ArgsCount; ++I) {
+      if (I)
+        OS << ", ";
+      OS << "r" << M.CallArgs[In.ArgsBegin + I];
+    }
+    OS << ")";
+  };
+  switch (In.Op) {
+  case Opcode::ConstInt:
+    OS << "r" << In.Dst << " = " << In.IImm;
+    break;
+  case Opcode::ConstDouble:
+    OS << "r" << In.Dst << " = " << In.FImm;
+    break;
+  case Opcode::ConstBool:
+    OS << "r" << In.Dst << " = " << (In.IImm ? "true" : "false");
+    break;
+  case Opcode::ConstNull:
+    OS << "r" << In.Dst << " = null";
+    break;
+  case Opcode::ConstString:
+    OS << "r" << In.Dst << " = \"" << P.string(In.Aux) << "\"";
+    break;
+  case Opcode::Move:
+    OS << "r" << In.Dst << " = r" << In.A;
+    break;
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::I2D:
+  case Opcode::D2I:
+    OS << "r" << In.Dst << " = " << opcodeName(In.Op) << " r" << In.A;
+    break;
+  case Opcode::NewObject:
+    OS << "r" << In.Dst << " = new " << P.classDef(In.Aux).Name;
+    break;
+  case Opcode::NewArray:
+    OS << "r" << In.Dst << " = new " << P.typeName(In.Aux) << " [r" << In.A
+       << "]";
+    break;
+  case Opcode::ArrayLen:
+    OS << "r" << In.Dst << " = len r" << In.A;
+    break;
+  case Opcode::ALoad:
+    OS << "r" << In.Dst << " = r" << In.A << "[r" << In.B << "]";
+    break;
+  case Opcode::AStore:
+    OS << "r" << In.A << "[r" << In.B << "] = r" << In.C;
+    break;
+  case Opcode::GetField:
+    OS << "r" << In.Dst << " = r" << In.A << ".field#" << In.Aux;
+    break;
+  case Opcode::PutField:
+    OS << "r" << In.A << ".field#" << In.Aux << " = r" << In.B;
+    break;
+  case Opcode::GetStatic:
+    OS << "r" << In.Dst << " = " << P.classDef(In.Aux).Name << "::"
+       << P.classDef(In.Aux).StaticFields[size_t(In.Aux2)].Name;
+    break;
+  case Opcode::PutStatic:
+    OS << P.classDef(In.Aux).Name << "::"
+       << P.classDef(In.Aux).StaticFields[size_t(In.Aux2)].Name << " = r"
+       << In.A;
+    break;
+  case Opcode::CallStatic:
+  case Opcode::CallVirtual:
+    OS << "r" << In.Dst << " = " << opcodeName(In.Op) << " "
+       << P.method(In.Aux).Sig;
+    Args();
+    break;
+  case Opcode::CallNative:
+    OS << "r" << In.Dst << " = native#" << In.Aux;
+    Args();
+    break;
+  case Opcode::Ret:
+    OS << "ret";
+    if (In.Aux == 1)
+      OS << " r" << In.A;
+    break;
+  case Opcode::Br:
+    OS << "br r" << In.A << ", B" << In.Target << ", B" << In.Aux2;
+    break;
+  case Opcode::Jmp:
+    OS << "jmp B" << In.Target;
+    break;
+  default:
+    OS << "r" << In.Dst << " = " << opcodeName(In.Op) << " r" << In.A << ", r"
+       << In.B;
+    break;
+  }
+  return OS.str();
+}
+
+std::string nimg::printMethod(const Program &P, MethodId M) {
+  const Method &Meth = P.method(M);
+  std::ostringstream OS;
+  OS << (Meth.IsStatic ? "static " : "") << P.typeName(Meth.RetType) << " "
+     << Meth.Sig << " regs=" << Meth.NumRegs << "\n";
+  if (Meth.IsAbstract) {
+    OS << "  <abstract>\n";
+    return OS.str();
+  }
+  for (size_t B = 0; B < Meth.Blocks.size(); ++B) {
+    OS << " B" << B << ":\n";
+    for (const Instr &In : Meth.Blocks[B].Instrs)
+      OS << "    " << printInstr(P, Meth, In) << "\n";
+  }
+  return OS.str();
+}
+
+std::string nimg::printProgram(const Program &P) {
+  std::string Out;
+  for (size_t M = 0; M < P.numMethods(); ++M)
+    Out += printMethod(P, MethodId(M)) + "\n";
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- Printer.h - Textual IR dump ------------------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps of methods and programs, for debugging and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_IR_PRINTER_H
+#define NIMG_IR_PRINTER_H
+
+#include "src/ir/Program.h"
+
+#include <string>
+
+namespace nimg {
+
+/// Renders one instruction, e.g. "r3 = add r1, r2".
+std::string printInstr(const Program &P, const Method &M, const Instr &In);
+
+/// Renders a full method with block labels.
+std::string printMethod(const Program &P, MethodId M);
+
+/// Renders every method of the program.
+std::string printProgram(const Program &P);
+
+} // namespace nimg
+
+#endif // NIMG_IR_PRINTER_H

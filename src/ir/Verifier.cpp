@@ -1,0 +1,229 @@
+//===- Verifier.cpp - Structural IR checks ---------------------------------===//
+
+#include "src/ir/Verifier.h"
+
+using namespace nimg;
+
+namespace {
+
+class MethodVerifier {
+public:
+  MethodVerifier(const Program &P, MethodId M, std::vector<std::string> &Errors)
+      : P(P), M(P.method(M)), Errors(Errors) {}
+
+  bool run() {
+    size_t Before = Errors.size();
+    if (M.IsAbstract) {
+      if (!M.Blocks.empty() && !(M.Blocks.size() == 1 && M.Blocks[0].Instrs.empty()))
+        error("abstract method has a body");
+      return Errors.size() == Before;
+    }
+    if (M.Blocks.empty()) {
+      error("method has no blocks");
+      return false;
+    }
+    for (size_t B = 0; B < M.Blocks.size(); ++B)
+      verifyBlock(B);
+    return Errors.size() == Before;
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Errors.push_back(M.Sig + ": " + Msg);
+  }
+
+  bool validReg(uint16_t R) const { return R < M.NumRegs; }
+  bool validBlock(int32_t B) const {
+    return B >= 0 && size_t(B) < M.Blocks.size();
+  }
+
+  void checkReg(uint16_t R, const char *What) {
+    if (!validReg(R))
+      error(std::string("register out of range in ") + What);
+  }
+
+  void verifyBlock(size_t B) {
+    const BasicBlock &BB = M.Blocks[B];
+    if (BB.Instrs.empty()) {
+      error("empty block " + std::to_string(B));
+      return;
+    }
+    for (size_t I = 0; I < BB.Instrs.size(); ++I) {
+      const Instr &In = BB.Instrs[I];
+      bool IsLast = I + 1 == BB.Instrs.size();
+      if (isTerminator(In.Op) != IsLast) {
+        error("terminator placement in block " + std::to_string(B));
+        return;
+      }
+      verifyInstr(In);
+    }
+  }
+
+  void verifyInstr(const Instr &In) {
+    switch (In.Op) {
+    case Opcode::ConstInt:
+    case Opcode::ConstDouble:
+    case Opcode::ConstBool:
+    case Opcode::ConstNull:
+      checkReg(In.Dst, "const");
+      break;
+    case Opcode::ConstString:
+      checkReg(In.Dst, "conststring");
+      if (In.Aux < 0 || size_t(In.Aux) >= P.numStrings())
+        error("string id out of range");
+      break;
+    case Opcode::Move:
+      checkReg(In.Dst, "move");
+      checkReg(In.A, "move");
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::BitAnd:
+    case Opcode::BitOr:
+    case Opcode::BitXor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+    case Opcode::Concat:
+      checkReg(In.Dst, "binop");
+      checkReg(In.A, "binop");
+      checkReg(In.B, "binop");
+      break;
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::I2D:
+    case Opcode::D2I:
+      checkReg(In.Dst, "unop");
+      checkReg(In.A, "unop");
+      break;
+    case Opcode::NewObject:
+      checkReg(In.Dst, "newobject");
+      if (In.Aux < 0 || size_t(In.Aux) >= P.numClasses())
+        error("class id out of range in newobject");
+      else if (P.classDef(In.Aux).IsAbstract)
+        error("newobject of abstract class " + P.classDef(In.Aux).Name);
+      break;
+    case Opcode::NewArray:
+      checkReg(In.Dst, "newarray");
+      checkReg(In.A, "newarray");
+      if (In.Aux < 0 || size_t(In.Aux) >= P.numTypes() ||
+          P.type(In.Aux).Kind != TypeKind::Array)
+        error("newarray type is not an array type");
+      break;
+    case Opcode::ArrayLen:
+      checkReg(In.Dst, "arraylen");
+      checkReg(In.A, "arraylen");
+      break;
+    case Opcode::ALoad:
+      checkReg(In.Dst, "aload");
+      checkReg(In.A, "aload");
+      checkReg(In.B, "aload");
+      break;
+    case Opcode::AStore:
+      checkReg(In.A, "astore");
+      checkReg(In.B, "astore");
+      checkReg(In.C, "astore");
+      break;
+    case Opcode::GetField:
+      checkReg(In.Dst, "getfield");
+      checkReg(In.A, "getfield");
+      if (In.Aux < 0)
+        error("negative field index");
+      break;
+    case Opcode::PutField:
+      checkReg(In.A, "putfield");
+      checkReg(In.B, "putfield");
+      if (In.Aux < 0)
+        error("negative field index");
+      break;
+    case Opcode::GetStatic:
+    case Opcode::PutStatic: {
+      if (In.Op == Opcode::GetStatic)
+        checkReg(In.Dst, "getstatic");
+      else
+        checkReg(In.A, "putstatic");
+      if (In.Aux < 0 || size_t(In.Aux) >= P.numClasses()) {
+        error("class id out of range in static access");
+        break;
+      }
+      const ClassDef &C = P.classDef(In.Aux);
+      if (In.Aux2 < 0 || size_t(In.Aux2) >= C.StaticFields.size())
+        error("static field index out of range in " + C.Name);
+      break;
+    }
+    case Opcode::CallStatic:
+    case Opcode::CallVirtual: {
+      checkReg(In.Dst, "call");
+      if (In.Aux < 0 || size_t(In.Aux) >= P.numMethods()) {
+        error("method id out of range in call");
+        break;
+      }
+      const Method &Callee = P.method(In.Aux);
+      if (In.Op == Opcode::CallStatic && !Callee.IsStatic)
+        error("callstatic of instance method " + Callee.Sig);
+      if (In.Op == Opcode::CallVirtual && Callee.IsStatic)
+        error("callvirtual of static method " + Callee.Sig);
+      if (In.ArgsCount != Callee.ParamTypes.size())
+        error("argument count mismatch calling " + Callee.Sig);
+      verifyArgs(In);
+      break;
+    }
+    case Opcode::CallNative:
+      checkReg(In.Dst, "callnative");
+      verifyArgs(In);
+      break;
+    case Opcode::Ret:
+      if (In.Aux == 1)
+        checkReg(In.A, "ret");
+      break;
+    case Opcode::Br:
+      checkReg(In.A, "br");
+      if (!validBlock(In.Target) || !validBlock(In.Aux2))
+        error("branch target out of range");
+      break;
+    case Opcode::Jmp:
+      if (!validBlock(In.Target))
+        error("jump target out of range");
+      break;
+    }
+  }
+
+  void verifyArgs(const Instr &In) {
+    if (size_t(In.ArgsBegin) + In.ArgsCount > M.CallArgs.size()) {
+      error("call argument slice out of range");
+      return;
+    }
+    for (size_t I = 0; I < In.ArgsCount; ++I)
+      checkReg(M.CallArgs[In.ArgsBegin + I], "call argument");
+  }
+
+  const Program &P;
+  const Method &M;
+  std::vector<std::string> &Errors;
+};
+
+} // namespace
+
+bool nimg::verifyMethod(const Program &P, MethodId M,
+                        std::vector<std::string> &Errors) {
+  return MethodVerifier(P, M, Errors).run();
+}
+
+bool nimg::verifyProgram(const Program &P, std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  for (size_t M = 0; M < P.numMethods(); ++M)
+    verifyMethod(P, MethodId(M), Errors);
+  if (P.MainMethod < 0 || size_t(P.MainMethod) >= P.numMethods())
+    Errors.push_back("program has no main method");
+  else if (!P.method(P.MainMethod).IsStatic)
+    Errors.push_back("main method must be static");
+  return Errors.size() == Before;
+}

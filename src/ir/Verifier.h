@@ -1,0 +1,36 @@
+//===- Verifier.h - Structural IR checks -----------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for the MiniJava IR, run after
+/// lowering and after IR-level transformations (instrumentation). A method
+/// passes when every block ends in exactly one terminator, every register,
+/// block, class, method, field, and string reference is in range, and
+/// abstract methods have no body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_IR_VERIFIER_H
+#define NIMG_IR_VERIFIER_H
+
+#include "src/ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace nimg {
+
+/// Verifies one method; appends human-readable problems to \p Errors.
+/// Returns true when no problems were found.
+bool verifyMethod(const Program &P, MethodId M, std::vector<std::string> &Errors);
+
+/// Verifies the whole program. Returns true when no problems were found.
+bool verifyProgram(const Program &P, std::vector<std::string> &Errors);
+
+} // namespace nimg
+
+#endif // NIMG_IR_VERIFIER_H

@@ -1,0 +1,1339 @@
+//===- Compile.cpp - MiniJava semantic analysis and lowering ---------------===//
+
+#include "src/lang/Compile.h"
+
+#include "src/ir/IrBuilder.h"
+#include "src/ir/Verifier.h"
+#include "src/lang/Parser.h"
+
+#include <unordered_map>
+
+using namespace nimg;
+
+namespace {
+
+/// A typed IR value produced by expression lowering.
+struct TypedReg {
+  uint16_t Reg = 0;
+  TypeId Ty = -1;
+};
+
+struct LoopTargets {
+  BlockId BreakB;
+  BlockId ContinueB;
+};
+
+class Compiler {
+public:
+  Compiler(std::vector<AstUnit> &Units, Program &P,
+           std::vector<std::string> &Errors)
+      : Units(Units), P(P), Errors(Errors) {}
+
+  bool run() {
+    NullType = P.nullType();
+    declareBuiltins();
+    if (!declareClasses())
+      return false;
+    if (!declareMembers())
+      return false;
+    if (!lowerBodies())
+      return false;
+    resolveMain();
+    std::vector<std::string> VerifyErrors;
+    for (size_t M = 0; M < P.numMethods(); ++M)
+      verifyMethod(P, MethodId(M), VerifyErrors);
+    for (const std::string &E : VerifyErrors)
+      Errors.push_back("internal: IR verification failed: " + E);
+    return VerifyErrors.empty();
+  }
+
+private:
+  // --- Diagnostics ----------------------------------------------------------
+
+  void error(int Line, const std::string &Msg) {
+    Errors.push_back("line " + std::to_string(Line) + ": " + Msg);
+    Failed = true;
+  }
+
+  // --- Declaration passes ------------------------------------------------------
+
+  void declareBuiltins() {
+    ObjectClass = P.findClass("Object");
+    if (ObjectClass == -1)
+      ObjectClass = P.addClass("Object");
+    // Synthesized default constructor for Object.
+    MethodId Ctor = P.findMethodBySig("Object.<init>(Object)");
+    if (Ctor == -1) {
+      Ctor = P.addMethod(ObjectClass, "<init>", {P.objectType(ObjectClass)},
+                         P.voidType(), /*IsStatic=*/true);
+      IrBuilder B(P, Ctor);
+      B.retVoid();
+    }
+  }
+
+  bool declareClasses() {
+    for (AstUnit &U : Units) {
+      for (AstClass &Cls : U.Classes) {
+        if (P.findClass(Cls.Name) != -1) {
+          error(Cls.Line, "duplicate class '" + Cls.Name + "'");
+          continue;
+        }
+        if (Cls.Name == "Sys" || Cls.Name == "Str") {
+          error(Cls.Line, "'" + Cls.Name + "' is a reserved builtin class");
+          continue;
+        }
+        ClassId Id = P.addClass(Cls.Name, -1, Cls.IsAbstract);
+        ClassAst[Id] = &Cls;
+      }
+    }
+    if (Failed)
+      return false;
+    // Resolve superclasses now that every name is known.
+    for (auto &[Id, Cls] : ClassAst) {
+      ClassId Super = ObjectClass;
+      if (!Cls->SuperName.empty()) {
+        Super = P.findClass(Cls->SuperName);
+        if (Super == -1) {
+          error(Cls->Line, "unknown superclass '" + Cls->SuperName + "'");
+          continue;
+        }
+      }
+      P.classDef(Id).Super = Super;
+    }
+    if (Failed)
+      return false;
+    // Reject inheritance cycles.
+    for (auto &[Id, Cls] : ClassAst) {
+      ClassId Slow = Id, Fast = Id;
+      while (true) {
+        Fast = P.classDef(Fast).Super;
+        if (Fast == -1)
+          break;
+        Fast = P.classDef(Fast).Super;
+        if (Fast == -1)
+          break;
+        Slow = P.classDef(Slow).Super;
+        if (Slow == Fast) {
+          error(Cls->Line, "inheritance cycle involving '" + Cls->Name + "'");
+          return false;
+        }
+      }
+    }
+    return !Failed;
+  }
+
+  TypeId resolveType(const AstType &Ty) {
+    TypeId Base;
+    if (Ty.Base == "int")
+      Base = P.intType();
+    else if (Ty.Base == "double")
+      Base = P.doubleType();
+    else if (Ty.Base == "boolean")
+      Base = P.boolType();
+    else if (Ty.Base == "String")
+      Base = P.stringType();
+    else if (Ty.Base == "void")
+      Base = P.voidType();
+    else {
+      ClassId C = P.findClass(Ty.Base);
+      if (C == -1) {
+        error(Ty.Line, "unknown type '" + Ty.Base + "'");
+        return P.intType();
+      }
+      Base = P.objectType(C);
+    }
+    for (int I = 0; I < Ty.Rank; ++I)
+      Base = P.arrayType(Base);
+    return Base;
+  }
+
+  bool declareMembers() {
+    for (auto &[Id, Cls] : ClassAst) {
+      ClassDef &Def = P.classDef(Id);
+      for (AstField &F : Cls->Fields) {
+        Field Fld;
+        Fld.Name = F.Name;
+        Fld.Type = resolveType(F.Ty);
+        Fld.Owner = Id;
+        Fld.IsFinal = F.IsFinal;
+        if (F.IsStatic)
+          Def.StaticFields.push_back(Fld);
+        else
+          Def.InstanceFields.push_back(Fld);
+      }
+    }
+    if (Failed)
+      return false;
+
+    for (auto &[Id, Cls] : ClassAst) {
+      bool HasCtor = false;
+      bool HasStaticInitWork = false;
+      for (AstField &F : Cls->Fields)
+        if (F.IsStatic && F.Init)
+          HasStaticInitWork = true;
+
+      for (AstMethod &M : Cls->Methods) {
+        if (M.IsStaticInit) {
+          HasStaticInitWork = true;
+          continue;
+        }
+        std::vector<TypeId> Params;
+        bool IsStatic = M.IsStatic || M.IsCtor;
+        if (!M.IsStatic)
+          Params.push_back(P.objectType(Id)); // receiver ('this')
+        for (auto &[PTy, PName] : M.Params)
+          Params.push_back(resolveType(PTy));
+        std::string Name = M.IsCtor ? "<init>" : M.Name;
+        TypeId Ret = M.IsCtor ? P.voidType() : resolveType(M.RetTy);
+        // Duplicate check before insertion (addMethod asserts otherwise).
+        std::string Sig =
+            P.classDef(Id).Name + "." + Name +
+            paramDescriptor(P, Params, /*SkipReceiver=*/!M.IsStatic);
+        if (P.findMethodBySig(Sig) != -1) {
+          error(M.Line, "duplicate method " + Sig);
+          continue;
+        }
+        MethodId MId = P.addMethod(Id, Name, std::move(Params), Ret, IsStatic,
+                                   M.IsAbstract);
+        MethodAst[MId] = &M;
+        if (M.IsCtor)
+          HasCtor = true;
+        if (M.IsAbstract && !P.classDef(Id).IsAbstract)
+          error(M.Line, "abstract method in non-abstract class " +
+                            P.classDef(Id).Name);
+      }
+
+      // Instance field initializers require constructors to run them.
+      bool HasInstanceInit = false;
+      for (AstField &F : Cls->Fields)
+        if (!F.IsStatic && F.Init)
+          HasInstanceInit = true;
+      if (!HasCtor) {
+        // Synthesize a default constructor.
+        MethodId Ctor =
+            P.addMethod(Id, "<init>", {P.objectType(Id)}, P.voidType(),
+                        /*IsStatic=*/true);
+        SynthCtors.push_back(Ctor);
+      }
+      (void)HasInstanceInit;
+
+      if (HasStaticInitWork) {
+        MethodId Clinit = P.addMethod(Id, "<clinit>", {}, P.voidType(),
+                                      /*IsStatic=*/true);
+        P.method(Clinit).IsClinit = true;
+        P.classDef(Id).Clinit = Clinit;
+      }
+    }
+    return !Failed;
+  }
+
+  void resolveMain() {
+    ClassId MainClass = P.findClass("Main");
+    if (MainClass == -1)
+      return;
+    MethodId Main = P.findDeclaredMethod(MainClass, "main", {});
+    if (Main != -1 && P.method(Main).IsStatic)
+      P.MainMethod = Main;
+  }
+
+  // --- Lowering ------------------------------------------------------------
+
+  bool lowerBodies() {
+    for (MethodId Ctor : SynthCtors)
+      lowerSynthesizedCtor(Ctor);
+    for (auto &[MId, Ast] : MethodAst) {
+      if (Ast->IsAbstract)
+        continue;
+      lowerMethod(MId, *Ast);
+      if (Failed)
+        return false;
+    }
+    // Class static initializers.
+    for (auto &[Id, Cls] : ClassAst) {
+      MethodId Clinit = P.classDef(Id).Clinit;
+      if (Clinit == -1)
+        continue;
+      lowerClinit(Id, *Cls, Clinit);
+      if (Failed)
+        return false;
+    }
+    return !Failed;
+  }
+
+  /// Emits: super.<init>(this); return;
+  void lowerSynthesizedCtor(MethodId Ctor) {
+    Method &M = P.method(Ctor);
+    ClassId Cls = M.Class;
+    IrBuilder B(P, Ctor);
+    ClassId Super = P.classDef(Cls).Super;
+    if (Super != -1) {
+      MethodId SuperCtor = findCtor(Super, {});
+      if (SuperCtor != -1)
+        B.callStatic(SuperCtor, {0});
+    }
+    emitInstanceFieldInits(B, Cls, 0);
+    B.retVoid();
+  }
+
+  /// Finds `<init>` declared on \p C accepting \p ArgTypes.
+  MethodId findCtor(ClassId C, const std::vector<TypeId> &ArgTypes) {
+    for (MethodId M : P.classDef(C).Methods) {
+      const Method &Meth = P.method(M);
+      if (Meth.Name != "<init>")
+        continue;
+      if (Meth.ParamTypes.size() != ArgTypes.size() + 1)
+        continue;
+      bool Ok = true;
+      for (size_t I = 0; I < ArgTypes.size(); ++I)
+        if (!isAssignable(ArgTypes[I], Meth.ParamTypes[I + 1]))
+          Ok = false;
+      if (Ok)
+        return M;
+    }
+    return -1;
+  }
+
+  void emitInstanceFieldInits(IrBuilder &B, ClassId Cls, uint16_t ThisReg) {
+    auto It = ClassAst.find(Cls);
+    if (It == ClassAst.end())
+      return;
+    for (AstField &F : It->second->Fields) {
+      if (F.IsStatic || !F.Init)
+        continue;
+      int32_t Idx = P.findFieldIndex(Cls, F.Name);
+      assert(Idx >= 0 && "declared field missing from layout");
+      TypeId FieldTy = P.layout(Cls)[size_t(Idx)].Type;
+      TypedReg V = lowerExpr(B, *F.Init);
+      V = coerce(B, V, FieldTy, F.Line);
+      B.putField(ThisReg, Idx, V.Reg);
+    }
+  }
+
+  void lowerClinit(ClassId Cls, AstClass &Ast, MethodId Clinit) {
+    IrBuilder B(P, Clinit);
+    CurClass = Cls;
+    CurMethod = Clinit;
+    CurStatic = true;
+    Scopes.clear();
+    Scopes.emplace_back();
+    Loops.clear();
+    // Static field initializers in declaration order, interleaved with
+    // static blocks in source order: fields first (declaration order), then
+    // blocks — MiniJava simplifies Java's textual-order rule.
+    for (AstField &F : Ast.Fields) {
+      if (!F.IsStatic || !F.Init)
+        continue;
+      auto [OwnC, Idx] = P.findStaticField(Cls, F.Name);
+      assert(OwnC == Cls && Idx >= 0 && "static field missing");
+      TypeId FieldTy = P.classDef(Cls).StaticFields[size_t(Idx)].Type;
+      TypedReg V = lowerExpr(B, *F.Init);
+      V = coerce(B, V, FieldTy, F.Line);
+      B.putStatic(Cls, Idx, V.Reg);
+      if (Failed)
+        return;
+    }
+    for (AstMethod &M : Ast.Methods) {
+      if (!M.IsStaticInit)
+        continue;
+      lowerStmt(B, *M.Body);
+      if (Failed)
+        return;
+    }
+    finishBlocks(B);
+  }
+
+  void lowerMethod(MethodId MId, AstMethod &Ast) {
+    Method &M = P.method(MId);
+    CurClass = M.Class;
+    CurMethod = MId;
+    CurStatic = M.IsStatic && !Ast.IsCtor;
+    Scopes.clear();
+    Scopes.emplace_back();
+    Loops.clear();
+    IrBuilder B(P, MId);
+
+    // Bind parameters. Register 0 is `this` for instance methods and
+    // constructors.
+    uint16_t Reg = 0;
+    if (!Ast.IsStatic) {
+      Scopes.back()["this"] = {Reg, P.objectType(M.Class)};
+      ++Reg;
+    }
+    for (auto &[PTy, PName] : Ast.Params) {
+      Scopes.back()[PName] = {Reg, M.ParamTypes[Reg]};
+      ++Reg;
+    }
+
+    size_t FirstStmt = 0;
+    if (Ast.IsCtor) {
+      // Constructor prologue: explicit or implicit super call, then
+      // instance-field initializers.
+      AstStmt *Body = Ast.Body.get();
+      assert(Body && Body->K == StmtKind::Block && "constructor has no body");
+      bool ExplicitSuper =
+          !Body->Body.empty() && Body->Body[0]->K == StmtKind::SuperCall;
+      ClassId Super = P.classDef(M.Class).Super;
+      if (ExplicitSuper) {
+        AstStmt &S = *Body->Body[0];
+        std::vector<TypedReg> Args;
+        std::vector<TypeId> ArgTys;
+        for (ExprPtr &A : S.Args) {
+          TypedReg V = lowerExpr(B, *A);
+          Args.push_back(V);
+          ArgTys.push_back(V.Ty);
+        }
+        MethodId SuperCtor = Super == -1 ? -1 : findCtor(Super, ArgTys);
+        if (SuperCtor == -1) {
+          error(S.Line, "no matching super constructor");
+          return;
+        }
+        std::vector<uint16_t> CallRegs{0};
+        const Method &SC = P.method(SuperCtor);
+        for (size_t I = 0; I < Args.size(); ++I) {
+          TypedReg V = coerce(B, Args[I], SC.ParamTypes[I + 1], S.Line);
+          CallRegs.push_back(V.Reg);
+        }
+        B.callStatic(SuperCtor, CallRegs);
+        FirstStmt = 1;
+      } else if (Super != -1) {
+        MethodId SuperCtor = findCtor(Super, {});
+        if (SuperCtor == -1) {
+          error(Ast.Line, "superclass of " + P.classDef(M.Class).Name +
+                              " has no default constructor");
+          return;
+        }
+        B.callStatic(SuperCtor, {0});
+      }
+      emitInstanceFieldInits(B, M.Class, 0);
+      for (size_t I = FirstStmt; I < Body->Body.size(); ++I) {
+        lowerStmt(B, *Body->Body[I]);
+        if (Failed)
+          return;
+      }
+    } else {
+      lowerStmt(B, *Ast.Body);
+      if (Failed)
+        return;
+    }
+    finishBlocks(B);
+  }
+
+  /// Ensures every block of the current method ends in a terminator:
+  /// unterminated or empty blocks get an implicit return of the method's
+  /// default value (the verifier then accepts the method).
+  void finishBlocks(IrBuilder &B) {
+    Method &M = B.method();
+    TypeId Ret = M.RetType;
+    for (size_t BI = 0; BI < M.Blocks.size(); ++BI) {
+      BasicBlock &BB = M.Blocks[BI];
+      if (!BB.Instrs.empty() && isTerminator(BB.Instrs.back().Op))
+        continue;
+      B.setBlock(BlockId(BI));
+      if (P.type(Ret).Kind == TypeKind::Void) {
+        B.retVoid();
+        continue;
+      }
+      TypedReg Zero = zeroOf(B, Ret);
+      B.ret(Zero.Reg);
+    }
+  }
+
+  TypedReg zeroOf(IrBuilder &B, TypeId Ty) {
+    switch (P.type(Ty).Kind) {
+    case TypeKind::Int:
+      return {B.constInt(0), Ty};
+    case TypeKind::Double:
+      return {B.constDouble(0), Ty};
+    case TypeKind::Bool:
+      return {B.constBool(false), Ty};
+    default:
+      return {B.constNull(), Ty};
+    }
+  }
+
+  // --- Type relations -------------------------------------------------------
+
+  bool isRefKind(TypeKind K) const {
+    return K == TypeKind::Object || K == TypeKind::Array ||
+           K == TypeKind::String;
+  }
+
+  bool isAssignable(TypeId From, TypeId To) {
+    if (From == To)
+      return true;
+    const TypeInfo &F = P.type(From);
+    const TypeInfo &T = P.type(To);
+    if (F.Kind == TypeKind::Null && isRefKind(T.Kind))
+      return true;
+    if (F.Kind == TypeKind::Int && T.Kind == TypeKind::Double)
+      return true;
+    if (!isRefKind(F.Kind) || !isRefKind(T.Kind))
+      return false;
+    // Everything reference-like is assignable to Object.
+    if (T.Kind == TypeKind::Object && T.Class == ObjectClass)
+      return true;
+    if (F.Kind == TypeKind::Object && T.Kind == TypeKind::Object)
+      return P.isSubclassOf(F.Class, T.Class);
+    return false;
+  }
+
+  /// Inserts conversions so \p V has type \p Want; errors when impossible.
+  TypedReg coerce(IrBuilder &B, TypedReg V, TypeId Want, int Line) {
+    if (V.Ty == Want)
+      return V;
+    const TypeInfo &F = P.type(V.Ty);
+    const TypeInfo &T = P.type(Want);
+    if (F.Kind == TypeKind::Int && T.Kind == TypeKind::Double)
+      return {B.unop(Opcode::I2D, V.Reg), Want};
+    // Null literal adapts to any reference type.
+    if (V.Ty == NullType && isRefKind(T.Kind))
+      return {V.Reg, Want};
+    if (isAssignable(V.Ty, Want))
+      return {V.Reg, Want};
+    error(Line, "cannot convert " + P.typeName(V.Ty) + " to " +
+                    P.typeName(Want));
+    return {V.Reg, Want};
+  }
+
+  // --- Scopes ----------------------------------------------------------------
+
+  struct LocalVar {
+    uint16_t Reg;
+    TypeId Ty;
+  };
+
+  LocalVar *findLocal(const std::string &Name) {
+    for (size_t I = Scopes.size(); I > 0; --I) {
+      auto It = Scopes[I - 1].find(Name);
+      if (It != Scopes[I - 1].end())
+        return &It->second;
+    }
+    return nullptr;
+  }
+
+  // --- Statement lowering ------------------------------------------------------
+
+  void lowerStmt(IrBuilder &B, AstStmt &S) {
+    if (Failed)
+      return;
+    switch (S.K) {
+    case StmtKind::Block: {
+      Scopes.emplace_back();
+      for (StmtPtr &Child : S.Body) {
+        lowerStmt(B, *Child);
+        if (Failed)
+          break;
+        if (B.blockTerminated() && &Child != &S.Body.back()) {
+          // Dead code after return/break; start a fresh (unreachable)
+          // block so lowering can continue and the verifier stays happy.
+          BlockId Dead = B.newBlock();
+          B.setBlock(Dead);
+        }
+      }
+      Scopes.pop_back();
+      break;
+    }
+    case StmtKind::VarDecl: {
+      TypeId Ty = resolveType(S.Ty);
+      TypedReg Init;
+      if (S.Cond) {
+        Init = lowerExpr(B, *S.Cond);
+        Init = coerce(B, Init, Ty, S.Line);
+      } else {
+        Init = zeroOf(B, Ty);
+      }
+      uint16_t Reg = B.newReg();
+      B.move(Reg, Init.Reg);
+      if (Scopes.back().count(S.Name)) {
+        error(S.Line, "redeclared variable '" + S.Name + "'");
+        return;
+      }
+      Scopes.back()[S.Name] = {Reg, Ty};
+      break;
+    }
+    case StmtKind::ExprStmt:
+      lowerExpr(B, *S.Cond);
+      break;
+    case StmtKind::Assign:
+      lowerAssign(B, S);
+      break;
+    case StmtKind::If: {
+      TypedReg Cond = lowerExpr(B, *S.Cond);
+      requireBool(Cond, S.Line);
+      BlockId ThenB = B.newBlock();
+      BlockId ElseB = S.Body[1] ? B.newBlock() : -1;
+      BlockId JoinB = B.newBlock();
+      B.br(Cond.Reg, ThenB, ElseB == -1 ? JoinB : ElseB);
+      B.setBlock(ThenB);
+      lowerStmt(B, *S.Body[0]);
+      if (!B.blockTerminated())
+        B.jmp(JoinB);
+      if (ElseB != -1) {
+        B.setBlock(ElseB);
+        lowerStmt(B, *S.Body[1]);
+        if (!B.blockTerminated())
+          B.jmp(JoinB);
+      }
+      B.setBlock(JoinB);
+      break;
+    }
+    case StmtKind::While: {
+      BlockId CondB = B.newBlock();
+      BlockId BodyB = B.newBlock();
+      BlockId ExitB = B.newBlock();
+      B.jmp(CondB);
+      B.setBlock(CondB);
+      TypedReg Cond = lowerExpr(B, *S.Cond);
+      requireBool(Cond, S.Line);
+      B.br(Cond.Reg, BodyB, ExitB);
+      B.setBlock(BodyB);
+      Loops.push_back({ExitB, CondB});
+      lowerStmt(B, *S.Body[0]);
+      Loops.pop_back();
+      if (!B.blockTerminated())
+        B.jmp(CondB);
+      B.setBlock(ExitB);
+      break;
+    }
+    case StmtKind::For: {
+      Scopes.emplace_back();
+      if (S.Init)
+        lowerStmt(B, *S.Init);
+      BlockId CondB = B.newBlock();
+      BlockId BodyB = B.newBlock();
+      BlockId StepB = B.newBlock();
+      BlockId ExitB = B.newBlock();
+      B.jmp(CondB);
+      B.setBlock(CondB);
+      if (S.Cond) {
+        TypedReg Cond = lowerExpr(B, *S.Cond);
+        requireBool(Cond, S.Line);
+        B.br(Cond.Reg, BodyB, ExitB);
+      } else {
+        B.jmp(BodyB);
+      }
+      B.setBlock(BodyB);
+      Loops.push_back({ExitB, StepB});
+      lowerStmt(B, *S.Body[0]);
+      Loops.pop_back();
+      if (!B.blockTerminated())
+        B.jmp(StepB);
+      B.setBlock(StepB);
+      if (S.Step)
+        lowerStmt(B, *S.Step);
+      if (!B.blockTerminated())
+        B.jmp(CondB);
+      B.setBlock(ExitB);
+      Scopes.pop_back();
+      break;
+    }
+    case StmtKind::Return: {
+      const Method &M = P.method(CurMethod);
+      if (P.type(M.RetType).Kind == TypeKind::Void) {
+        if (S.Cond) {
+          error(S.Line, "returning a value from a void method");
+          return;
+        }
+        B.retVoid();
+        return;
+      }
+      if (!S.Cond) {
+        error(S.Line, "missing return value");
+        return;
+      }
+      TypedReg V = lowerExpr(B, *S.Cond);
+      V = coerce(B, V, M.RetType, S.Line);
+      B.ret(V.Reg);
+      break;
+    }
+    case StmtKind::Break:
+      if (Loops.empty()) {
+        error(S.Line, "'break' outside of a loop");
+        return;
+      }
+      B.jmp(Loops.back().BreakB);
+      break;
+    case StmtKind::Continue:
+      if (Loops.empty()) {
+        error(S.Line, "'continue' outside of a loop");
+        return;
+      }
+      B.jmp(Loops.back().ContinueB);
+      break;
+    case StmtKind::SuperCall:
+      error(S.Line, "super call is only allowed as the first statement of a "
+                    "constructor");
+      break;
+    }
+  }
+
+  void requireBool(const TypedReg &V, int Line) {
+    if (P.type(V.Ty).Kind != TypeKind::Bool)
+      error(Line, "condition must be boolean, got " + P.typeName(V.Ty));
+  }
+
+  void lowerAssign(IrBuilder &B, AstStmt &S) {
+    AstExpr &L = *S.Kids[0];
+    AstExpr &R = *S.Kids[1];
+    switch (L.K) {
+    case ExprKind::Ident: {
+      if (LocalVar *Var = findLocal(L.Name)) {
+        TypedReg V = lowerExpr(B, R);
+        V = coerce(B, V, Var->Ty, S.Line);
+        B.move(Var->Reg, V.Reg);
+        return;
+      }
+      // Implicit this-field or own static field.
+      if (!CurStatic) {
+        int32_t Idx = P.findFieldIndex(CurClass, L.Name);
+        if (Idx >= 0) {
+          TypedReg V = lowerExpr(B, R);
+          V = coerce(B, V, P.layout(CurClass)[size_t(Idx)].Type, S.Line);
+          B.putField(0, Idx, V.Reg);
+          return;
+        }
+      }
+      auto [OwnC, SIdx] = P.findStaticField(CurClass, L.Name);
+      if (OwnC != -1) {
+        TypedReg V = lowerExpr(B, R);
+        V = coerce(B, V, P.classDef(OwnC).StaticFields[size_t(SIdx)].Type,
+                   S.Line);
+        B.putStatic(OwnC, SIdx, V.Reg);
+        return;
+      }
+      error(S.Line, "unknown variable '" + L.Name + "'");
+      return;
+    }
+    case ExprKind::Member: {
+      AstExpr &Recv = *L.Kids[0];
+      // ClassName.staticField = ...
+      if (Recv.K == ExprKind::Ident && !findLocal(Recv.Name)) {
+        ClassId C = P.findClass(Recv.Name);
+        if (C != -1) {
+          auto [OwnC, SIdx] = P.findStaticField(C, L.Name);
+          if (OwnC == -1) {
+            error(S.Line, "unknown static field " + Recv.Name + "." + L.Name);
+            return;
+          }
+          TypedReg V = lowerExpr(B, R);
+          V = coerce(B, V, P.classDef(OwnC).StaticFields[size_t(SIdx)].Type,
+                     S.Line);
+          B.putStatic(OwnC, SIdx, V.Reg);
+          return;
+        }
+      }
+      TypedReg Base = lowerExpr(B, Recv);
+      const TypeInfo &BT = P.type(Base.Ty);
+      if (BT.Kind != TypeKind::Object) {
+        error(S.Line, "field assignment on non-object type " +
+                          P.typeName(Base.Ty));
+        return;
+      }
+      int32_t Idx = P.findFieldIndex(BT.Class, L.Name);
+      if (Idx < 0) {
+        error(S.Line, "unknown field '" + L.Name + "' in class " +
+                          P.classDef(BT.Class).Name);
+        return;
+      }
+      TypedReg V = lowerExpr(B, R);
+      V = coerce(B, V, P.layout(BT.Class)[size_t(Idx)].Type, S.Line);
+      B.putField(Base.Reg, Idx, V.Reg);
+      return;
+    }
+    case ExprKind::Index: {
+      TypedReg Arr = lowerExpr(B, *L.Kids[0]);
+      const TypeInfo &AT = P.type(Arr.Ty);
+      if (AT.Kind != TypeKind::Array) {
+        error(S.Line, "indexing a non-array type " + P.typeName(Arr.Ty));
+        return;
+      }
+      TypedReg Idx = lowerExpr(B, *L.Kids[1]);
+      if (P.type(Idx.Ty).Kind != TypeKind::Int) {
+        error(S.Line, "array index must be int");
+        return;
+      }
+      TypedReg V = lowerExpr(B, R);
+      V = coerce(B, V, AT.Elem, S.Line);
+      B.astore(Arr.Reg, Idx.Reg, V.Reg);
+      return;
+    }
+    default:
+      error(S.Line, "invalid assignment target");
+      return;
+    }
+  }
+
+  // --- Expression lowering ------------------------------------------------------
+
+  TypedReg lowerExpr(IrBuilder &B, AstExpr &E) {
+    if (Failed)
+      return {0, P.intType()};
+    switch (E.K) {
+    case ExprKind::IntLit:
+      return {B.constInt(E.IntVal), P.intType()};
+    case ExprKind::DoubleLit:
+      return {B.constDouble(E.DblVal), P.doubleType()};
+    case ExprKind::BoolLit:
+      return {B.constBool(E.BoolVal), P.boolType()};
+    case ExprKind::NullLit:
+      return {B.constNull(), NullType};
+    case ExprKind::StrLit:
+      return {B.constString(P.internString(E.Name)), P.stringType()};
+    case ExprKind::This:
+      if (CurStatic) {
+        error(E.Line, "'this' in a static context");
+        return {0, P.intType()};
+      }
+      return {0, P.objectType(CurClass)};
+    case ExprKind::Ident:
+      return lowerIdent(B, E);
+    case ExprKind::Unary:
+      return lowerUnary(B, E);
+    case ExprKind::Binary:
+      return lowerBinary(B, E);
+    case ExprKind::Call:
+      return lowerCall(B, E);
+    case ExprKind::New:
+      return lowerNew(B, E);
+    case ExprKind::NewArray: {
+      TypeId Elem = resolveType(E.Ty);
+      TypeId ArrTy = P.arrayType(Elem);
+      TypedReg Len = lowerExpr(B, *E.Kids[0]);
+      if (P.type(Len.Ty).Kind != TypeKind::Int) {
+        error(E.Line, "array length must be int");
+        return {0, ArrTy};
+      }
+      return {B.newArray(ArrTy, Len.Reg), ArrTy};
+    }
+    case ExprKind::Index: {
+      TypedReg Arr = lowerExpr(B, *E.Kids[0]);
+      const TypeInfo &AT = P.type(Arr.Ty);
+      if (AT.Kind != TypeKind::Array) {
+        error(E.Line, "indexing a non-array type " + P.typeName(Arr.Ty));
+        return {0, P.intType()};
+      }
+      TypedReg Idx = lowerExpr(B, *E.Kids[1]);
+      if (P.type(Idx.Ty).Kind != TypeKind::Int) {
+        error(E.Line, "array index must be int");
+        return {0, AT.Elem};
+      }
+      return {B.aload(Arr.Reg, Idx.Reg), AT.Elem};
+    }
+    case ExprKind::Member:
+      return lowerMember(B, E);
+    case ExprKind::Cast:
+      return lowerCast(B, E);
+    }
+    error(E.Line, "internal: unhandled expression kind");
+    return {0, P.intType()};
+  }
+
+  TypedReg lowerIdent(IrBuilder &B, AstExpr &E) {
+    if (LocalVar *Var = findLocal(E.Name))
+      return {Var->Reg, Var->Ty};
+    if (!CurStatic) {
+      int32_t Idx = P.findFieldIndex(CurClass, E.Name);
+      if (Idx >= 0)
+        return {B.getField(0, Idx), P.layout(CurClass)[size_t(Idx)].Type};
+    }
+    auto [OwnC, SIdx] = P.findStaticField(CurClass, E.Name);
+    if (OwnC != -1)
+      return {B.getStatic(OwnC, SIdx),
+              P.classDef(OwnC).StaticFields[size_t(SIdx)].Type};
+    error(E.Line, "unknown identifier '" + E.Name + "'");
+    return {0, P.intType()};
+  }
+
+  TypedReg lowerUnary(IrBuilder &B, AstExpr &E) {
+    TypedReg V = lowerExpr(B, *E.Kids[0]);
+    if (E.UOp == UnaryOp::Neg) {
+      TypeKind K = P.type(V.Ty).Kind;
+      if (K != TypeKind::Int && K != TypeKind::Double) {
+        error(E.Line, "negation of non-numeric type " + P.typeName(V.Ty));
+        return V;
+      }
+      return {B.unop(Opcode::Neg, V.Reg), V.Ty};
+    }
+    if (P.type(V.Ty).Kind != TypeKind::Bool) {
+      error(E.Line, "'!' applied to non-boolean type " + P.typeName(V.Ty));
+      return V;
+    }
+    return {B.unop(Opcode::Not, V.Reg), V.Ty};
+  }
+
+  TypedReg lowerBinary(IrBuilder &B, AstExpr &E) {
+    // Short-circuit forms first: they lower to control flow.
+    if (E.BOp == BinaryOp::LAnd || E.BOp == BinaryOp::LOr) {
+      bool IsAnd = E.BOp == BinaryOp::LAnd;
+      TypedReg L = lowerExpr(B, *E.Kids[0]);
+      requireBool(L, E.Line);
+      uint16_t Result = B.newReg();
+      B.move(Result, L.Reg);
+      BlockId RhsB = B.newBlock();
+      BlockId JoinB = B.newBlock();
+      if (IsAnd)
+        B.br(L.Reg, RhsB, JoinB);
+      else
+        B.br(L.Reg, JoinB, RhsB);
+      B.setBlock(RhsB);
+      TypedReg R = lowerExpr(B, *E.Kids[1]);
+      requireBool(R, E.Line);
+      B.move(Result, R.Reg);
+      if (!B.blockTerminated())
+        B.jmp(JoinB);
+      B.setBlock(JoinB);
+      return {Result, P.boolType()};
+    }
+
+    TypedReg L = lowerExpr(B, *E.Kids[0]);
+    TypedReg R = lowerExpr(B, *E.Kids[1]);
+    TypeKind LK = P.type(L.Ty).Kind;
+    TypeKind RK = P.type(R.Ty).Kind;
+
+    // String concatenation: either side String makes '+' a Concat.
+    if (E.BOp == BinaryOp::Add &&
+        (LK == TypeKind::String || RK == TypeKind::String))
+      return {B.binop(Opcode::Concat, L.Reg, R.Reg), P.stringType()};
+
+    auto PromoteNumeric = [&]() -> bool {
+      bool LNum = LK == TypeKind::Int || LK == TypeKind::Double;
+      bool RNum = RK == TypeKind::Int || RK == TypeKind::Double;
+      if (!LNum || !RNum)
+        return false;
+      if (LK == TypeKind::Int && RK == TypeKind::Double) {
+        L = {B.unop(Opcode::I2D, L.Reg), P.doubleType()};
+        LK = TypeKind::Double;
+      } else if (LK == TypeKind::Double && RK == TypeKind::Int) {
+        R = {B.unop(Opcode::I2D, R.Reg), P.doubleType()};
+        RK = TypeKind::Double;
+      }
+      return true;
+    };
+
+    switch (E.BOp) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod: {
+      if (!PromoteNumeric()) {
+        error(E.Line, "arithmetic on non-numeric types");
+        return {0, P.intType()};
+      }
+      Opcode Op = E.BOp == BinaryOp::Add   ? Opcode::Add
+                  : E.BOp == BinaryOp::Sub ? Opcode::Sub
+                  : E.BOp == BinaryOp::Mul ? Opcode::Mul
+                  : E.BOp == BinaryOp::Div ? Opcode::Div
+                                           : Opcode::Mod;
+      return {B.binop(Op, L.Reg, R.Reg), L.Ty};
+    }
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge: {
+      if (!PromoteNumeric()) {
+        error(E.Line, "comparison of non-numeric types");
+        return {0, P.boolType()};
+      }
+      Opcode Op = E.BOp == BinaryOp::Lt   ? Opcode::CmpLt
+                  : E.BOp == BinaryOp::Le ? Opcode::CmpLe
+                  : E.BOp == BinaryOp::Gt ? Opcode::CmpGt
+                                          : Opcode::CmpGe;
+      return {B.binop(Op, L.Reg, R.Reg), P.boolType()};
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      bool LRef = isRefKind(LK) || L.Ty == NullType;
+      bool RRef = isRefKind(RK) || R.Ty == NullType;
+      if (LRef != RRef) {
+        error(E.Line, "equality between reference and non-reference types");
+        return {0, P.boolType()};
+      }
+      if (!LRef) {
+        if (LK == TypeKind::Bool && RK == TypeKind::Bool) {
+          // fall through to compare
+        } else if (!PromoteNumeric()) {
+          error(E.Line, "equality on incompatible types");
+          return {0, P.boolType()};
+        }
+      }
+      Opcode Op = E.BOp == BinaryOp::Eq ? Opcode::CmpEq : Opcode::CmpNe;
+      return {B.binop(Op, L.Reg, R.Reg), P.boolType()};
+    }
+    case BinaryOp::BAnd:
+    case BinaryOp::BOr:
+    case BinaryOp::BXor:
+    case BinaryOp::Shl:
+    case BinaryOp::Shr: {
+      if (LK != TypeKind::Int || RK != TypeKind::Int) {
+        error(E.Line, "bitwise operation on non-int types");
+        return {0, P.intType()};
+      }
+      Opcode Op = E.BOp == BinaryOp::BAnd  ? Opcode::BitAnd
+                  : E.BOp == BinaryOp::BOr ? Opcode::BitOr
+                  : E.BOp == BinaryOp::BXor ? Opcode::BitXor
+                  : E.BOp == BinaryOp::Shl  ? Opcode::Shl
+                                            : Opcode::Shr;
+      return {B.binop(Op, L.Reg, R.Reg), P.intType()};
+    }
+    default:
+      error(E.Line, "internal: unhandled binary operator");
+      return {0, P.intType()};
+    }
+  }
+
+  TypedReg lowerMember(IrBuilder &B, AstExpr &E) {
+    AstExpr &Recv = *E.Kids[0];
+    // ClassName.staticField
+    if (Recv.K == ExprKind::Ident && !findLocal(Recv.Name)) {
+      ClassId C = P.findClass(Recv.Name);
+      if (C != -1) {
+        auto [OwnC, SIdx] = P.findStaticField(C, E.Name);
+        if (OwnC == -1) {
+          error(E.Line, "unknown static field " + Recv.Name + "." + E.Name);
+          return {0, P.intType()};
+        }
+        return {B.getStatic(OwnC, SIdx),
+                P.classDef(OwnC).StaticFields[size_t(SIdx)].Type};
+      }
+    }
+    TypedReg Base = lowerExpr(B, Recv);
+    const TypeInfo &BT = P.type(Base.Ty);
+    if (BT.Kind == TypeKind::Array && E.Name == "length")
+      return {B.arrayLen(Base.Reg), P.intType()};
+    if (BT.Kind != TypeKind::Object) {
+      error(E.Line, "member access on non-object type " + P.typeName(Base.Ty));
+      return {0, P.intType()};
+    }
+    int32_t Idx = P.findFieldIndex(BT.Class, E.Name);
+    if (Idx < 0) {
+      error(E.Line, "unknown field '" + E.Name + "' in class " +
+                        P.classDef(BT.Class).Name);
+      return {0, P.intType()};
+    }
+    return {B.getField(Base.Reg, Idx), P.layout(BT.Class)[size_t(Idx)].Type};
+  }
+
+  TypedReg lowerCast(IrBuilder &B, AstExpr &E) {
+    TypedReg V = lowerExpr(B, *E.Kids[0]);
+    TypeId Want = resolveType(E.Ty);
+    TypeKind FK = P.type(V.Ty).Kind;
+    TypeKind TK = P.type(Want).Kind;
+    if (FK == TypeKind::Int && TK == TypeKind::Double)
+      return {B.unop(Opcode::I2D, V.Reg), Want};
+    if (FK == TypeKind::Double && TK == TypeKind::Int)
+      return {B.unop(Opcode::D2I, V.Reg), Want};
+    if (FK == TK && FK != TypeKind::Object && FK != TypeKind::Array)
+      return {V.Reg, Want};
+    if ((isRefKind(FK) || V.Ty == NullType) && isRefKind(TK)) {
+      // Reference casts are unchecked retypes: the interpreter is safely
+      // dynamically typed and workloads are type-correct by construction.
+      return {V.Reg, Want};
+    }
+    error(E.Line, "invalid cast from " + P.typeName(V.Ty) + " to " +
+                      P.typeName(Want));
+    return {V.Reg, Want};
+  }
+
+  TypedReg lowerNew(IrBuilder &B, AstExpr &E) {
+    ClassId C = P.findClass(E.Ty.Base);
+    if (C == -1) {
+      error(E.Line, "unknown class '" + E.Ty.Base + "'");
+      return {0, P.intType()};
+    }
+    if (P.classDef(C).IsAbstract) {
+      error(E.Line, "cannot instantiate abstract class " + E.Ty.Base);
+      return {0, P.objectType(C)};
+    }
+    std::vector<TypedReg> Args;
+    std::vector<TypeId> ArgTys;
+    for (ExprPtr &A : E.Args) {
+      TypedReg V = lowerExpr(B, *A);
+      Args.push_back(V);
+      ArgTys.push_back(V.Ty);
+    }
+    MethodId Ctor = findCtor(C, ArgTys);
+    if (Ctor == -1) {
+      error(E.Line, "no matching constructor for " + E.Ty.Base);
+      return {0, P.objectType(C)};
+    }
+    uint16_t Obj = B.newObject(C);
+    const Method &CM = P.method(Ctor);
+    std::vector<uint16_t> CallRegs{Obj};
+    for (size_t I = 0; I < Args.size(); ++I) {
+      TypedReg V = coerce(B, Args[I], CM.ParamTypes[I + 1], E.Line);
+      CallRegs.push_back(V.Reg);
+    }
+    B.callStatic(Ctor, CallRegs);
+    return {Obj, P.objectType(C)};
+  }
+
+  /// Finds a callable method named \p Name on class \p C (searching the
+  /// superclass chain) whose parameters accept \p ArgTys.
+  MethodId findMethodForCall(ClassId C, const std::string &Name,
+                             const std::vector<TypeId> &ArgTys) {
+    for (ClassId Cur = C; Cur != -1; Cur = P.classDef(Cur).Super) {
+      MethodId Exact = -1;
+      MethodId Compatible = -1;
+      for (MethodId M : P.classDef(Cur).Methods) {
+        const Method &Meth = P.method(M);
+        if (Meth.Name != Name || Meth.IsClinit)
+          continue;
+        size_t Skip = Meth.IsStatic ? 0 : 1;
+        if (Meth.Name == "<init>")
+          Skip = 1;
+        if (Meth.ParamTypes.size() - Skip != ArgTys.size())
+          continue;
+        bool AllExact = true;
+        bool AllOk = true;
+        for (size_t I = 0; I < ArgTys.size(); ++I) {
+          TypeId Want = Meth.ParamTypes[I + Skip];
+          if (ArgTys[I] != Want)
+            AllExact = false;
+          if (!isAssignable(ArgTys[I], Want) && ArgTys[I] != NullType)
+            AllOk = false;
+        }
+        if (AllExact && Exact == -1)
+          Exact = M;
+        if (AllOk && Compatible == -1)
+          Compatible = M;
+      }
+      if (Exact != -1)
+        return Exact;
+      if (Compatible != -1)
+        return Compatible;
+    }
+    return -1;
+  }
+
+  TypedReg emitCall(IrBuilder &B, MethodId Target,
+                    const std::vector<TypedReg> &Args, int Line,
+                    uint16_t ThisReg, bool HasThis, bool Virtual) {
+    const Method &Meth = P.method(Target);
+    std::vector<uint16_t> CallRegs;
+    size_t Skip = HasThis ? 1 : 0;
+    if (HasThis)
+      CallRegs.push_back(ThisReg);
+    for (size_t I = 0; I < Args.size(); ++I) {
+      TypedReg V = coerce(B, Args[I], Meth.ParamTypes[I + Skip], Line);
+      CallRegs.push_back(V.Reg);
+    }
+    uint16_t Dst = Virtual ? B.callVirtual(Target, CallRegs)
+                           : B.callStatic(Target, CallRegs);
+    return {Dst, Meth.RetType};
+  }
+
+  TypedReg lowerCall(IrBuilder &B, AstExpr &E) {
+    // Receiverless call: this.m(...) or own static m(...).
+    if (!E.Kids[0]) {
+      std::vector<TypedReg> Args;
+      std::vector<TypeId> ArgTys;
+      for (ExprPtr &A : E.Args) {
+        TypedReg V = lowerExpr(B, *A);
+        Args.push_back(V);
+        ArgTys.push_back(V.Ty);
+      }
+      MethodId Target = findMethodForCall(CurClass, E.Name, ArgTys);
+      if (Target == -1) {
+        error(E.Line, "unknown method '" + E.Name + "'");
+        return {0, P.intType()};
+      }
+      const Method &Meth = P.method(Target);
+      if (Meth.IsStatic)
+        return emitCall(B, Target, Args, E.Line, 0, false, false);
+      if (CurStatic) {
+        error(E.Line, "instance method '" + E.Name +
+                          "' called from a static context");
+        return {0, P.intType()};
+      }
+      return emitCall(B, Target, Args, E.Line, 0, true, true);
+    }
+
+    AstExpr &Recv = *E.Kids[0];
+    // Builtin and static-qualified calls: Name.method(...).
+    if (Recv.K == ExprKind::Ident && !findLocal(Recv.Name)) {
+      if (Recv.Name == "Sys" || Recv.Name == "Str")
+        return lowerBuiltinCall(B, E, Recv.Name);
+      ClassId C = P.findClass(Recv.Name);
+      if (C != -1) {
+        std::vector<TypedReg> Args;
+        std::vector<TypeId> ArgTys;
+        for (ExprPtr &A : E.Args) {
+          TypedReg V = lowerExpr(B, *A);
+          Args.push_back(V);
+          ArgTys.push_back(V.Ty);
+        }
+        MethodId Target = findMethodForCall(C, E.Name, ArgTys);
+        if (Target == -1 || !P.method(Target).IsStatic) {
+          error(E.Line, "unknown static method " + Recv.Name + "." + E.Name);
+          return {0, P.intType()};
+        }
+        return emitCall(B, Target, Args, E.Line, 0, false, false);
+      }
+    }
+
+    // Virtual call on an expression receiver.
+    TypedReg Base = lowerExpr(B, Recv);
+    const TypeInfo &BT = P.type(Base.Ty);
+    if (BT.Kind != TypeKind::Object) {
+      error(E.Line, "method call on non-object type " + P.typeName(Base.Ty));
+      return {0, P.intType()};
+    }
+    std::vector<TypedReg> Args;
+    std::vector<TypeId> ArgTys;
+    for (ExprPtr &A : E.Args) {
+      TypedReg V = lowerExpr(B, *A);
+      Args.push_back(V);
+      ArgTys.push_back(V.Ty);
+    }
+    MethodId Target = findMethodForCall(BT.Class, E.Name, ArgTys);
+    if (Target == -1) {
+      error(E.Line, "unknown method '" + E.Name + "' on class " +
+                        P.classDef(BT.Class).Name);
+      return {0, P.intType()};
+    }
+    const Method &Meth = P.method(Target);
+    if (Meth.IsStatic && Meth.Name != "<init>")
+      return emitCall(B, Target, Args, E.Line, 0, false, false);
+    return emitCall(B, Target, Args, E.Line, Base.Reg, true, true);
+  }
+
+  TypedReg lowerBuiltinCall(IrBuilder &B, AstExpr &E,
+                            const std::string &Qual) {
+    struct Builtin {
+      const char *Class;
+      const char *Name;
+      NativeId Native;
+      std::vector<TypeKind> Params;
+      TypeKind Ret;
+    };
+    static const std::vector<Builtin> Builtins = {
+        {"Sys", "print", NativeId::Print, {TypeKind::String}, TypeKind::Void},
+        {"Sys", "printInt", NativeId::PrintInt, {TypeKind::Int},
+         TypeKind::Void},
+        {"Sys", "sqrt", NativeId::Sqrt, {TypeKind::Double}, TypeKind::Double},
+        {"Sys", "sin", NativeId::Sin, {TypeKind::Double}, TypeKind::Double},
+        {"Sys", "cos", NativeId::Cos, {TypeKind::Double}, TypeKind::Double},
+        {"Sys", "floor", NativeId::Floor, {TypeKind::Double},
+         TypeKind::Double},
+        {"Sys", "respond", NativeId::Respond, {TypeKind::String},
+         TypeKind::Void},
+        {"Sys", "readResource", NativeId::ReadResource, {TypeKind::String},
+         TypeKind::String},
+        {"Sys", "yield", NativeId::Yield, {}, TypeKind::Void},
+        {"Str", "length", NativeId::StrLen, {TypeKind::String}, TypeKind::Int},
+        {"Str", "charAt", NativeId::StrCharAt,
+         {TypeKind::String, TypeKind::Int}, TypeKind::Int},
+        {"Str", "substring", NativeId::StrSub,
+         {TypeKind::String, TypeKind::Int, TypeKind::Int}, TypeKind::String},
+        {"Str", "equals", NativeId::StrEquals,
+         {TypeKind::String, TypeKind::String}, TypeKind::Bool},
+        {"Str", "fromInt", NativeId::StrFromInt, {TypeKind::Int},
+         TypeKind::String},
+        {"Str", "fromDouble", NativeId::StrFromDouble, {TypeKind::Double},
+         TypeKind::String},
+        {"Str", "intern", NativeId::StrIntern, {TypeKind::String},
+         TypeKind::String},
+    };
+
+    // Sys.spawn("Class.method") resolves its target at compile time.
+    if (Qual == "Sys" && E.Name == "spawn") {
+      if (E.Args.size() != 1 || E.Args[0]->K != ExprKind::StrLit) {
+        error(E.Line, "Sys.spawn expects a \"Class.method\" string literal");
+        return {0, P.voidType()};
+      }
+      const std::string &Ref = E.Args[0]->Name;
+      size_t Dot = Ref.find('.');
+      if (Dot == std::string::npos) {
+        error(E.Line, "Sys.spawn target must be \"Class.method\"");
+        return {0, P.voidType()};
+      }
+      ClassId C = P.findClass(Ref.substr(0, Dot));
+      MethodId Target =
+          C == -1 ? -1 : P.findDeclaredMethod(C, Ref.substr(Dot + 1), {});
+      if (Target == -1 || !P.method(Target).IsStatic) {
+        error(E.Line, "Sys.spawn target '" + Ref +
+                          "' is not a static no-argument method");
+        return {0, P.voidType()};
+      }
+      uint16_t Dst = B.callNative(NativeId::Spawn, {}, Target);
+      return {Dst, P.voidType()};
+    }
+
+    for (const Builtin &Bi : Builtins) {
+      if (Qual != Bi.Class || E.Name != Bi.Name)
+        continue;
+      if (E.Args.size() != Bi.Params.size()) {
+        error(E.Line, std::string("wrong number of arguments to ") + Qual +
+                          "." + E.Name);
+        return {0, P.voidType()};
+      }
+      std::vector<uint16_t> Regs;
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        TypedReg V = lowerExpr(B, *E.Args[I]);
+        TypeId Want = typeOfKind(Bi.Params[I]);
+        V = coerce(B, V, Want, E.Line);
+        Regs.push_back(V.Reg);
+      }
+      uint16_t Dst = B.callNative(Bi.Native, Regs);
+      return {Dst, typeOfKind(Bi.Ret)};
+    }
+    error(E.Line, "unknown builtin " + Qual + "." + E.Name);
+    return {0, P.voidType()};
+  }
+
+  TypeId typeOfKind(TypeKind K) {
+    switch (K) {
+    case TypeKind::Int:
+      return P.intType();
+    case TypeKind::Double:
+      return P.doubleType();
+    case TypeKind::Bool:
+      return P.boolType();
+    case TypeKind::String:
+      return P.stringType();
+    default:
+      return P.voidType();
+    }
+  }
+
+  // --- State -----------------------------------------------------------------
+
+  std::vector<AstUnit> &Units;
+  Program &P;
+  std::vector<std::string> &Errors;
+  bool Failed = false;
+
+  ClassId ObjectClass = -1;
+  /// Type id of the null literal (adapts to any reference type).
+  TypeId NullType = -1;
+
+  std::unordered_map<ClassId, AstClass *> ClassAst;
+  std::unordered_map<MethodId, AstMethod *> MethodAst;
+  std::vector<MethodId> SynthCtors;
+
+  ClassId CurClass = -1;
+  MethodId CurMethod = -1;
+  bool CurStatic = true;
+  std::vector<std::unordered_map<std::string, LocalVar>> Scopes;
+  std::vector<LoopTargets> Loops;
+};
+
+} // namespace
+
+bool nimg::compileUnits(std::vector<AstUnit> &Units, Program &P,
+                        std::vector<std::string> &Errors) {
+  return Compiler(Units, P, Errors).run();
+}
+
+bool nimg::compileSources(const std::vector<std::string> &Sources, Program &P,
+                          std::vector<std::string> &Errors) {
+  std::vector<AstUnit> Units;
+  for (const std::string &Src : Sources) {
+    AstUnit Unit;
+    if (!parseUnit(Src, Unit, Errors))
+      return false;
+    Units.push_back(std::move(Unit));
+  }
+  return compileUnits(Units, P, Errors);
+}

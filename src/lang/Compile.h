@@ -1,0 +1,45 @@
+//===- Compile.h - MiniJava semantic analysis and lowering -----*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniJava front end: builds a Program (classes, fields, methods,
+/// <clinit>/<init> synthesis) from parsed units, type-checks, and lowers
+/// statement/expression trees to the register IR.
+///
+/// Builtins: the pseudo-classes `Sys` and `Str` expose native methods
+/// (printing, math, string operations, thread spawn, microservice respond,
+/// resource loading); every class without `extends` implicitly extends the
+/// root class `Object`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_LANG_COMPILE_H
+#define NIMG_LANG_COMPILE_H
+
+#include "src/ir/Program.h"
+#include "src/lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace nimg {
+
+/// Compiles parsed units into \p P. On success, P.MainMethod points at
+/// `Main.main()` when a class `Main` with a static no-argument `main`
+/// exists (otherwise it is left at -1 and the caller decides). Returns
+/// false and fills \p Errors on any semantic error.
+bool compileUnits(std::vector<AstUnit> &Units, Program &P,
+                  std::vector<std::string> &Errors);
+
+/// Parses and compiles source strings. Convenience for tests, workloads,
+/// and examples.
+bool compileSources(const std::vector<std::string> &Sources, Program &P,
+                    std::vector<std::string> &Errors);
+
+} // namespace nimg
+
+#endif // NIMG_LANG_COMPILE_H

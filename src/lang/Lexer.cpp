@@ -1,0 +1,397 @@
+//===- Lexer.cpp - MiniJava lexer ------------------------------------------===//
+
+#include "src/lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace nimg;
+
+static const std::unordered_map<std::string, TokKind> &keywordMap() {
+  static const std::unordered_map<std::string, TokKind> Map = {
+      {"class", TokKind::KwClass},       {"extends", TokKind::KwExtends},
+      {"static", TokKind::KwStatic},     {"final", TokKind::KwFinal},
+      {"abstract", TokKind::KwAbstract}, {"int", TokKind::KwInt},
+      {"double", TokKind::KwDouble},     {"boolean", TokKind::KwBoolean},
+      {"String", TokKind::KwString},     {"void", TokKind::KwVoid},
+      {"if", TokKind::KwIf},             {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},       {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},     {"new", TokKind::KwNew},
+      {"null", TokKind::KwNull},         {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},       {"this", TokKind::KwThis},
+      {"super", TokKind::KwSuper},       {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue},
+  };
+  return Map;
+}
+
+namespace {
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    while (true) {
+      Token T = next();
+      Out.push_back(T);
+      if (T.Kind == TokKind::Eof || T.Kind == TokKind::Error)
+        break;
+    }
+    return Out;
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+
+  Token make(TokKind K) {
+    Token T;
+    T.Kind = K;
+    T.Line = Line;
+    return T;
+  }
+  Token error(const std::string &Msg) {
+    Token T = make(TokKind::Error);
+    T.Text = Msg;
+    return T;
+  }
+
+  void skipTrivia(bool &Bad, Token &BadTok) {
+    Bad = false;
+    while (true) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() != '\n' && peek() != '\0')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (peek() == '\0') {
+            Bad = true;
+            BadTok = error("unterminated block comment");
+            return;
+          }
+          advance();
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token lexNumber() {
+    Token T = make(TokKind::IntLit);
+    size_t Start = Pos;
+    while (std::isdigit(uint8_t(peek())))
+      advance();
+    bool IsDouble = false;
+    if (peek() == '.' && std::isdigit(uint8_t(peek(1)))) {
+      IsDouble = true;
+      advance();
+      while (std::isdigit(uint8_t(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t Save = Pos;
+      advance();
+      if (peek() == '+' || peek() == '-')
+        advance();
+      if (std::isdigit(uint8_t(peek()))) {
+        IsDouble = true;
+        while (std::isdigit(uint8_t(peek())))
+          advance();
+      } else {
+        Pos = Save;
+      }
+    }
+    std::string Text = Src.substr(Start, Pos - Start);
+    if (IsDouble) {
+      T.Kind = TokKind::DoubleLit;
+      T.DblVal = std::strtod(Text.c_str(), nullptr);
+    } else {
+      T.IntVal = std::strtoll(Text.c_str(), nullptr, 10);
+    }
+    return T;
+  }
+
+  Token lexString() {
+    Token T = make(TokKind::StringLit);
+    advance(); // opening quote
+    std::string Out;
+    while (true) {
+      char C = peek();
+      if (C == '\0' || C == '\n')
+        return error("unterminated string literal");
+      advance();
+      if (C == '"')
+        break;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '"':
+        Out.push_back('"');
+        break;
+      case '0':
+        Out.push_back('\0');
+        break;
+      default:
+        return error("unknown escape sequence in string literal");
+      }
+    }
+    T.Text = std::move(Out);
+    return T;
+  }
+
+  Token next() {
+    bool Bad = false;
+    Token BadTok;
+    skipTrivia(Bad, BadTok);
+    if (Bad)
+      return BadTok;
+    char C = peek();
+    if (C == '\0')
+      return make(TokKind::Eof);
+
+    if (std::isalpha(uint8_t(C)) || C == '_') {
+      Token T = make(TokKind::Ident);
+      size_t Start = Pos;
+      while (std::isalnum(uint8_t(peek())) || peek() == '_')
+        advance();
+      T.Text = Src.substr(Start, Pos - Start);
+      auto It = keywordMap().find(T.Text);
+      if (It != keywordMap().end())
+        T.Kind = It->second;
+      return T;
+    }
+    if (std::isdigit(uint8_t(C)))
+      return lexNumber();
+    if (C == '"')
+      return lexString();
+
+    advance();
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen);
+    case ')':
+      return make(TokKind::RParen);
+    case '{':
+      return make(TokKind::LBrace);
+    case '}':
+      return make(TokKind::RBrace);
+    case '[':
+      return make(TokKind::LBracket);
+    case ']':
+      return make(TokKind::RBracket);
+    case ';':
+      return make(TokKind::Semi);
+    case ',':
+      return make(TokKind::Comma);
+    case '.':
+      return make(TokKind::Dot);
+    case '+':
+      return make(TokKind::Plus);
+    case '-':
+      return make(TokKind::Minus);
+    case '*':
+      return make(TokKind::Star);
+    case '/':
+      return make(TokKind::Slash);
+    case '%':
+      return make(TokKind::Percent);
+    case '^':
+      return make(TokKind::Caret);
+    case '=':
+      return make(match('=') ? TokKind::EqEq : TokKind::Assign);
+    case '!':
+      return make(match('=') ? TokKind::NotEq : TokKind::Bang);
+    case '<':
+      if (match('='))
+        return make(TokKind::Le);
+      if (match('<'))
+        return make(TokKind::Shl);
+      return make(TokKind::Lt);
+    case '>':
+      if (match('='))
+        return make(TokKind::Ge);
+      if (match('>'))
+        return make(TokKind::Shr);
+      return make(TokKind::Gt);
+    case '&':
+      return make(match('&') ? TokKind::AndAnd : TokKind::Amp);
+    case '|':
+      return make(match('|') ? TokKind::OrOr : TokKind::Pipe);
+    default:
+      return error(std::string("unexpected character '") + C + "'");
+    }
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+} // namespace
+
+std::vector<Token> nimg::lexSource(const std::string &Source) {
+  return Lexer(Source).run();
+}
+
+const char *nimg::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "error";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::DoubleLit:
+    return "double literal";
+  case TokKind::StringLit:
+    return "string literal";
+  case TokKind::KwClass:
+    return "'class'";
+  case TokKind::KwExtends:
+    return "'extends'";
+  case TokKind::KwStatic:
+    return "'static'";
+  case TokKind::KwFinal:
+    return "'final'";
+  case TokKind::KwAbstract:
+    return "'abstract'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwDouble:
+    return "'double'";
+  case TokKind::KwBoolean:
+    return "'boolean'";
+  case TokKind::KwString:
+    return "'String'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwNew:
+    return "'new'";
+  case TokKind::KwNull:
+    return "'null'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwThis:
+    return "'this'";
+  case TokKind::KwSuper:
+    return "'super'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::Bang:
+    return "'!'";
+  }
+  return "?";
+}

@@ -1,0 +1,104 @@
+//===- Lexer.h - MiniJava lexer ---------------------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniJava, the Java-like workload language. Supports line
+/// and block comments, integer/double/string literals with escapes, and the
+/// operator set of the language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_LANG_LEXER_H
+#define NIMG_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nimg {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Error,
+  Ident,
+  IntLit,
+  DoubleLit,
+  StringLit,
+  // Keywords.
+  KwClass,
+  KwExtends,
+  KwStatic,
+  KwFinal,
+  KwAbstract,
+  KwInt,
+  KwDouble,
+  KwBoolean,
+  KwString,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwNew,
+  KwNull,
+  KwTrue,
+  KwFalse,
+  KwThis,
+  KwSuper,
+  KwBreak,
+  KwContinue,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Assign,      // =
+  Plus,        // +
+  Minus,       // -
+  Star,        // *
+  Slash,       // /
+  Percent,     // %
+  Lt,          // <
+  Le,          // <=
+  Gt,          // >
+  Ge,          // >=
+  EqEq,        // ==
+  NotEq,       // !=
+  AndAnd,      // &&
+  OrOr,        // ||
+  Amp,         // &
+  Pipe,        // |
+  Caret,       // ^
+  Shl,         // <<
+  Shr,         // >>
+  Bang,        // !
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   ///< Identifier name or string-literal contents.
+  int64_t IntVal = 0;
+  double DblVal = 0;
+  int Line = 0;
+};
+
+/// Tokenizes \p Source. On a lexical error the token stream ends with a
+/// TokKind::Error token whose Text describes the problem.
+std::vector<Token> lexSource(const std::string &Source);
+
+/// Returns a printable name for a token kind (diagnostics).
+const char *tokKindName(TokKind K);
+
+} // namespace nimg
+
+#endif // NIMG_LANG_LEXER_H

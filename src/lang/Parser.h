@@ -1,0 +1,33 @@
+//===- Parser.h - MiniJava recursive-descent parser -------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the MiniJava AST. Errors are
+/// collected as "line N: message" strings; parsing stops at the first
+/// error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_LANG_PARSER_H
+#define NIMG_LANG_PARSER_H
+
+#include "src/lang/Ast.h"
+#include "src/lang/Lexer.h"
+
+#include <string>
+#include <vector>
+
+namespace nimg {
+
+/// Parses \p Source into \p Unit. Returns false and fills \p Errors on
+/// failure.
+bool parseUnit(const std::string &Source, AstUnit &Unit,
+               std::vector<std::string> &Errors);
+
+} // namespace nimg
+
+#endif // NIMG_LANG_PARSER_H

@@ -1,0 +1,188 @@
+//===- IdStrategies.cpp - Object-identity strategies (Alg. 1-3) -----------===//
+
+#include "src/ordering/IdStrategies.h"
+
+#include "src/support/ByteBuffer.h"
+#include "src/support/Murmur3.h"
+
+#include <unordered_map>
+
+using namespace nimg;
+
+const char *nimg::heapStrategyName(HeapStrategy S) {
+  switch (S) {
+  case HeapStrategy::IncrementalId:
+    return "incremental id";
+  case HeapStrategy::StructuralHash:
+    return "structural hash";
+  case HeapStrategy::HeapPath:
+    return "heap path";
+  }
+  return "?";
+}
+
+namespace {
+
+/// 32-bit type identifier stable across builds: a hash of the fully
+/// qualified type name (Alg. 1: "types can be uniquely identified by their
+/// fully qualified names even between compilations").
+uint32_t typeId32(const std::string &Name) {
+  return uint32_t(murmurHash3(Name, /*Seed=*/0x717e5));
+}
+
+/// Implements Alg. 2's encodeToBytes over heap cells. A "field entity" is
+/// a (declared type, runtime value) pair.
+class StructuralEncoder {
+public:
+  StructuralEncoder(const Program &P, const Heap &H, int MaxDepth)
+      : P(P), H(H), MaxDepth(MaxDepth) {}
+
+  void encodeValue(ByteBuffer &Out, const Value &V, int Depth) {
+    if (V.isNull()) {
+      Out.appendU8(0);
+      return;
+    }
+    switch (V.Kind) {
+    case ValueKind::Int:
+      Out.appendString("int");
+      Out.appendI64(V.I);
+      return;
+    case ValueKind::Double:
+      Out.appendString("double");
+      Out.appendF64(V.D);
+      return;
+    case ValueKind::Bool:
+      Out.appendString("boolean");
+      Out.appendU8(V.I ? 1 : 0);
+      return;
+    case ValueKind::Ref:
+      encodeCell(Out, V.asRef(), Depth);
+      return;
+    case ValueKind::Null:
+      Out.appendU8(0);
+      return;
+    }
+  }
+
+  void encodeCell(ByteBuffer &Out, CellIdx Cell, int Depth) {
+    const HeapCell &C = H.cell(Cell);
+    Out.appendString(H.cellTypeName(Cell));
+    bool ShouldRecurse = Depth < MaxDepth;
+
+    if (C.Kind == CellKind::String) {
+      Out.appendString(C.Str);
+      return;
+    }
+
+    if (C.Kind == CellKind::Object) {
+      const std::vector<Field> &Layout = P.layout(C.Class);
+      for (size_t K = 0; K < C.Slots.size(); ++K) {
+        const Value &FieldVal = C.Slots[K];
+        if (ShouldRecurse || isPrimitiveOrString(FieldVal)) {
+          Out.appendString(P.typeName(Layout[K].Type));
+          encodeValue(Out, FieldVal, Depth + 1);
+        }
+      }
+      return;
+    }
+
+    // Array.
+    const TypeInfo &ArrTy = P.type(C.ArrayType);
+    const TypeInfo &ElemTy = P.type(ArrTy.Elem);
+    Out.appendString(ElemTy.Name);
+    Out.appendU32(uint32_t(C.Slots.size()));
+    bool ElemPrimitiveOrString = ElemTy.Kind == TypeKind::Int ||
+                                 ElemTy.Kind == TypeKind::Double ||
+                                 ElemTy.Kind == TypeKind::Bool ||
+                                 ElemTy.Kind == TypeKind::String;
+    if (ShouldRecurse || ElemPrimitiveOrString) {
+      for (size_t K = 0; K < C.Slots.size(); ++K) {
+        Out.appendU32(uint32_t(K));
+        encodeValue(Out, C.Slots[K], Depth + 1);
+      }
+    }
+  }
+
+private:
+  bool isPrimitiveOrString(const Value &V) const {
+    if (V.Kind == ValueKind::Int || V.Kind == ValueKind::Double ||
+        V.Kind == ValueKind::Bool)
+      return true;
+    return V.isRef() && H.cell(V.asRef()).Kind == CellKind::String;
+  }
+
+  const Program &P;
+  const Heap &H;
+  int MaxDepth;
+};
+
+} // namespace
+
+uint64_t nimg::structuralHashOf(const Program &P, const Heap &H, CellIdx Cell,
+                                int MaxDepth) {
+  ByteBuffer Bytes;
+  StructuralEncoder(P, H, MaxDepth).encodeCell(Bytes, Cell, 0);
+  return murmurHash3(Bytes.bytes());
+}
+
+uint64_t nimg::heapPathHashOf(const Program &P, const Heap &H,
+                              const HeapSnapshot &Snap, int32_t EntryIdx) {
+  assert(EntryIdx >= 0 && size_t(EntryIdx) < Snap.Entries.size() &&
+         "invalid snapshot entry");
+  const SnapshotEntry &E = Snap.Entries[size_t(EntryIdx)];
+
+  ByteBuffer Bytes;
+  // Interned-string roots hash their contents: the heap path would be the
+  // same for all interned strings (Alg. 3, lines 4-5).
+  if (E.IsRoot && E.Reason.Kind == InclusionReasonKind::InternedString) {
+    Bytes.appendString(H.cell(E.Cell).Str);
+    return murmurHash3(Bytes.bytes());
+  }
+
+  int32_t Cur = EntryIdx;
+  while (true) {
+    const SnapshotEntry &CurE = Snap.Entries[size_t(Cur)];
+    Bytes.appendString(H.cellTypeName(CurE.Cell));
+    if (CurE.IsRoot) {
+      Bytes.appendString(CurE.Reason.str());
+      break;
+    }
+    assert(CurE.ParentEntry >= 0 && "non-root entry without parent");
+    const SnapshotEntry &ParentE = Snap.Entries[size_t(CurE.ParentEntry)];
+    const HeapCell &ParentCell = H.cell(ParentE.Cell);
+    if (ParentCell.Kind == CellKind::Array) {
+      Bytes.appendU32(uint32_t(CurE.ParentSlot));
+    } else {
+      // Field descriptor: owner.name:type.
+      const std::vector<Field> &Layout = P.layout(ParentCell.Class);
+      const Field &F = Layout[size_t(CurE.ParentSlot)];
+      Bytes.appendString(P.classDef(F.Owner).Name + "." + F.Name + ":" +
+                         P.typeName(F.Type));
+    }
+    Cur = CurE.ParentEntry;
+  }
+  return murmurHash3(Bytes.bytes());
+}
+
+IdTable nimg::computeIdTable(const Program &P, const Heap &H,
+                             const HeapSnapshot &Snap, int MaxDepth) {
+  IdTable T;
+  size_t N = Snap.Entries.size();
+  T.IncrementalIds.assign(N, 0);
+  T.StructuralHashes.assign(N, 0);
+  T.HeapPathHashes.assign(N, 0);
+
+  // Alg. 1: per-type counters in encounter order.
+  std::unordered_map<uint32_t, uint32_t> Counters;
+  for (size_t I = 0; I < N; ++I) {
+    const SnapshotEntry &E = Snap.Entries[I];
+    if (E.Elided)
+      continue;
+    uint32_t TypeId = typeId32(H.cellTypeName(E.Cell));
+    uint32_t Count = ++Counters[TypeId];
+    T.IncrementalIds[I] = (uint64_t(TypeId) << 32) | Count;
+    T.StructuralHashes[I] = structuralHashOf(P, H, E.Cell, MaxDepth);
+    T.HeapPathHashes[I] = heapPathHashOf(P, H, Snap, int32_t(I));
+  }
+  return T;
+}

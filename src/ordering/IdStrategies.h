@@ -1,0 +1,81 @@
+//===- IdStrategies.h - Object-identity strategies (Alg. 1-3) --*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three 64-bit object-identity strategies of Sec. 5, used to match
+/// heap-snapshot objects between the profiling build and the optimized
+/// build:
+///
+///  - *incremental id* (Alg. 1): per-type counters in encounter order;
+///    the high 32 bits identify the type, the low 32 bits count instances
+///    of that type, so divergence only perturbs ids within one type.
+///  - *structural hash* (Alg. 2): MurmurHash3 over a recursive,
+///    depth-bounded byte encoding of the object's type, fields, and
+///    neighbours (MAX_DEPTH trades collisions against cross-build
+///    matchability; the paper settles on 2).
+///  - *heap path* (Alg. 3): MurmurHash3 over the first path from a heap
+///    root to the object plus the root's heap-inclusion reason; interned
+///    strings hash their contents instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_ORDERING_IDSTRATEGIES_H
+#define NIMG_ORDERING_IDSTRATEGIES_H
+
+#include "src/heap/Snapshot.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace nimg {
+
+enum class HeapStrategy : uint8_t { IncrementalId, StructuralHash, HeapPath };
+
+const char *heapStrategyName(HeapStrategy S);
+
+/// Default MAX_DEPTH for the structural hash (Sec. 7.1: "we set MAX_DEPTH
+/// to 2, experimentally determined as a good trade-off").
+inline constexpr int DefaultStructuralMaxDepth = 2;
+
+/// Identity tables for every snapshot entry (elided entries get id 0: they
+/// are not stored in the image and are never matched).
+struct IdTable {
+  std::vector<uint64_t> IncrementalIds;
+  std::vector<uint64_t> StructuralHashes;
+  std::vector<uint64_t> HeapPathHashes;
+
+  const std::vector<uint64_t> &of(HeapStrategy S) const {
+    switch (S) {
+    case HeapStrategy::IncrementalId:
+      return IncrementalIds;
+    case HeapStrategy::StructuralHash:
+      return StructuralHashes;
+    case HeapStrategy::HeapPath:
+      return HeapPathHashes;
+    }
+    return IncrementalIds;
+  }
+};
+
+/// Computes Alg. 2's structural hash of one cell.
+uint64_t structuralHashOf(const Program &P, const Heap &H, CellIdx Cell,
+                          int MaxDepth = DefaultStructuralMaxDepth);
+
+/// Computes Alg. 3's heap-path hash of one snapshot entry.
+uint64_t heapPathHashOf(const Program &P, const Heap &H,
+                        const HeapSnapshot &Snap, int32_t EntryIdx);
+
+/// Computes all three identity tables for a snapshot. Incremental ids are
+/// assigned in entry (traversal) order, matching Alg. 1's "object
+/// encounter order when traversing the heap object graph".
+IdTable computeIdTable(const Program &P, const Heap &H,
+                       const HeapSnapshot &Snap,
+                       int MaxDepth = DefaultStructuralMaxDepth);
+
+} // namespace nimg
+
+#endif // NIMG_ORDERING_IDSTRATEGIES_H

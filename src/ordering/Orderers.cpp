@@ -1,0 +1,105 @@
+//===- Orderers.cpp - Code and heap ordering steps --------------------------===//
+
+#include "src/ordering/Orderers.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace nimg;
+
+const char *nimg::codeStrategyName(CodeStrategy S) {
+  switch (S) {
+  case CodeStrategy::None:
+    return "baseline";
+  case CodeStrategy::CuOrder:
+    return "cu";
+  case CodeStrategy::MethodOrder:
+    return "method";
+  }
+  return "?";
+}
+
+std::vector<int32_t> nimg::orderCusWithProfile(const Program &P,
+                                               const CompiledProgram &CP,
+                                               const CodeProfile &Profile,
+                                               bool MethodBased) {
+  std::unordered_map<std::string, size_t> Rank;
+  for (size_t I = 0; I < Profile.Sigs.size(); ++I)
+    Rank.emplace(Profile.Sigs[I], I);
+
+  const size_t Unranked = ~size_t(0);
+  auto RankOf = [&](MethodId M) {
+    auto It = Rank.find(P.method(M).Sig);
+    return It == Rank.end() ? Unranked : It->second;
+  };
+
+  std::vector<size_t> Key(CP.CUs.size(), Unranked);
+  for (size_t Cu = 0; Cu < CP.CUs.size(); ++Cu) {
+    if (!MethodBased) {
+      Key[Cu] = RankOf(CP.CUs[Cu].Root);
+      continue;
+    }
+    // Method ordering: a CU is as early as the earliest-executed method it
+    // contains (root or inlined copy).
+    size_t Best = Unranked;
+    for (const InlineCopy &Copy : CP.CUs[Cu].Copies)
+      Best = std::min(Best, RankOf(Copy.Method));
+    Key[Cu] = Best;
+  }
+
+  std::vector<int32_t> Order(CP.CUs.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = int32_t(I);
+  // CUs are created in the default (alphabetical) order, so a stable sort
+  // keeps unprofiled CUs in their default relative order.
+  std::stable_sort(Order.begin(), Order.end(), [&](int32_t A, int32_t B) {
+    return Key[size_t(A)] < Key[size_t(B)];
+  });
+  return Order;
+}
+
+std::vector<int32_t> nimg::orderObjectsWithProfile(const HeapSnapshot &Snap,
+                                                   const IdTable &Ids,
+                                                   HeapStrategy Strategy,
+                                                   const HeapProfile &Profile,
+                                                   HeapMatchStats *Stats) {
+  const std::vector<uint64_t> &Table = Ids.of(Strategy);
+  assert(Table.size() == Snap.Entries.size() &&
+         "identity table does not match the snapshot");
+
+  // Id -> stored entries bearing it, in default order.
+  std::unordered_map<uint64_t, std::vector<int32_t>> ByIdRev;
+  for (size_t I = Snap.Entries.size(); I > 0; --I) {
+    size_t Idx = I - 1;
+    if (!Snap.Entries[Idx].Elided)
+      ByIdRev[Table[Idx]].push_back(int32_t(Idx));
+  }
+  // Reversed push order means vector backs hold the earliest entries; pop
+  // from the back to consume in default order.
+
+  std::vector<int32_t> Hot;
+  std::vector<bool> Placed(Snap.Entries.size(), false);
+  size_t Matched = 0;
+  for (uint64_t Id : Profile.Ids) {
+    auto It = ByIdRev.find(Id);
+    if (It == ByIdRev.end() || It->second.empty())
+      continue;
+    int32_t Entry = It->second.back();
+    It->second.pop_back();
+    Hot.push_back(Entry);
+    Placed[size_t(Entry)] = true;
+    ++Matched;
+  }
+
+  std::vector<int32_t> Order = std::move(Hot);
+  for (size_t I = 0; I < Snap.Entries.size(); ++I)
+    if (!Snap.Entries[I].Elided && !Placed[I])
+      Order.push_back(int32_t(I));
+
+  if (Stats) {
+    Stats->ProfileIds = Profile.Ids.size();
+    Stats->Matched = Matched;
+    Stats->Stored = Snap.numStored();
+  }
+  return Order;
+}

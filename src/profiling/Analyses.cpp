@@ -1,0 +1,170 @@
+//===- Analyses.cpp - Trace post-processing analyses ------------------------===//
+
+#include "src/profiling/Analyses.h"
+
+#include "src/support/Csv.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+
+using namespace nimg;
+
+std::string CodeProfile::toCsv() const {
+  CsvDocument Doc;
+  for (const std::string &S : Sigs)
+    Doc.Rows.push_back({S});
+  return writeCsv(Doc);
+}
+
+CodeProfile CodeProfile::fromCsv(const std::string &Text) {
+  CodeProfile P;
+  for (const auto &Row : parseCsv(Text).Rows)
+    if (!Row.empty() && !Row[0].empty())
+      P.Sigs.push_back(Row[0]);
+  return P;
+}
+
+std::string HeapProfile::toCsv() const {
+  CsvDocument Doc;
+  char Buf[32];
+  for (uint64_t Id : Ids) {
+    std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, Id);
+    Doc.Rows.push_back({Buf});
+  }
+  return writeCsv(Doc);
+}
+
+HeapProfile HeapProfile::fromCsv(const std::string &Text) {
+  HeapProfile P;
+  for (const auto &Row : parseCsv(Text).Rows) {
+    if (Row.empty() || Row[0].empty())
+      continue;
+    P.Ids.push_back(std::strtoull(Row[0].c_str(), nullptr, 16));
+  }
+  return P;
+}
+
+void nimg::replayTrace(const Program &P, const TraceCapture &Capture,
+                       PathGraphCache &Paths,
+                       const std::vector<OrderingAnalysis *> &Analyses) {
+  bool HasOperands = Capture.Options.Mode == TraceMode::HeapOrder;
+  for (const ThreadTrace &T : Capture.Threads) {
+    size_t I = 0;
+    while (I < T.Words.size()) {
+      uint64_t W = T.Words[I++];
+      if (tracerec::isCuEnter(W)) {
+        for (OrderingAnalysis *A : Analyses)
+          A->onCuEnter(tracerec::cuRoot(W));
+        continue;
+      }
+      if (!tracerec::isPath(W))
+        continue; // Corrupt word; skip (traces of killed runs may truncate).
+      MethodId M = tracerec::pathMethod(W);
+      if (M < 0 || size_t(M) >= P.numMethods())
+        continue;
+      PathEvents Events = Paths.of(M).decode(tracerec::pathId(W));
+      if (Events.MethodEntry)
+        for (OrderingAnalysis *A : Analyses)
+          A->onMethodEnter(M);
+      if (!HasOperands)
+        continue;
+      // A truncated trace (mode-1 SIGKILL) may cut operands short; consume
+      // what is there.
+      for (uint32_t K = 0; K < Events.OperandCount && I < T.Words.size();
+           ++K) {
+        uint64_t Op = T.Words[I++];
+        if (Op == 0)
+          continue;
+        for (OrderingAnalysis *A : Analyses)
+          A->onObjectAccess(int32_t(Op - 1));
+      }
+    }
+  }
+}
+
+namespace {
+
+class CuOrderAnalysis : public OrderingAnalysis {
+public:
+  explicit CuOrderAnalysis(const Program &P) : P(P) {}
+  void onCuEnter(MethodId Root) override {
+    if (Seen.insert(Root).second)
+      Profile.Sigs.push_back(P.method(Root).Sig);
+  }
+  CodeProfile Profile;
+
+private:
+  const Program &P;
+  std::unordered_set<MethodId> Seen;
+};
+
+class MethodOrderAnalysis : public OrderingAnalysis {
+public:
+  explicit MethodOrderAnalysis(const Program &P) : P(P) {}
+  void onMethodEnter(MethodId M) override {
+    if (Seen.insert(M).second)
+      Profile.Sigs.push_back(P.method(M).Sig);
+  }
+  CodeProfile Profile;
+
+private:
+  const Program &P;
+  std::unordered_set<MethodId> Seen;
+};
+
+class HeapOrderAnalysis : public OrderingAnalysis {
+public:
+  void onObjectAccess(int32_t Entry) override {
+    if (Seen.insert(Entry).second)
+      Order.push_back(Entry);
+  }
+  std::vector<int32_t> Order;
+
+private:
+  std::unordered_set<int32_t> Seen;
+};
+
+} // namespace
+
+CodeProfile nimg::analyzeCuOrder(const Program &P,
+                                 const TraceCapture &Capture) {
+  assert(Capture.Options.Mode == TraceMode::CuOrder &&
+         "cu analysis needs a cu-mode capture");
+  CuOrderAnalysis A(P);
+  PathGraphCache Paths(P); // Unused for cu records but required by replay.
+  replayTrace(P, Capture, Paths, {&A});
+  return std::move(A.Profile);
+}
+
+CodeProfile nimg::analyzeMethodOrder(const Program &P,
+                                     const TraceCapture &Capture,
+                                     PathGraphCache &Paths) {
+  assert(Capture.Options.Mode == TraceMode::MethodOrder &&
+         "method analysis needs a method-mode capture");
+  MethodOrderAnalysis A(P);
+  replayTrace(P, Capture, Paths, {&A});
+  return std::move(A.Profile);
+}
+
+std::vector<int32_t> nimg::analyzeHeapAccessOrder(const Program &P,
+                                                  const TraceCapture &Capture,
+                                                  PathGraphCache &Paths) {
+  assert(Capture.Options.Mode == TraceMode::HeapOrder &&
+         "heap analysis needs a heap-mode capture");
+  HeapOrderAnalysis A;
+  replayTrace(P, Capture, Paths, {&A});
+  return std::move(A.Order);
+}
+
+HeapProfile nimg::heapProfileFor(const std::vector<int32_t> &EntryOrder,
+                                 const IdTable &Ids, HeapStrategy Strategy) {
+  HeapProfile P;
+  const std::vector<uint64_t> &Table = Ids.of(Strategy);
+  for (int32_t Entry : EntryOrder) {
+    if (Entry < 0 || size_t(Entry) >= Table.size())
+      continue;
+    P.Ids.push_back(Table[size_t(Entry)]);
+  }
+  return P;
+}

@@ -1,0 +1,81 @@
+//===- Analyses.h - Trace post-processing analyses --------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The post-processing framework of Sec. 6.2: analyses consume decoded
+/// trace events in execution order (threads concatenated in creation
+/// order, Sec. 7.1), keep an ordered set in encounter order, and emit a
+/// CSV ordering profile that the optimizing build consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_PROFILING_ANALYSES_H
+#define NIMG_PROFILING_ANALYSES_H
+
+#include "src/ordering/IdStrategies.h"
+#include "src/profiling/PathGraph.h"
+#include "src/profiling/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace nimg {
+
+/// Ordering profile over code: first-execution order of CU roots (cu
+/// ordering) or of all methods (method ordering).
+struct CodeProfile {
+  std::vector<std::string> Sigs;
+
+  std::string toCsv() const;
+  static CodeProfile fromCsv(const std::string &Text);
+};
+
+/// Ordering profile over heap objects: first-access order of 64-bit
+/// strategy ids.
+struct HeapProfile {
+  std::vector<uint64_t> Ids;
+
+  std::string toCsv() const;
+  static HeapProfile fromCsv(const std::string &Text);
+};
+
+/// An event sink in the visitor style of Sec. 6.2.
+class OrderingAnalysis {
+public:
+  virtual ~OrderingAnalysis() = default;
+  virtual void onCuEnter(MethodId Root) { (void)Root; }
+  virtual void onMethodEnter(MethodId M) { (void)M; }
+  /// \p SnapshotEntry is the traced image-object index (already >= 0).
+  virtual void onObjectAccess(int32_t SnapshotEntry) { (void)SnapshotEntry; }
+};
+
+/// Replays a capture: decodes path records via \p Paths and dispatches
+/// events to \p Analyses in execution order.
+void replayTrace(const Program &P, const TraceCapture &Capture,
+                 PathGraphCache &Paths,
+                 const std::vector<OrderingAnalysis *> &Analyses);
+
+/// The cu-ordering profile (Sec. 4.1) from a CuOrder-mode capture.
+CodeProfile analyzeCuOrder(const Program &P, const TraceCapture &Capture);
+
+/// The method-ordering profile (Sec. 4.2) from a MethodOrder-mode capture.
+CodeProfile analyzeMethodOrder(const Program &P, const TraceCapture &Capture,
+                               PathGraphCache &Paths);
+
+/// First-access order of snapshot entries from a HeapOrder-mode capture.
+std::vector<int32_t> analyzeHeapAccessOrder(const Program &P,
+                                            const TraceCapture &Capture,
+                                            PathGraphCache &Paths);
+
+/// Translates a first-access entry order into a strategy-id profile using
+/// the profiling build's identity table.
+HeapProfile heapProfileFor(const std::vector<int32_t> &EntryOrder,
+                           const IdTable &Ids, HeapStrategy Strategy);
+
+} // namespace nimg
+
+#endif // NIMG_PROFILING_ANALYSES_H

@@ -1,0 +1,387 @@
+//===- PathGraph.cpp - Ball-Larus path numbering with path cutting ---------===//
+
+#include "src/profiling/PathGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace nimg;
+
+namespace {
+
+/// Identifies frame-pushing calls, which are path-cut points (the callee's
+/// own records land in the buffer between the caller's two path segments).
+bool isCutCall(const Instr &In) {
+  return In.Op == Opcode::CallStatic || In.Op == Opcode::CallVirtual;
+}
+
+} // namespace
+
+namespace nimg {
+
+class PathGraphBuilder {
+public:
+  PathGraphBuilder(const Program &P, MethodId M) : P(P), Meth(P.method(M)) {}
+
+  std::unique_ptr<PathGraph> run() {
+    auto G = std::unique_ptr<PathGraph>(new PathGraph());
+    if (Meth.IsAbstract || Meth.Blocks.empty()) {
+      G->TotalPaths = 1;
+      return G;
+    }
+    buildNodes(*G);
+    findBackEdges();
+    if (!number(*G, /*AllCut=*/false)) {
+      // Path-cutting fallback: cut every edge so each segment is its own
+      // unit path.
+      G->Nodes.clear();
+      G->EntryEdges.clear();
+      G->BranchActions.clear();
+      G->CallActions.clear();
+      G->RetEmit.clear();
+      buildNodes(*G);
+      G->AllCut = true;
+      bool Ok = number(*G, /*AllCut=*/true);
+      assert(Ok && "fully-cut numbering cannot overflow");
+      (void)Ok;
+    }
+    return G;
+  }
+
+private:
+  struct Segment {
+    BlockId Block;
+    uint32_t SegIdx;
+    size_t FirstInstr;
+    size_t LastInstr; ///< Inclusive; the ending call or the terminator.
+    bool EndsInCall;
+  };
+
+  void buildNodes(PathGraph &G) {
+    NodeOf.assign(Meth.Blocks.size(), {});
+    Segments.clear();
+    for (size_t B = 0; B < Meth.Blocks.size(); ++B) {
+      const BasicBlock &BB = Meth.Blocks[B];
+      size_t Start = 0;
+      uint32_t SegIdx = 0;
+      for (size_t I = 0; I < BB.Instrs.size(); ++I) {
+        bool Last = I + 1 == BB.Instrs.size();
+        if (isCutCall(BB.Instrs[I]) || Last) {
+          Segment S;
+          S.Block = BlockId(B);
+          S.SegIdx = SegIdx++;
+          S.FirstInstr = Start;
+          S.LastInstr = I;
+          S.EndsInCall = isCutCall(BB.Instrs[I]);
+          NodeOf[B].push_back(int32_t(Segments.size()));
+          Segments.push_back(S);
+          Start = I + 1;
+        }
+      }
+    }
+    G.Nodes.resize(Segments.size());
+    for (size_t N = 0; N < Segments.size(); ++N) {
+      const Segment &S = Segments[N];
+      PathGraph::Node &Node = G.Nodes[N];
+      Node.Block = S.Block;
+      Node.SegIdx = S.SegIdx;
+      const BasicBlock &BB = Meth.Blocks[size_t(S.Block)];
+      for (size_t I = S.FirstInstr; I <= S.LastInstr; ++I) {
+        uint16_t Slots = traceSlotCount(BB.Instrs[I].Op, BB.Instrs[I].Aux);
+        if (Slots > 0)
+          Node.Sites.emplace_back(makeSiteId(S.Block, I), Slots);
+      }
+    }
+  }
+
+  /// DFS forest over the block graph marking back edges.
+  void findBackEdges() {
+    size_t NumBlocks = Meth.Blocks.size();
+    BackEdge.clear();
+    std::vector<uint8_t> Color(NumBlocks, 0); // 0 white, 1 on stack, 2 done
+    for (size_t Root = 0; Root < NumBlocks; ++Root) {
+      if (Color[Root] != 0)
+        continue;
+      // Iterative DFS with explicit (block, next-successor) stack.
+      std::vector<std::pair<BlockId, size_t>> Stack;
+      Stack.emplace_back(BlockId(Root), 0);
+      Color[Root] = 1;
+      while (!Stack.empty()) {
+        auto &[B, NextSucc] = Stack.back();
+        std::vector<BlockId> Succs = successorsOf(B);
+        if (NextSucc >= Succs.size()) {
+          Color[size_t(B)] = 2;
+          Stack.pop_back();
+          continue;
+        }
+        BlockId T = Succs[NextSucc++];
+        if (Color[size_t(T)] == 1) {
+          BackEdge.insert((uint64_t(uint32_t(B)) << 32) | uint32_t(T));
+        } else if (Color[size_t(T)] == 0) {
+          Color[size_t(T)] = 1;
+          Stack.emplace_back(T, 0);
+        }
+      }
+    }
+  }
+
+  std::vector<BlockId> successorsOf(BlockId B) const {
+    const BasicBlock &BB = Meth.Blocks[size_t(B)];
+    assert(!BB.Instrs.empty() && "empty block");
+    const Instr &Term = BB.Instrs.back();
+    switch (Term.Op) {
+    case Opcode::Br:
+      return {Term.Target, BlockId(Term.Aux2)};
+    case Opcode::Jmp:
+      return {Term.Target};
+    default:
+      return {};
+    }
+  }
+
+  bool isBackEdge(BlockId From, BlockId To) const {
+    return BackEdge.count((uint64_t(uint32_t(From)) << 32) | uint32_t(To)) !=
+           0;
+  }
+
+  /// Assigns Ball-Larus values. Returns false on path-count overflow.
+  bool number(PathGraph &G, bool AllCut) {
+    size_t N = G.Nodes.size();
+
+    // Conceptual out-edges per node: (targetNode or -1 for "ends here",
+    // cut, branchTo or siteId for action bookkeeping).
+    struct OutEdge {
+      int32_t Target;   ///< Continuation node (for cut) or real head.
+      bool Cut;
+      bool IsRet;
+      uint32_t SiteId;  ///< For call cuts.
+      BlockId ToBlock;  ///< For branch edges.
+      uint64_t Val = 0;
+    };
+    std::vector<std::vector<OutEdge>> Out(N);
+
+    for (size_t I = 0; I < N; ++I) {
+      const Segment &S = Segments[I];
+      const BasicBlock &BB = Meth.Blocks[size_t(S.Block)];
+      const Instr &End = BB.Instrs[S.LastInstr];
+      if (S.EndsInCall) {
+        OutEdge E;
+        E.Target = NodeOf[size_t(S.Block)][S.SegIdx + 1];
+        E.Cut = true;
+        E.IsRet = false;
+        E.SiteId = makeSiteId(S.Block, S.LastInstr);
+        E.ToBlock = -1;
+        Out[I].push_back(E);
+        continue;
+      }
+      switch (End.Op) {
+      case Opcode::Ret: {
+        OutEdge E;
+        E.Target = -1;
+        E.Cut = false;
+        E.IsRet = true;
+        E.SiteId = 0;
+        E.ToBlock = -1;
+        Out[I].push_back(E);
+        break;
+      }
+      case Opcode::Br:
+      case Opcode::Jmp: {
+        std::vector<BlockId> Succs = successorsOf(S.Block);
+        for (BlockId T : Succs) {
+          OutEdge E;
+          E.Target = NodeOf[size_t(T)][0];
+          E.Cut = AllCut || isBackEdge(S.Block, T);
+          E.IsRet = false;
+          E.SiteId = 0;
+          E.ToBlock = T;
+          Out[I].push_back(E);
+        }
+        break;
+      }
+      default:
+        assert(false && "segment must end in a call or terminator");
+      }
+      if (AllCut)
+        for (OutEdge &E : Out[I])
+          if (!E.IsRet)
+            E.Cut = true;
+    }
+
+    // Topological order over real (non-cut) node-to-node edges.
+    std::vector<int32_t> Topo = topoOrder(Out);
+    if (Topo.empty() && N != 0)
+      return false; // Residual cycle (should not happen; bail to AllCut).
+
+    // NumPaths and edge values, in reverse topological order.
+    for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+      int32_t V = *It;
+      uint64_t Sum = 0;
+      for (OutEdge &E : Out[size_t(V)]) {
+        E.Val = Sum;
+        uint64_t Contribution;
+        if (E.Cut || E.IsRet || E.Target == -1)
+          Contribution = 1; // Path ends at Exit.
+        else
+          Contribution = G.Nodes[size_t(E.Target)].NumPaths;
+        Sum += Contribution;
+        if (Sum > PathGraph::PathLimit)
+          return false;
+      }
+      G.Nodes[size_t(V)].NumPaths = Sum == 0 ? 1 : Sum;
+    }
+
+    // Entry edges: the real entry edge first, then one dummy edge per
+    // distinct cut-continuation target.
+    std::vector<int32_t> CutTargets;
+    for (size_t V = 0; V < N; ++V)
+      for (const OutEdge &E : Out[V])
+        if (E.Cut && std::find(CutTargets.begin(), CutTargets.end(),
+                               E.Target) == CutTargets.end())
+          CutTargets.push_back(E.Target);
+
+    uint64_t EntrySum = 0;
+    std::unordered_map<int32_t, uint64_t> ResetOf;
+    int32_t EntryNode = NodeOf[0][0];
+    G.EntryEdges.push_back({EntryNode, EntrySum, /*Real=*/true});
+    G.EntryVal = EntrySum;
+    EntrySum += G.Nodes[size_t(EntryNode)].NumPaths;
+    if (EntrySum > PathGraph::PathLimit)
+      return false;
+    for (int32_t T : CutTargets) {
+      G.EntryEdges.push_back({T, EntrySum, /*Real=*/false});
+      ResetOf[T] = EntrySum;
+      EntrySum += G.Nodes[size_t(T)].NumPaths;
+      if (EntrySum > PathGraph::PathLimit)
+        return false;
+    }
+    G.TotalPaths = EntrySum;
+
+    // Publish node edges for decoding and the runtime actions.
+    for (size_t V = 0; V < N; ++V) {
+      for (const OutEdge &E : Out[V]) {
+        int32_t DecodeHead = (E.Cut || E.IsRet) ? -1 : E.Target;
+        G.Nodes[V].Edges.emplace_back(DecodeHead, E.Val);
+
+        if (E.IsRet) {
+          G.RetEmit[Segments[V].Block] = E.Val;
+          continue;
+        }
+        PathEdgeAction A;
+        if (E.Cut) {
+          A.Cut = true;
+          A.EmitAdd = E.Val;
+          A.Reset = ResetOf.at(E.Target);
+        } else {
+          A.Cut = false;
+          A.Add = E.Val;
+        }
+        if (Segments[V].EndsInCall)
+          G.CallActions.emplace(E.SiteId, A);
+        else
+          G.BranchActions.emplace(
+              (uint64_t(uint32_t(Segments[V].Block)) << 32) |
+                  uint32_t(E.ToBlock),
+              A);
+      }
+    }
+    return true;
+  }
+
+  template <typename OutEdgeVec>
+  std::vector<int32_t> topoOrder(const std::vector<OutEdgeVec> &Out) {
+    size_t N = Out.size();
+    std::vector<uint32_t> InDegree(N, 0);
+    for (size_t V = 0; V < N; ++V)
+      for (const auto &E : Out[V])
+        if (!E.Cut && !E.IsRet && E.Target != -1)
+          ++InDegree[size_t(E.Target)];
+    std::vector<int32_t> Ready;
+    for (size_t V = 0; V < N; ++V)
+      if (InDegree[V] == 0)
+        Ready.push_back(int32_t(V));
+    std::vector<int32_t> Order;
+    while (!Ready.empty()) {
+      int32_t V = Ready.back();
+      Ready.pop_back();
+      Order.push_back(V);
+      for (const auto &E : Out[size_t(V)])
+        if (!E.Cut && !E.IsRet && E.Target != -1)
+          if (--InDegree[size_t(E.Target)] == 0)
+            Ready.push_back(E.Target);
+    }
+    if (Order.size() != N)
+      return {};
+    return Order;
+  }
+
+  const Program &P;
+  const Method &Meth;
+  std::vector<Segment> Segments;
+  std::vector<std::vector<int32_t>> NodeOf; ///< Block -> segment nodes.
+  std::unordered_set<uint64_t> BackEdge;
+};
+
+} // namespace nimg
+
+std::unique_ptr<PathGraph> PathGraph::build(const Program &P, MethodId M) {
+  return PathGraphBuilder(P, M).run();
+}
+
+const PathEdgeAction &PathGraph::branchAction(BlockId From, BlockId To) const {
+  auto It =
+      BranchActions.find((uint64_t(uint32_t(From)) << 32) | uint32_t(To));
+  assert(It != BranchActions.end() && "unknown branch edge");
+  return It->second;
+}
+
+const PathEdgeAction &PathGraph::callAction(uint32_t SiteId) const {
+  auto It = CallActions.find(SiteId);
+  assert(It != CallActions.end() && "unknown call site");
+  return It->second;
+}
+
+uint64_t PathGraph::retEmitAdd(BlockId Block) const {
+  auto It = RetEmit.find(Block);
+  assert(It != RetEmit.end() && "unknown return block");
+  return It->second;
+}
+
+PathEvents PathGraph::decode(uint64_t PathId) const {
+  PathEvents Events;
+  if (PathId >= TotalPaths || EntryEdges.empty())
+    return Events;
+
+  // Pick the entry edge with the largest value <= PathId.
+  uint64_t Remaining = PathId;
+  const EntryEdge *Chosen = &EntryEdges[0];
+  for (const EntryEdge &E : EntryEdges) {
+    if (E.Val > Remaining)
+      break;
+    Chosen = &E;
+  }
+  Events.MethodEntry = Chosen->Real;
+  Remaining -= Chosen->Val;
+  int32_t Cur = Chosen->Head;
+
+  size_t Guard = Nodes.size() + 2;
+  while (Cur != -1 && Guard-- > 0) {
+    const Node &V = Nodes[size_t(Cur)];
+    for (const auto &[Site, Count] : V.Sites) {
+      Events.Sites.emplace_back(Site, Count);
+      Events.OperandCount += Count;
+    }
+    if (V.Edges.empty())
+      break;
+    const auto *Edge = &V.Edges[0];
+    for (const auto &E : V.Edges) {
+      if (E.second > Remaining)
+        break;
+      Edge = &E;
+    }
+    Remaining -= Edge->second;
+    Cur = Edge->first;
+  }
+  return Events;
+}

@@ -1,0 +1,171 @@
+//===- Trace.h - Trace records, buffers, and dump modes ---------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-thread trace format of the tracing profiler (Sec. 6.1). A trace
+/// is a sequence of 64-bit words:
+///
+///  - a *path record* carries the method and Ball-Larus path id; it is
+///    followed by exactly as many operand words as the decoded path has
+///    heap-access slots (heap-ordering traces only). An operand word is
+///    `snapshotEntryIndex + 1`, or 0 when the accessed value was not an
+///    image-heap object;
+///  - a *CU-entry record* carries the root method of the entered
+///    compilation unit (cu-ordering traces only).
+///
+/// Buffers have two dump modes (Sec. 6.1): FlushOnFull flushes full
+/// buffers and at thread termination — an abnormal termination (the
+/// SIGKILL the microservice harness sends, Sec. 7.1) loses the unflushed
+/// tail; MemoryMapped models mmap-backed trace files where the kernel
+/// persists every word, at a higher per-word cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_PROFILING_TRACE_H
+#define NIMG_PROFILING_TRACE_H
+
+#include "src/ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace nimg {
+
+/// What the instrumented binary traces; one per ordering strategy family.
+enum class TraceMode : uint8_t {
+  CuOrder,     ///< CU-entry events (Sec. 4.1).
+  MethodOrder, ///< Method-entry events via path records (Sec. 4.2).
+  HeapOrder,   ///< Object accesses via path records + operands (Sec. 5).
+};
+
+enum class DumpMode : uint8_t { FlushOnFull, MemoryMapped };
+
+struct TraceOptions {
+  TraceMode Mode = TraceMode::CuOrder;
+  DumpMode Dump = DumpMode::FlushOnFull;
+  uint32_t BufferWords = 16384;
+};
+
+/// Trace-word encodings.
+namespace tracerec {
+
+inline constexpr uint64_t KindMask = 0x7;
+inline constexpr uint64_t KindPath = 0x1;
+inline constexpr uint64_t KindCuEnter = 0x2;
+
+inline uint64_t makePath(MethodId M, uint64_t PathId) {
+  return KindPath | (PathId << 3) | (uint64_t(uint32_t(M)) << 24);
+}
+inline uint64_t makeCuEnter(MethodId Root) {
+  return KindCuEnter | (uint64_t(uint32_t(Root)) << 3);
+}
+inline bool isPath(uint64_t W) { return (W & KindMask) == KindPath; }
+inline bool isCuEnter(uint64_t W) { return (W & KindMask) == KindCuEnter; }
+inline uint64_t pathId(uint64_t W) { return (W >> 3) & 0x1fffff; }
+inline MethodId pathMethod(uint64_t W) { return MethodId(W >> 24); }
+inline MethodId cuRoot(uint64_t W) { return MethodId(W >> 3); }
+
+} // namespace tracerec
+
+/// One thread's persisted trace.
+struct ThreadTrace {
+  std::vector<uint64_t> Words;
+};
+
+/// All traces of one profiling run, in thread-creation order — the order
+/// multi-threaded profiles are concatenated in (Sec. 7.1).
+struct TraceCapture {
+  TraceOptions Options;
+  std::vector<ThreadTrace> Threads;
+
+  size_t totalWords() const {
+    size_t N = 0;
+    for (const ThreadTrace &T : Threads)
+      N += T.Words.size();
+    return N;
+  }
+};
+
+/// Writes trace words with buffer/dump-mode semantics and accounts the
+/// modeled probe cost.
+class TraceWriter {
+public:
+  explicit TraceWriter(const TraceOptions &Options) : Options(Options) {}
+
+  void ensureThread(uint32_t Tid) {
+    if (Tid >= Pending.size()) {
+      Pending.resize(Tid + 1);
+      Persisted.resize(Tid + 1);
+    }
+  }
+
+  /// Appends one word to \p Tid's buffer.
+  void append(uint32_t Tid, uint64_t Word) {
+    ensureThread(Tid);
+    if (Options.Dump == DumpMode::MemoryMapped) {
+      // The mmap-backed file persists every word; remapping on overflow is
+      // folded into the per-word cost.
+      Persisted[Tid].Words.push_back(Word);
+      ProbeUnits += MmapWordCost;
+      return;
+    }
+    Pending[Tid].push_back(Word);
+    if (Pending[Tid].size() >= Options.BufferWords)
+      flushThread(Tid);
+  }
+
+  void addProbeCost(uint64_t Units) { ProbeUnits += Units; }
+  uint64_t probeUnits() const { return ProbeUnits; }
+
+  /// Flushes one thread's pending buffer (buffer full / clean termination).
+  void flushThread(uint32_t Tid) {
+    ensureThread(Tid);
+    auto &P = Pending[Tid];
+    auto &Out = Persisted[Tid].Words;
+    Out.insert(Out.end(), P.begin(), P.end());
+    ProbeUnits += FlushCost;
+    P.clear();
+  }
+
+  /// Clean shutdown: every thread runs its termination handler.
+  void flushAll() {
+    for (uint32_t Tid = 0; Tid < Pending.size(); ++Tid)
+      if (!Pending[Tid].empty())
+        flushThread(Tid);
+  }
+
+  /// Simulated SIGKILL: termination handlers do not run, so FlushOnFull
+  /// buffers lose their unflushed tail (the reason microservices use the
+  /// memory-mapped mode, Sec. 6.1).
+  void killAll() {
+    for (auto &P : Pending)
+      P.clear();
+  }
+
+  TraceCapture take() {
+    TraceCapture C;
+    C.Options = Options;
+    C.Threads = std::move(Persisted);
+    Persisted.clear();
+    Pending.clear();
+    return C;
+  }
+
+  /// Modeled cost constants (time-model units per operation).
+  static constexpr uint64_t MmapWordCost = 2;
+  static constexpr uint64_t FlushCost = 64;
+
+private:
+  TraceOptions Options;
+  std::vector<std::vector<uint64_t>> Pending;
+  std::vector<ThreadTrace> Persisted;
+  uint64_t ProbeUnits = 0;
+};
+
+} // namespace nimg
+
+#endif // NIMG_PROFILING_TRACE_H

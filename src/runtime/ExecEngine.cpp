@@ -1,0 +1,303 @@
+//===- ExecEngine.cpp - Image execution engine ------------------------------===//
+
+#include "src/runtime/ExecEngine.h"
+
+#include "src/profiling/PathGraph.h"
+#include "src/support/SplitMix64.h"
+
+#include <unordered_set>
+
+using namespace nimg;
+
+namespace {
+
+/// Cost-model units charged by the tracing probes, per operation kind.
+/// Method-ordering instrumentation is the most expensive (it records every
+/// method execution, Sec. 7.4: 1.83x on AWFY vs 1.36x for heap tracing and
+/// 1.21x for cu tracing); heap tracing pays per recorded object access; cu
+/// tracing only instruments CU entry points.
+struct ProbeCosts {
+  uint64_t EdgeUpdate = 1;
+  uint64_t EnterExit = 2;
+  uint64_t EmitRecord = 6;
+  uint64_t Operand = 2;
+  uint64_t CuEnter = 4;
+
+  static ProbeCosts forMode(TraceMode Mode) {
+    ProbeCosts C;
+    if (Mode == TraceMode::MethodOrder) {
+      // Method-entry signatures are recorded for every invocation,
+      // including inlined ones; paths without events are still emitted.
+      C.EnterExit = 8;
+      C.EmitRecord = 12;
+    }
+    if (Mode == TraceMode::CuOrder)
+      C.CuEnter = 8;
+    return C;
+  }
+};
+
+/// Combined paging + tracing hooks driven by the interpreter.
+class EngineHooks : public RuntimeHooks {
+public:
+  EngineHooks(const NativeImage &Img, PagingSim &Paging, TraceWriter *Trace,
+              PathGraphCache *Paths, TraceMode Mode)
+      : Img(Img), Paging(Paging), Trace(Trace), Paths(Paths), Mode(Mode),
+        Costs(ProbeCosts::forMode(Mode)) {}
+
+  size_t storedObjectsTouched() const { return TouchedEntries.size(); }
+
+  void onMethodEnter(uint32_t Tid, const ExecContext &Ctx, MethodId M,
+                     bool NewCu) override {
+    if (Ctx.Cu >= 0) {
+      const CompilationUnit &CU = Img.Code.CUs[size_t(Ctx.Cu)];
+      const InlineCopy &Copy = CU.Copies[size_t(Ctx.Copy)];
+      Paging.touch(ImageSection::Text,
+                   Img.Layout.CuOffsets[size_t(Ctx.Cu)] + Copy.CodeOffset,
+                   Copy.CodeSize);
+    }
+    if (!Trace)
+      return;
+    ensureStack(Tid);
+    if (Mode == TraceMode::CuOrder) {
+      if (NewCu && Ctx.Cu >= 0) {
+        Trace->append(Tid,
+                      tracerec::makeCuEnter(Img.Code.CUs[size_t(Ctx.Cu)].Root));
+        Trace->addProbeCost(Costs.CuEnter);
+      }
+      return;
+    }
+    const PathGraph &G = Paths->of(M);
+    Stacks[Tid].push_back({&G, M, G.entryValue(), {}});
+    Trace->addProbeCost(Costs.EnterExit);
+  }
+
+  void onMethodExit(uint32_t Tid, MethodId M, BlockId Block) override {
+    if (!Trace || Mode == TraceMode::CuOrder)
+      return;
+    ensureStack(Tid);
+    assert(!Stacks[Tid].empty() && "trace stack underflow");
+    FrameState &F = Stacks[Tid].back();
+    assert(F.M == M && "trace stack out of sync");
+    (void)M;
+    emitPath(Tid, F, F.PathVal + F.Graph->retEmitAdd(Block));
+    Stacks[Tid].pop_back();
+    Trace->addProbeCost(Costs.EnterExit);
+  }
+
+  void onCallSite(uint32_t Tid, MethodId Caller, uint32_t SiteId) override {
+    if (!Trace || Mode == TraceMode::CuOrder)
+      return;
+    ensureStack(Tid);
+    assert(!Stacks[Tid].empty() && "trace stack underflow");
+    FrameState &F = Stacks[Tid].back();
+    assert(F.M == Caller && "trace stack out of sync");
+    (void)Caller;
+    const PathEdgeAction &A = F.Graph->callAction(SiteId);
+    assert(A.Cut && "call edges are always cut");
+    emitPath(Tid, F, F.PathVal + A.EmitAdd);
+    F.PathVal = A.Reset;
+  }
+
+  void onBlockEdge(uint32_t Tid, MethodId M, BlockId From,
+                   BlockId To) override {
+    if (!Trace || Mode == TraceMode::CuOrder)
+      return;
+    ensureStack(Tid);
+    assert(!Stacks[Tid].empty() && "trace stack underflow");
+    FrameState &F = Stacks[Tid].back();
+    assert(F.M == M && "trace stack out of sync");
+    (void)M;
+    const PathEdgeAction &A = F.Graph->branchAction(From, To);
+    if (A.Cut) {
+      emitPath(Tid, F, F.PathVal + A.EmitAdd);
+      F.PathVal = A.Reset;
+    } else {
+      F.PathVal += A.Add;
+    }
+    Trace->addProbeCost(Costs.EdgeUpdate);
+  }
+
+  void onAccessSite(uint32_t Tid, MethodId M, uint32_t SiteId,
+                    const CellIdx *Cells, uint16_t Count) override {
+    (void)M;
+    (void)SiteId;
+    for (uint16_t I = 0; I < Count; ++I) {
+      int32_t Entry = Cells[I] < 0 ? -1 : Img.Snapshot.entryOf(Cells[I]);
+      uint64_t Off = Entry < 0 ? ImageLayout::NotStored
+                               : Img.Layout.ObjectOffsets[size_t(Entry)];
+      if (Off != ImageLayout::NotStored) {
+        Paging.touch(ImageSection::HeapSec, Off,
+                     Img.Snapshot.Entries[size_t(Entry)].SizeBytes);
+        TouchedEntries.insert(Entry);
+      }
+      if (Trace && Mode == TraceMode::HeapOrder) {
+        ensureStack(Tid);
+        assert(!Stacks[Tid].empty() && "trace stack underflow");
+        uint64_t Operand =
+            Off != ImageLayout::NotStored ? uint64_t(Entry) + 1 : 0;
+        Stacks[Tid].back().Operands.push_back(Operand);
+        Trace->addProbeCost(Costs.Operand);
+      }
+    }
+  }
+
+  void onStaticAccess(uint32_t Tid, ClassId C, int32_t StaticIdx) override {
+    (void)Tid;
+    Paging.touch(ImageSection::HeapSec, Img.Layout.staticSlotOffset(C, StaticIdx),
+                 8);
+  }
+
+  void onNativeCall(uint32_t Tid, NativeId N) override {
+    (void)Tid;
+    // Native code lives in the statically-linked tail of .text; each native
+    // entry point touches its (deterministic) stub.
+    uint64_t Stub = mix64(0x7a11, uint64_t(N)) %
+                    (Img.Layout.NativeTailSize > 512
+                         ? Img.Layout.NativeTailSize - 512
+                         : 1);
+    Paging.touch(ImageSection::Text, Img.Layout.NativeTailOffset + Stub, 256);
+  }
+
+private:
+  struct FrameState {
+    const PathGraph *Graph;
+    MethodId M;
+    uint64_t PathVal;
+    std::vector<uint64_t> Operands;
+  };
+
+  void ensureStack(uint32_t Tid) {
+    if (Tid >= Stacks.size())
+      Stacks.resize(Tid + 1);
+  }
+
+  void emitPath(uint32_t Tid, FrameState &F, uint64_t PathId) {
+    // Heap-ordering traces skip paths without operands — the analyses only
+    // need object-access order (this is what keeps heap-tracing overhead
+    // below method-tracing overhead).
+    if (Mode == TraceMode::HeapOrder && F.Operands.empty())
+      return;
+    Trace->append(Tid, tracerec::makePath(F.M, PathId));
+    Trace->addProbeCost(Costs.EmitRecord);
+    for (uint64_t Op : F.Operands)
+      Trace->append(Tid, Op);
+    F.Operands.clear();
+  }
+
+  const NativeImage &Img;
+  PagingSim &Paging;
+  TraceWriter *Trace;
+  PathGraphCache *Paths;
+  TraceMode Mode;
+  ProbeCosts Costs;
+  std::vector<std::vector<FrameState>> Stacks;
+  std::unordered_set<int32_t> TouchedEntries;
+};
+
+} // namespace
+
+RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
+                        TraceCapture *TraceOut) {
+  assert(Img.P && "image without a program");
+  Program &P = *Img.P;
+  RunStats Stats;
+
+  // The run executes on a private copy of the image heap and statics: the
+  // mapped image is copy-on-write per process.
+  Heap RunHeap(*Img.Built.BuildHeap);
+
+  PagingSim Paging(Img.Layout.TextSize, Img.Layout.HeapSize, Cfg.Paging);
+  if (!Cfg.ColdCache) {
+    // Warm cache: pre-fault everything so no majors are charged.
+    Paging.touch(ImageSection::Text, 0, Img.Layout.TextSize);
+    Paging.touch(ImageSection::HeapSec, 0, Img.Layout.HeapSize);
+  }
+  uint64_t WarmFaultsText = Paging.faults(ImageSection::Text);
+  uint64_t WarmFaultsHeap = Paging.faults(ImageSection::HeapSec);
+
+  TraceWriter Writer(Cfg.Trace ? *Cfg.Trace : TraceOptions{});
+  PathGraphCache Paths(P);
+  EngineHooks Hooks(Img, Paging, Cfg.Trace ? &Writer : nullptr, &Paths,
+                    Cfg.Trace ? Cfg.Trace->Mode : TraceMode::CuOrder);
+  CuCodeModel Code(Img.Code);
+
+  InterpConfig ICfg;
+  ICfg.RunClinits = false;
+  ICfg.MaxInstructions = Cfg.MaxInstructions;
+  Interpreter I(P, RunHeap, ICfg);
+  I.markAllClinitsDone();
+  // Statics from the image; sizes can differ when builtin classes were
+  // registered after the snapshot, so copy row-wise.
+  for (size_t C = 0; C < Img.Built.Statics.size() && C < I.statics().size();
+       ++C)
+    I.statics()[C] = Img.Built.Statics[C];
+  I.setResources(&Img.Built.ResourceCells);
+  I.setCodeModel(&Code);
+  I.setHooks(&Hooks);
+
+  bool Killed = false;
+  I.OnSpawn = [&](MethodId M) { I.spawnThread(M, {}); };
+  I.OnRespond = [&](uint32_t, const std::string &) {
+    if (Stats.Responded)
+      return;
+    Stats.Responded = true;
+    uint64_t Faults = Paging.totalFaults() - WarmFaultsText - WarmFaultsHeap;
+    Stats.TimeToFirstResponseNs =
+        Cfg.Cost.BaseNs + double(I.instructionsExecuted()) * Cfg.Cost.InstrNs +
+        double(Writer.probeUnits()) * Cfg.Cost.ProbeUnitNs +
+        double(Faults) * Cfg.Cost.FaultNs;
+    if (Cfg.StopAtFirstResponse)
+      Killed = true; // SIGKILL: stop scheduling, lose unflushed buffers.
+  };
+
+  // Root thread runs main. Deterministic round-robin scheduling.
+  I.spawnThread(P.MainMethod, {});
+  bool Progress = true;
+  while (Progress && !Killed) {
+    Progress = false;
+    size_t NumThreads = I.numThreads();
+    for (uint32_t Tid = 0; Tid < NumThreads && !Killed; ++Tid) {
+      if (I.threadFinished(Tid))
+        continue;
+      uint64_t Ran = I.step(Tid, Cfg.ThreadQuantum);
+      if (Ran > 0)
+        Progress = true;
+      if (I.threadTrapped(Tid)) {
+        Stats.Trapped = true;
+        Stats.TrapMessage = I.trapMessage(Tid);
+        Progress = false;
+        break;
+      }
+    }
+    if (I.fuelExhausted()) {
+      Stats.FuelExhausted = true;
+      break;
+    }
+  }
+
+  if (Cfg.Trace) {
+    if (Killed)
+      Writer.killAll();
+    else
+      Writer.flushAll();
+    if (TraceOut)
+      *TraceOut = Writer.take();
+  }
+
+  Stats.TextFaults = Paging.faults(ImageSection::Text) - WarmFaultsText;
+  Stats.HeapFaults = Paging.faults(ImageSection::HeapSec) - WarmFaultsHeap;
+  Stats.Instructions = I.instructionsExecuted();
+  Stats.ProbeUnits = Writer.probeUnits();
+  Stats.PrefetchedPages = Paging.prefetchedPages();
+  Stats.Output = I.output();
+  Stats.StoredObjectsTouched = Hooks.storedObjectsTouched();
+  Stats.StoredObjectsTotal = Img.Snapshot.numStored();
+  Stats.TextPages = Paging.pageStates(ImageSection::Text);
+  Stats.HeapPages = Paging.pageStates(ImageSection::HeapSec);
+  Stats.TimeNs = Cfg.Cost.BaseNs +
+                 double(Stats.Instructions) * Cfg.Cost.InstrNs +
+                 double(Stats.ProbeUnits) * Cfg.Cost.ProbeUnitNs +
+                 double(Stats.totalFaults()) * Cfg.Cost.FaultNs;
+  return Stats;
+}

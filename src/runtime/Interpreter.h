@@ -1,0 +1,279 @@
+//===- Interpreter.h - MiniJava IR interpreter ------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR interpreter. It is used in three roles:
+///  - at image build time, to execute static initializers and populate the
+///    build heap (heap snapshotting, Sec. 2);
+///  - at simulated run time, to execute the program "from the image", with
+///    a CodeModel that maps calls to compilation-unit copies and hooks that
+///    drive the paging simulator;
+///  - in the profiling build, with tracing hooks that reproduce the paper's
+///    IR-level instrumentation (Sec. 6.1).
+///
+/// Threads are cooperative and deterministic: the caller steps each thread
+/// by an instruction quantum (the execution engine round-robins them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_RUNTIME_INTERPRETER_H
+#define NIMG_RUNTIME_INTERPRETER_H
+
+#include "src/heap/Heap.h"
+#include "src/ir/Program.h"
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nimg {
+
+/// Where execution currently is in the image: which compilation unit, and
+/// which inline copy inside it. At build time (no image) both are -1/0.
+struct ExecContext {
+  int32_t Cu = -1;
+  int32_t Copy = 0;
+};
+
+/// Maps invocations to execution contexts. The image-backed implementation
+/// consults the compilation-unit inline maps; the default (build-time)
+/// implementation reports no compilation units.
+class CodeModel {
+public:
+  virtual ~CodeModel() = default;
+
+  /// Returns the context in which \p Target executes when invoked from
+  /// \p Caller at call site \p SiteId. The default has no CUs.
+  virtual ExecContext enterContext(const ExecContext &Caller, uint32_t SiteId,
+                                   MethodId Target) {
+    (void)Caller;
+    (void)SiteId;
+    (void)Target;
+    return ExecContext{};
+  }
+};
+
+/// Observation points used by the paging simulator and the tracing
+/// profiler. All callbacks receive the thread id; tracing hooks keep
+/// per-thread shadow stacks that they push/pop on method enter/exit.
+class RuntimeHooks {
+public:
+  virtual ~RuntimeHooks() = default;
+
+  /// A method body starts executing in \p Ctx. \p NewCu is true when the
+  /// invocation entered a different compilation unit (a CU entry point in
+  /// the sense of Sec. 4.1).
+  virtual void onMethodEnter(uint32_t Tid, const ExecContext &Ctx, MethodId M,
+                             bool NewCu) {
+    (void)Tid;
+    (void)Ctx;
+    (void)M;
+    (void)NewCu;
+  }
+  /// The current method is about to return from the Ret terminator of
+  /// \p Block.
+  virtual void onMethodExit(uint32_t Tid, MethodId M, BlockId Block) {
+    (void)Tid;
+    (void)M;
+    (void)Block;
+  }
+  /// A call is about to be made from \p SiteId (a path-cut point).
+  virtual void onCallSite(uint32_t Tid, MethodId Caller, uint32_t SiteId) {
+    (void)Tid;
+    (void)Caller;
+    (void)SiteId;
+  }
+  /// A branch or jump moved control from \p From to \p To within \p M.
+  virtual void onBlockEdge(uint32_t Tid, MethodId M, BlockId From, BlockId To) {
+    (void)Tid;
+    (void)M;
+    (void)From;
+    (void)To;
+  }
+  /// A heap-accessing instruction executed. \p Cells holds exactly
+  /// traceSlotCount() entries; entries are -1 when the slot's runtime value
+  /// was not a heap cell.
+  virtual void onAccessSite(uint32_t Tid, MethodId M, uint32_t SiteId,
+                            const CellIdx *Cells, uint16_t Count) {
+    (void)Tid;
+    (void)M;
+    (void)SiteId;
+    (void)Cells;
+    (void)Count;
+  }
+  /// A static field was read or written.
+  virtual void onStaticAccess(uint32_t Tid, ClassId C, int32_t StaticIdx) {
+    (void)Tid;
+    (void)C;
+    (void)StaticIdx;
+  }
+  /// A cell was allocated at run time.
+  virtual void onAllocate(uint32_t Tid, CellIdx C) {
+    (void)Tid;
+    (void)C;
+  }
+  /// A native method executed.
+  virtual void onNativeCall(uint32_t Tid, NativeId N) {
+    (void)Tid;
+    (void)N;
+  }
+};
+
+/// Interpreter configuration.
+struct InterpConfig {
+  /// Trigger static initializers on first class use (build-time role).
+  bool RunClinits = false;
+  /// Safety fuel per interpreter instance.
+  uint64_t MaxInstructions = 2'000'000'000;
+};
+
+/// Per-class static-initializer state.
+enum class ClinitState : uint8_t { NotRun, Running, Done };
+
+/// The interpreter. Owns thread states and the static-field table; the
+/// heap is shared with the caller so it can be snapshotted.
+class Interpreter {
+public:
+  Interpreter(Program &P, Heap &H, InterpConfig Config = InterpConfig());
+
+  void setCodeModel(CodeModel *CM) { Code = CM; }
+  void setHooks(RuntimeHooks *H) { Hooks = H; }
+
+  // --- Statics and class initialization ------------------------------------
+
+  Value getStaticField(ClassId C, int32_t Idx) const {
+    return Statics[size_t(C)][size_t(Idx)];
+  }
+  void setStaticField(ClassId C, int32_t Idx, Value V) {
+    Statics[size_t(C)][size_t(Idx)] = V;
+  }
+  std::vector<std::vector<Value>> &statics() { return Statics; }
+  const std::vector<std::vector<Value>> &statics() const { return Statics; }
+
+  ClinitState clinitState(ClassId C) const { return Clinit[size_t(C)]; }
+  /// Marks every class initialized; the run-time role uses this because
+  /// initializers already ran at build time (Sec. 2).
+  void markAllClinitsDone();
+  /// Explicitly triggers initialization of \p C on thread \p Tid (used by
+  /// the build pipeline's proactive, permuted initialization order).
+  /// Returns false if \p C was already initialized or initializing.
+  bool requestClinit(uint32_t Tid, ClassId C);
+
+  /// Classes initialized so far, in completion order. The build pipeline
+  /// uses this to stamp initSeq into class-metadata objects.
+  const std::vector<ClassId> &initializationOrder() const { return InitOrder; }
+
+  // --- Resources -----------------------------------------------------------
+
+  /// Binds the resource table used by Sys.readResource.
+  void setResources(const std::unordered_map<std::string, CellIdx> *Map) {
+    Resources = Map;
+  }
+
+  // --- Threads --------------------------------------------------------------
+
+  /// Creates a thread whose root frame invokes \p M with \p Args. Returns
+  /// the thread id. Thread ids are dense and in creation order, which is
+  /// the order profiles are concatenated in (Sec. 7.1).
+  uint32_t spawnThread(MethodId M, std::vector<Value> Args);
+
+  /// Creates a thread with an empty stack. The build pipeline pairs this
+  /// with requestClinit() to run static initializers proactively in a
+  /// permuted order (modeling parallel class initialization, Sec. 2).
+  uint32_t newBareThread();
+
+  size_t numThreads() const { return Threads.size(); }
+  bool threadFinished(uint32_t Tid) const;
+  bool threadTrapped(uint32_t Tid) const;
+  const std::string &trapMessage(uint32_t Tid) const;
+  /// Return value of the thread's root method (valid once finished).
+  Value threadResult(uint32_t Tid) const;
+
+  /// Runs up to \p Quantum instructions on thread \p Tid; returns the
+  /// number actually executed (0 when the thread is finished or trapped).
+  uint64_t step(uint32_t Tid, uint64_t Quantum);
+
+  /// Convenience: runs a single thread to completion; returns its result.
+  /// Asserts the thread neither trapped nor ran out of fuel.
+  Value runToCompletion(MethodId M, std::vector<Value> Args);
+
+  // --- Introspection ---------------------------------------------------------
+
+  const std::string &output() const { return Output; }
+  uint64_t instructionsExecuted() const { return InstrCount; }
+  bool fuelExhausted() const { return InstrCount >= Config.MaxInstructions; }
+  Heap &heap() { return H; }
+  Program &program() { return P; }
+
+  /// Called when Sys.spawn executes; the execution engine wires this to
+  /// spawnThread.
+  std::function<void(MethodId)> OnSpawn;
+  /// Called when Sys.respond executes (first-response timing, Sec. 7.1).
+  std::function<void(uint32_t, const std::string &)> OnRespond;
+
+private:
+  struct Frame {
+    MethodId M = -1;
+    BlockId Block = 0;
+    uint32_t InstrIdx = 0;
+    uint16_t RetReg = 0;       ///< Caller register receiving the result.
+    bool WantsResult = false;  ///< Whether RetReg is meaningful.
+    bool IsClinitTrigger = false; ///< Pushed by lazy class initialization.
+    ExecContext Ctx;
+    std::vector<Value> Regs;
+  };
+
+  struct ThreadState {
+    std::vector<Frame> Stack;
+    bool Trapped = false;
+    bool YieldRequested = false;
+    std::string TrapMsg;
+    Value Result;
+    bool Finished = false;
+  };
+
+  // Execution helpers. Each returns false when the thread trapped.
+  bool execInstr(uint32_t Tid, ThreadState &T, const Instr &In);
+  bool ensureInitialized(uint32_t Tid, ThreadState &T, ClassId C,
+                         bool &Pushed);
+  void pushFrame(uint32_t Tid, ThreadState &T, MethodId M,
+                 std::vector<Value> Args, uint16_t RetReg, bool WantsResult,
+                 const ExecContext &CallerCtx, uint32_t SiteId,
+                 bool IsClinitTrigger);
+  void popFrame(uint32_t Tid, ThreadState &T, Value Result, bool HasResult);
+  bool doNative(uint32_t Tid, ThreadState &T, Frame &F, const Instr &In);
+  void trap(ThreadState &T, const std::string &Msg);
+
+  /// Reports an executed access site to the hooks.
+  void reportAccess(uint32_t Tid, const Frame &F, uint32_t SiteId,
+                    std::initializer_list<Value> Slots, uint16_t StaticCount);
+
+  const std::string *cellString(const Value &V);
+
+  Program &P;
+  Heap &H;
+  InterpConfig Config;
+  CodeModel *Code = nullptr;
+  CodeModel DefaultCode;
+  RuntimeHooks *Hooks = nullptr;
+
+  std::vector<std::vector<Value>> Statics;
+  std::vector<ClinitState> Clinit;
+  std::vector<ClassId> InitOrder;
+  /// Deque: Sys.spawn appends a thread while another thread executes, so
+  /// references to existing thread states must stay valid.
+  std::deque<ThreadState> Threads;
+  const std::unordered_map<std::string, CellIdx> *Resources = nullptr;
+  std::string Output;
+  uint64_t InstrCount = 0;
+};
+
+} // namespace nimg
+
+#endif // NIMG_RUNTIME_INTERPRETER_H

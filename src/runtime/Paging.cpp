@@ -1,0 +1,56 @@
+//===- Paging.cpp - Page-cache and major-fault simulator -------------------===//
+
+#include "src/runtime/Paging.h"
+
+#include <cassert>
+
+using namespace nimg;
+
+PagingSim::PagingSim(uint64_t TextSize, uint64_t HeapSize,
+                     const PagingConfig &Cfg)
+    : Config(Cfg) {
+  assert(Config.PageSize > 0 && Config.ReadaheadPages > 0 &&
+         "invalid paging configuration");
+  Pages[0].assign((TextSize + Config.PageSize - 1) / Config.PageSize,
+                  PageState::Untouched);
+  Pages[1].assign((HeapSize + Config.PageSize - 1) / Config.PageSize,
+                  PageState::Untouched);
+}
+
+void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
+  std::vector<PageState> &S = Pages[size_t(Section)];
+  if (S.empty() || Len == 0)
+    return;
+  uint64_t First = Off / Config.PageSize;
+  uint64_t Last = (Off + Len - 1) / Config.PageSize;
+  if (First >= S.size())
+    return;
+  if (Last >= S.size())
+    Last = S.size() - 1;
+  for (uint64_t Page = First; Page <= Last; ++Page) {
+    if (S[size_t(Page)] != PageState::Untouched)
+      continue;
+    // Major fault: read an aligned readahead cluster from the device.
+    ++Faults[size_t(Section)];
+    S[size_t(Page)] = PageState::Faulted;
+    uint64_t ClusterStart =
+        Page / Config.ReadaheadPages * Config.ReadaheadPages;
+    uint64_t ClusterEnd = ClusterStart + Config.ReadaheadPages;
+    if (ClusterEnd > S.size())
+      ClusterEnd = S.size();
+    for (uint64_t Ahead = ClusterStart; Ahead < ClusterEnd; ++Ahead) {
+      if (S[size_t(Ahead)] == PageState::Untouched) {
+        S[size_t(Ahead)] = PageState::Prefetched;
+        ++Prefetched;
+      }
+    }
+  }
+}
+
+void PagingSim::dropCaches() {
+  for (auto &S : Pages)
+    for (PageState &P : S)
+      P = PageState::Untouched;
+  // Fault counters are cumulative per run; callers construct a fresh
+  // PagingSim per measured iteration, so counters are not reset here.
+}

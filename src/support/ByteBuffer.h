@@ -1,0 +1,79 @@
+//===- ByteBuffer.h - Little-endian append-only byte buffer ----*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Append-only byte buffer used by the structural-hash and heap-path
+/// identity strategies to encode objects before hashing (Alg. 2/3), and by
+/// the trace writer. All multi-byte values are encoded little-endian so
+/// hashes are stable across hosts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_SUPPORT_BYTEBUFFER_H
+#define NIMG_SUPPORT_BYTEBUFFER_H
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace nimg {
+
+/// An append-only little-endian byte buffer.
+class ByteBuffer {
+public:
+  ByteBuffer() = default;
+
+  void appendU8(uint8_t V) { Bytes.push_back(V); }
+
+  void appendU32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Bytes.push_back(uint8_t(V >> (I * 8)));
+  }
+
+  void appendU64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Bytes.push_back(uint8_t(V >> (I * 8)));
+  }
+
+  void appendI64(int64_t V) { appendU64(uint64_t(V)); }
+
+  void appendF64(double V) {
+    uint64_t Raw;
+    std::memcpy(&Raw, &V, sizeof(Raw));
+    appendU64(Raw);
+  }
+
+  /// Appends the raw characters of \p S (no length prefix).
+  void appendString(std::string_view S) {
+    Bytes.insert(Bytes.end(), S.begin(), S.end());
+  }
+
+  /// Appends a length-prefixed string; prefer this when concatenated
+  /// encodings must stay unambiguous.
+  void appendSizedString(std::string_view S) {
+    appendU32(uint32_t(S.size()));
+    appendString(S);
+  }
+
+  /// Appends another buffer's contents.
+  void appendBuffer(const ByteBuffer &Other) {
+    Bytes.insert(Bytes.end(), Other.Bytes.begin(), Other.Bytes.end());
+  }
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  size_t size() const { return Bytes.size(); }
+  bool empty() const { return Bytes.empty(); }
+  void clear() { Bytes.clear(); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace nimg
+
+#endif // NIMG_SUPPORT_BYTEBUFFER_H

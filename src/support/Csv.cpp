@@ -1,0 +1,93 @@
+//===- Csv.cpp - Minimal CSV reader/writer --------------------------------===//
+
+#include "src/support/Csv.h"
+
+using namespace nimg;
+
+static bool needsQuoting(const std::string &Cell) {
+  return Cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+static void appendQuoted(std::string &Out, const std::string &Cell) {
+  Out.push_back('"');
+  for (char C : Cell) {
+    if (C == '"')
+      Out.push_back('"');
+    Out.push_back(C);
+  }
+  Out.push_back('"');
+}
+
+std::string nimg::writeCsv(const CsvDocument &Doc) {
+  std::string Out;
+  for (const auto &Row : Doc.Rows) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        Out.push_back(',');
+      if (needsQuoting(Row[I]))
+        appendQuoted(Out, Row[I]);
+      else
+        Out += Row[I];
+    }
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+CsvDocument nimg::parseCsv(const std::string &Text) {
+  CsvDocument Doc;
+  std::vector<std::string> Row;
+  std::string Cell;
+  bool InQuotes = false;
+  bool RowHasData = false;
+
+  auto EndCell = [&] {
+    Row.push_back(Cell);
+    Cell.clear();
+  };
+  auto EndRow = [&] {
+    EndCell();
+    Doc.Rows.push_back(Row);
+    Row.clear();
+    RowHasData = false;
+  };
+
+  for (size_t I = 0; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (InQuotes) {
+      if (C == '"') {
+        if (I + 1 < Text.size() && Text[I + 1] == '"') {
+          Cell.push_back('"');
+          ++I;
+        } else {
+          InQuotes = false;
+        }
+      } else {
+        Cell.push_back(C);
+      }
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InQuotes = true;
+      RowHasData = true;
+      break;
+    case ',':
+      EndCell();
+      RowHasData = true;
+      break;
+    case '\r':
+      break;
+    case '\n':
+      EndRow();
+      break;
+    default:
+      Cell.push_back(C);
+      RowHasData = true;
+      break;
+    }
+  }
+  if (RowHasData || !Cell.empty() || !Row.empty())
+    EndRow();
+  return Doc;
+}

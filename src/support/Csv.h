@@ -1,0 +1,39 @@
+//===- Csv.h - Minimal CSV reader/writer -----------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal CSV support. The paper's post-processing analyses emit one CSV
+/// file per ordering profile which the optimizing build consumes (Sec. 6.2);
+/// we mirror that interchange format so profiles can be inspected and are
+/// decoupled from in-memory state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_SUPPORT_CSV_H
+#define NIMG_SUPPORT_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace nimg {
+
+/// A parsed CSV document: rows of string cells.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Serializes \p Doc. Cells containing commas, quotes, or newlines are
+/// quoted per RFC 4180.
+std::string writeCsv(const CsvDocument &Doc);
+
+/// Parses RFC-4180-style CSV text. Handles quoted cells and embedded
+/// quotes; tolerates a missing trailing newline.
+CsvDocument parseCsv(const std::string &Text);
+
+} // namespace nimg
+
+#endif // NIMG_SUPPORT_CSV_H

@@ -1,0 +1,71 @@
+//===- SplitMix64.h - Deterministic 64-bit RNG -----------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 pseudo-random generator. Used wherever the reproduction needs
+/// deterministic "nondeterminism": the parallel-clinit permutation, PEA
+/// elision decisions, and workload data generation. Seeded explicitly so
+/// every build and benchmark run is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_SUPPORT_SPLITMIX64_H
+#define NIMG_SUPPORT_SPLITMIX64_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace nimg {
+
+/// SplitMix64 generator (Steele, Lea, Flood; public domain reference
+/// implementation by Vigna).
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow() requires a nonzero bound");
+    return next() % Bound;
+  }
+
+  /// Returns a double in [0, 1).
+  double nextDouble() {
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Fisher-Yates shuffles \p Items in place.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[nextBelow(I)]);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Stateless mix of two 64-bit values; used for per-site deterministic
+/// decisions (e.g. whether PEA folds a given allocation in a given build).
+inline uint64_t mix64(uint64_t A, uint64_t B) {
+  uint64_t Z = A + 0x9e3779b97f4a7c15ULL * (B + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace nimg
+
+#endif // NIMG_SUPPORT_SPLITMIX64_H

@@ -1,0 +1,631 @@
+//===- AwfyMacro1.cpp - AWFY macro benchmarks: Richards, Json, CD ----------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// MiniJava ports of three AWFY macro benchmarks. Richards is a faithful
+// port of the classic OS-simulation benchmark; Json parses an embedded
+// document with the benchmark's recursive-descent parser and DOM; CD is a
+// reduced collision-detection kernel preserving the original's aircraft
+// motion + spatial-voxel-hashing structure (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/workloads/WorkloadSources.h"
+
+using namespace nimg;
+
+std::string workloads::richardsSource() {
+  return R"MJ(
+class Packet {
+  Packet link;
+  int id;
+  int kind;
+  int a1;
+  int[] a2;
+  Packet(Packet link, int id, int kind) {
+    this.link = link;
+    this.id = id;
+    this.kind = kind;
+    a1 = 0;
+    a2 = new int[4];
+  }
+  Packet addTo(Packet queue) {
+    link = null;
+    if (queue == null) { return this; }
+    Packet peek = queue;
+    Packet next = peek.link;
+    while (next != null) { peek = next; next = peek.link; }
+    peek.link = this;
+    return queue;
+  }
+}
+
+abstract class Task {
+  Scheduler scheduler;
+  abstract Packet run(Packet packet);
+}
+
+class IdleTask extends Task {
+  int v1;
+  int count;
+  IdleTask(Scheduler s, int v1, int count) {
+    scheduler = s;
+    this.v1 = v1;
+    this.count = count;
+  }
+  Packet run(Packet packet) {
+    count = count - 1;
+    if (count == 0) { return scheduler.holdCurrent(); }
+    if ((v1 & 1) == 0) {
+      v1 = v1 >> 1;
+      return scheduler.release(Rich.DEVICE_A);
+    }
+    v1 = (v1 >> 1) ^ 53256;
+    return scheduler.release(Rich.DEVICE_B);
+  }
+}
+
+class DeviceTask extends Task {
+  Packet v1;
+  DeviceTask(Scheduler s) { scheduler = s; v1 = null; }
+  Packet run(Packet packet) {
+    if (packet == null) {
+      if (v1 == null) { return scheduler.suspendCurrent(); }
+      Packet v = v1;
+      v1 = null;
+      return scheduler.queue(v);
+    }
+    v1 = packet;
+    return scheduler.holdCurrent();
+  }
+}
+
+class WorkerTask extends Task {
+  int v1;
+  int v2;
+  WorkerTask(Scheduler s, int v1, int v2) {
+    scheduler = s;
+    this.v1 = v1;
+    this.v2 = v2;
+  }
+  Packet run(Packet packet) {
+    if (packet == null) { return scheduler.suspendCurrent(); }
+    if (v1 == Rich.HANDLER_A) { v1 = Rich.HANDLER_B; }
+    else { v1 = Rich.HANDLER_A; }
+    packet.id = v1;
+    packet.a1 = 0;
+    for (int i = 0; i < 4; i = i + 1) {
+      v2 = v2 + 1;
+      if (v2 > 26) { v2 = 1; }
+      packet.a2[i] = v2;
+    }
+    return scheduler.queue(packet);
+  }
+}
+
+class HandlerTask extends Task {
+  Packet v1;
+  Packet v2;
+  HandlerTask(Scheduler s) { scheduler = s; v1 = null; v2 = null; }
+  Packet run(Packet packet) {
+    if (packet != null) {
+      if (packet.kind == Rich.KIND_WORK) { v1 = packet.addTo(v1); }
+      else { v2 = packet.addTo(v2); }
+    }
+    if (v1 != null) {
+      int count = v1.a1;
+      if (count < 4) {
+        if (v2 != null) {
+          Packet v = v2;
+          v2 = v2.link;
+          v.a1 = v1.a2[count];
+          v1.a1 = count + 1;
+          return scheduler.queue(v);
+        }
+      } else {
+        Packet v = v1;
+        v1 = v1.link;
+        return scheduler.queue(v);
+      }
+    }
+    return scheduler.suspendCurrent();
+  }
+}
+
+class Tcb {
+  Tcb link;
+  int id;
+  int priority;
+  Packet queue;
+  int state;
+  Task task;
+
+  Tcb(Tcb link, int id, int priority, Packet queue, int state, Task task) {
+    this.link = link;
+    this.id = id;
+    this.priority = priority;
+    this.queue = queue;
+    this.state = state;
+    this.task = task;
+  }
+  void setRunning() { state = 0; }
+  void markAsNotHeld() { state = state & Rich.STATE_NOT_HELD; }
+  void markAsHeld() { state = state | Rich.STATE_HELD; }
+  boolean isHeldOrSuspended() {
+    return (state & Rich.STATE_HELD) != 0 ||
+           state == Rich.STATE_SUSPENDED;
+  }
+  void markAsSuspended() { state = state | Rich.STATE_SUSPENDED; }
+  void markAsRunnable() { state = state | Rich.STATE_RUNNABLE; }
+
+  Packet takePacket() {
+    Packet p = queue;
+    queue = p.link;
+    if (queue == null) { state = Rich.STATE_RUNNING; }
+    else { state = Rich.STATE_RUNNABLE; }
+    return p;
+  }
+  Packet checkPriorityAdd(Tcb task, Packet packet) {
+    if (queue == null) {
+      queue = packet;
+      markAsRunnable();
+      if (priority > task.priority) { return this.asPacketHolder(); }
+    } else {
+      queue = packet.addTo(queue);
+    }
+    return task.asPacketHolder();
+  }
+  Packet asPacketHolder() { return null; }
+  Tcb runTcb(Packet packet) { return null; }
+  Packet runTask() {
+    Packet packet;
+    if (isWaitingWithPacket()) { packet = takePacket(); }
+    else { packet = null; }
+    return task.run(packet);
+  }
+  boolean isWaitingWithPacket() {
+    return state == Rich.STATE_WAIT_PACKET;
+  }
+}
+
+class Scheduler {
+  Tcb[] blocks;
+  Tcb list;
+  Tcb currentTcb;
+  int currentId;
+  int queueCount;
+  int holdCount;
+
+  Scheduler() {
+    blocks = new Tcb[6];
+    list = null;
+    queueCount = 0;
+    holdCount = 0;
+  }
+
+  void addTask(int id, int priority, Packet queue, Task task, int state) {
+    Tcb tcb = new Tcb(list, id, priority, queue, state, task);
+    list = tcb;
+    blocks[id] = tcb;
+  }
+
+  void schedule() {
+    currentTcb = list;
+    while (currentTcb != null) {
+      if (currentTcb.isHeldOrSuspended()) {
+        currentTcb = currentTcb.link;
+      } else {
+        currentId = currentTcb.id;
+        // runTask returns the next tcb (as encoded by the helpers below).
+        nextTcb = null;
+        currentTcb.runTask();
+        if (nextTcb != null) { currentTcb = nextTcb; }
+      }
+    }
+  }
+
+  Tcb nextTcb;
+
+  Packet holdCurrent() {
+    holdCount = holdCount + 1;
+    currentTcb.markAsHeld();
+    nextTcb = currentTcb.link;
+    return null;
+  }
+  Packet suspendCurrent() {
+    currentTcb.markAsSuspended();
+    nextTcb = currentTcb;
+    return null;
+  }
+  Packet release(int id) {
+    Tcb tcb = blocks[id];
+    if (tcb == null) { nextTcb = null; return null; }
+    tcb.markAsNotHeld();
+    if (tcb.priority > currentTcb.priority) { nextTcb = tcb; }
+    else { nextTcb = currentTcb; }
+    return null;
+  }
+  Packet queue(Packet packet) {
+    Tcb t = blocks[packet.id];
+    if (t == null) { nextTcb = null; return null; }
+    queueCount = queueCount + 1;
+    packet.link = null;
+    packet.id = currentId;
+    if (t.queue == null) {
+      t.queue = packet;
+      t.markAsRunnable();
+      if (t.priority > currentTcb.priority) { nextTcb = t; }
+      else { nextTcb = currentTcb; }
+    } else {
+      t.queue = packet.addTo(t.queue);
+      nextTcb = currentTcb;
+    }
+    return null;
+  }
+}
+
+class Rich {
+  static int IDLE = 0;
+  static int WORKER = 1;
+  static int HANDLER_A = 2;
+  static int HANDLER_B = 3;
+  static int DEVICE_A = 4;
+  static int DEVICE_B = 5;
+
+  static int KIND_DEVICE = 0;
+  static int KIND_WORK = 1;
+
+  static int STATE_RUNNING = 0;
+  static int STATE_RUNNABLE = 1;
+  static int STATE_WAIT_PACKET = 3;
+  static int STATE_SUSPENDED = 2;
+  static int STATE_HELD = 4;
+  static int STATE_SUSPENDED_RUNNABLE = 3;
+  static int STATE_NOT_HELD = -5;
+
+  static int benchmark() {
+    Scheduler s = new Scheduler();
+    s.addTask(IDLE, 0, null, new IdleTask(s, 1, 1000), STATE_RUNNING);
+
+    Packet wq = new Packet(null, WORKER, KIND_WORK);
+    wq = new Packet(wq, WORKER, KIND_WORK);
+    s.addTask(WORKER, 1000, wq, new WorkerTask(s, HANDLER_A, 0),
+              STATE_WAIT_PACKET);
+
+    wq = new Packet(null, DEVICE_A, KIND_DEVICE);
+    wq = new Packet(wq, DEVICE_A, KIND_DEVICE);
+    wq = new Packet(wq, DEVICE_A, KIND_DEVICE);
+    s.addTask(HANDLER_A, 2000, wq, new HandlerTask(s), STATE_WAIT_PACKET);
+
+    wq = new Packet(null, DEVICE_B, KIND_DEVICE);
+    wq = new Packet(wq, DEVICE_B, KIND_DEVICE);
+    wq = new Packet(wq, DEVICE_B, KIND_DEVICE);
+    s.addTask(HANDLER_B, 3000, wq, new HandlerTask(s), STATE_WAIT_PACKET);
+
+    s.addTask(DEVICE_A, 4000, null, new DeviceTask(s), STATE_SUSPENDED);
+    s.addTask(DEVICE_B, 5000, null, new DeviceTask(s), STATE_SUSPENDED);
+
+    s.schedule();
+
+    return s.queueCount * 100000 + s.holdCount;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = Rich.benchmark();
+    Sys.print("Richards: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::jsonSource() {
+  return R"MJ(
+abstract class JsonValue {
+  abstract int weigh();
+}
+class JsonString extends JsonValue {
+  String value;
+  JsonString(String v) { value = v; }
+  int weigh() { return 1 + Str.length(value); }
+}
+class JsonNumber extends JsonValue {
+  String text;
+  JsonNumber(String t) { text = t; }
+  int weigh() { return 1; }
+}
+class JsonLiteral extends JsonValue {
+  String name;
+  JsonLiteral(String n) { name = n; }
+  int weigh() { return 1; }
+}
+class JsonArray extends JsonValue {
+  Vector values;
+  JsonArray() { values = new Vector(); }
+  void add(JsonValue v) { values.append(v); }
+  int weigh() {
+    int w = 1;
+    for (int i = 0; i < values.size(); i = i + 1) {
+      JsonValue v = (JsonValue) values.at(i);
+      w = w + v.weigh();
+    }
+    return w;
+  }
+}
+class JsonObject extends JsonValue {
+  Vector names;
+  Vector values;
+  JsonObject() { names = new Vector(); values = new Vector(); }
+  void add(String name, JsonValue v) {
+    names.append(new JsonString(name));
+    values.append(v);
+  }
+  int weigh() {
+    int w = 1;
+    for (int i = 0; i < values.size(); i = i + 1) {
+      JsonValue v = (JsonValue) values.at(i);
+      w = w + v.weigh();
+    }
+    return w;
+  }
+}
+
+class JsonParser {
+  String input;
+  int index;
+  int current;
+
+  JsonParser(String input) {
+    this.input = input;
+    index = -1;
+    current = 0;
+    read();
+  }
+
+  void read() {
+    index = index + 1;
+    if (index < Str.length(input)) { current = Str.charAt(input, index); }
+    else { current = -1; }
+  }
+
+  void skipWhiteSpace() {
+    while (current == 32 || current == 10 || current == 9 || current == 13) {
+      read();
+    }
+  }
+
+  boolean readChar(int ch) {
+    if (current != ch) { return false; }
+    read();
+    return true;
+  }
+
+  JsonValue parse() {
+    skipWhiteSpace();
+    JsonValue result = readValue();
+    skipWhiteSpace();
+    return result;
+  }
+
+  JsonValue readValue() {
+    if (current == 123) { return readObject(); }    // {
+    if (current == 91) { return readArray(); }      // [
+    if (current == 34) { return readString(); }     // "
+    if (current == 116 || current == 102 || current == 110) {
+      return readLiteral();
+    }
+    return readNumber();
+  }
+
+  JsonValue readObject() {
+    JsonObject obj = new JsonObject();
+    read();
+    skipWhiteSpace();
+    if (readChar(125)) { return obj; }               // }
+    boolean more = true;
+    while (more) {
+      skipWhiteSpace();
+      String name = readStringInternal();
+      skipWhiteSpace();
+      readChar(58);                                  // :
+      skipWhiteSpace();
+      obj.add(name, readValue());
+      skipWhiteSpace();
+      if (!readChar(44)) { more = false; }           // ,
+    }
+    readChar(125);
+    return obj;
+  }
+
+  JsonValue readArray() {
+    JsonArray arr = new JsonArray();
+    read();
+    skipWhiteSpace();
+    if (readChar(93)) { return arr; }                // ]
+    boolean more = true;
+    while (more) {
+      skipWhiteSpace();
+      arr.add(readValue());
+      skipWhiteSpace();
+      if (!readChar(44)) { more = false; }
+    }
+    readChar(93);
+    return arr;
+  }
+
+  JsonValue readString() { return new JsonString(readStringInternal()); }
+
+  String readStringInternal() {
+    read();                                          // opening quote
+    int start = index;
+    while (current != 34 && current != -1) { read(); }
+    String s = Str.substring(input, start, index);
+    read();                                          // closing quote
+    return s;
+  }
+
+  JsonValue readLiteral() {
+    int start = index;
+    while (current >= 97 && current <= 122) { read(); }
+    return new JsonLiteral(Str.substring(input, start, index));
+  }
+
+  JsonValue readNumber() {
+    int start = index;
+    if (current == 45) { read(); }                   // -
+    while ((current >= 48 && current <= 57) || current == 46 ||
+           current == 101 || current == 69 || current == 43 ||
+           current == 45) {
+      read();
+    }
+    return new JsonNumber(Str.substring(input, start, index));
+  }
+}
+
+class JsonBench {
+  static String document() {
+    return "{\"head\":{\"requestCounter\":4,\"agent\":\"nimage\"},"
+           + "\"operations\":[[\"destroy\",\"w54\"],[\"set\",\"w2\","
+           + "{\"activeControl\":\"w99\"}],[\"set\",\"w21\",{"
+           + "\"customVariant\":\"variant_navigation\",\"styles\":"
+           + "[\"BORDER\",\"SHADOW\"],\"bounds\":[0,0,800,600],"
+           + "\"children\":[\"w3\",\"w4\",\"w5\",\"w6\",\"w7\"]}],"
+           + "[\"create\",\"w339\",\"rwt.widgets.Label\",{\"parent\":"
+           + "\"w21\",\"visible\":true,\"enabled\":false,\"count\":17,"
+           + "\"ratio\":0.125,\"offset\":-42,\"title\":null,"
+           + "\"matrix\":[[1,0,0],[0,1,0],[0,0,1]],\"tags\":["
+           + "\"alpha\",\"beta\",\"gamma\",\"delta\"]}],"
+           + "[\"listen\",\"w339\",{\"selection\":true,\"fake\":false}]]}";
+  }
+  static int benchmark() {
+    int weight = 0;
+    for (int i = 0; i < 5; i = i + 1) {
+      JsonParser p = new JsonParser(document());
+      JsonValue v = p.parse();
+      weight = v.weigh();
+    }
+    return weight;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = JsonBench.benchmark();
+    Sys.print("Json: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::cdSource() {
+  return R"MJ(
+class Vector3D {
+  double x; double y; double z;
+  Vector3D(double x, double y, double z) {
+    this.x = x; this.y = y; this.z = z;
+  }
+  Vector3D minus(Vector3D other) {
+    return new Vector3D(x - other.x, y - other.y, z - other.z);
+  }
+  double squaredLength() { return x * x + y * y + z * z; }
+}
+
+class Aircraft {
+  int callsign;
+  Vector3D position;
+  Aircraft(int callsign) {
+    this.callsign = callsign;
+    position = new Vector3D(0.0, 0.0, 0.0);
+  }
+  void fly(double time) {
+    double t = time + callsign;
+    double lane = callsign % 8;
+    position = new Vector3D(
+        lane * 10.0 + 5.0 * Sys.cos(t / 10.0),
+        1000.0 + 4.0 * Sys.sin(t / 10.0 + callsign),
+        (time * 2.0) + (callsign % 3));
+  }
+}
+
+class Collision {
+  int first;
+  int second;
+  Collision(int first, int second) {
+    this.first = first;
+    this.second = second;
+  }
+}
+
+class CollisionDetector {
+  static double GOOD_VOXEL_SIZE = 10.0;
+
+  static int voxelKey(Vector3D pos) {
+    int vx = (int) (pos.x / GOOD_VOXEL_SIZE);
+    int vz = (int) (pos.z / GOOD_VOXEL_SIZE);
+    return vx * 4096 + vz;
+  }
+
+  // Reduces the original's voxel map + RedBlackTree to the som Dictionary:
+  // bucket aircraft by voxel, then test pairs within a voxel.
+  static Vector handleNewFrame(Aircraft[] fleet) {
+    Dictionary voxelMap = new Dictionary(257);
+    for (int i = 0; i < fleet.length; i = i + 1) {
+      int key = voxelKey(fleet[i].position);
+      Vector bucket = (Vector) voxelMap.at(key);
+      if (bucket == null) {
+        bucket = new Vector();
+        voxelMap.atPut(key, bucket);
+      }
+      bucket.append(fleet[i]);
+    }
+    Vector collisions = new Vector();
+    Vector buckets = voxelMap.values();
+    for (int b = 0; b < buckets.size(); b = b + 1) {
+      Vector bucket = (Vector) buckets.at(b);
+      for (int i = 0; i < bucket.size(); i = i + 1) {
+        for (int j = i + 1; j < bucket.size(); j = j + 1) {
+          Aircraft one = (Aircraft) bucket.at(i);
+          Aircraft two = (Aircraft) bucket.at(j);
+          Vector3D diff = one.position.minus(two.position);
+          if (diff.squaredLength() < 16.0) {
+            collisions.append(new Collision(one.callsign, two.callsign));
+          }
+        }
+      }
+    }
+    return collisions;
+  }
+}
+
+class CdBench {
+  static int benchmark(int numAircraft, int numFrames) {
+    Aircraft[] fleet = new Aircraft[numAircraft];
+    for (int i = 0; i < numAircraft; i = i + 1) {
+      fleet[i] = new Aircraft(i);
+    }
+    int actualCollisions = 0;
+    for (int frame = 0; frame < numFrames; frame = frame + 1) {
+      double time = frame / 10.0;
+      for (int i = 0; i < numAircraft; i = i + 1) {
+        fleet[i].fly(time);
+      }
+      Vector collisions = CollisionDetector.handleNewFrame(fleet);
+      actualCollisions = actualCollisions + collisions.size();
+    }
+    return actualCollisions;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = CdBench.benchmark(40, 20);
+    Sys.print("CD: " + result);
+    return result;
+  }
+}
+)MJ";
+}

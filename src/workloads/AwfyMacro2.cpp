@@ -1,0 +1,808 @@
+//===- AwfyMacro2.cpp - AWFY macro benchmarks: DeltaBlue, Havlak -----------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// DeltaBlue is a port of the classic one-way constraint solver (chain and
+// projection tests, reduced chain lengths); Havlak ports the loop-
+// recognition benchmark's union-find-based algorithm over a generated CFG
+// (reduced graph sizes). Both preserve the originals' class structure and
+// virtual-dispatch behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/workloads/WorkloadSources.h"
+
+using namespace nimg;
+
+std::string workloads::deltaBlueSource() {
+  return R"MJ(
+class Strength {
+  int value;
+  Strength(int value) { this.value = value; }
+
+  static Strength REQUIRED;
+  static Strength STRONG_PREFERRED;
+  static Strength PREFERRED;
+  static Strength STRONG_DEFAULT;
+  static Strength NORMAL;
+  static Strength WEAK_DEFAULT;
+  static Strength WEAKEST;
+
+  static {
+    REQUIRED = new Strength(0);
+    STRONG_PREFERRED = new Strength(1);
+    PREFERRED = new Strength(2);
+    STRONG_DEFAULT = new Strength(3);
+    NORMAL = new Strength(4);
+    WEAK_DEFAULT = new Strength(5);
+    WEAKEST = new Strength(6);
+  }
+
+  boolean stronger(Strength s) { return value < s.value; }
+  boolean weaker(Strength s) { return value > s.value; }
+  Strength weakest(Strength s) {
+    if (s.stronger(this)) { return this; }
+    return s;
+  }
+  Strength nextWeaker() {
+    if (value == 0) { return STRONG_PREFERRED; }
+    if (value == 1) { return PREFERRED; }
+    if (value == 2) { return STRONG_DEFAULT; }
+    if (value == 3) { return NORMAL; }
+    if (value == 4) { return WEAK_DEFAULT; }
+    return WEAKEST;
+  }
+}
+
+class Variable {
+  int value;
+  Vector constraints;
+  Constraint determinedBy;
+  int mark;
+  Strength walkStrength;
+  boolean stay;
+
+  Variable(int value) {
+    this.value = value;
+    constraints = new Vector(2);
+    determinedBy = null;
+    mark = 0;
+    walkStrength = Strength.WEAKEST;
+    stay = true;
+  }
+  void addConstraint(Constraint c) { constraints.append(c); }
+  void removeConstraint(Constraint c) {
+    constraints.removeObj(c);
+    if (determinedBy == c) { determinedBy = null; }
+  }
+}
+
+abstract class Constraint {
+  Strength strength;
+
+  abstract boolean isSatisfied();
+  abstract void addToGraph();
+  abstract void removeFromGraph();
+  abstract void chooseMethod(int mark);
+  abstract void execute();
+  abstract boolean inputsKnown(int mark);
+  abstract void markUnsatisfied();
+  abstract void markInputs(int mark);
+  abstract Variable output();
+  abstract void recalculate();
+
+  boolean isInput() { return false; }
+
+  void addConstraint(Planner planner) {
+    addToGraph();
+    planner.incrementalAdd(this);
+  }
+  void destroyConstraint(Planner planner) {
+    if (isSatisfied()) { planner.incrementalRemove(this); }
+    else { removeFromGraph(); }
+  }
+  Constraint satisfy(int mark, Planner planner) {
+    chooseMethod(mark);
+    if (!isSatisfied()) {
+      return null;
+    }
+    markInputs(mark);
+    Variable out = output();
+    Constraint overridden = out.determinedBy;
+    if (overridden != null) { overridden.markUnsatisfied(); }
+    out.determinedBy = this;
+    out.mark = mark;
+    return overridden;
+  }
+}
+
+abstract class UnaryConstraint extends Constraint {
+  Variable myOutput;
+  boolean satisfied;
+
+  void init(Variable v, Strength s, Planner planner) {
+    strength = s;
+    myOutput = v;
+    satisfied = false;
+    addConstraint(planner);
+  }
+  boolean isSatisfied() { return satisfied; }
+  void addToGraph() { myOutput.addConstraint(this); satisfied = false; }
+  void removeFromGraph() {
+    if (myOutput != null) { myOutput.removeConstraint(this); }
+    satisfied = false;
+  }
+  void chooseMethod(int mark) {
+    satisfied = myOutput.mark != mark &&
+                strength.stronger(myOutput.walkStrength);
+  }
+  boolean inputsKnown(int mark) { return true; }
+  void markUnsatisfied() { satisfied = false; }
+  void markInputs(int mark) { }
+  Variable output() { return myOutput; }
+  void recalculate() {
+    myOutput.walkStrength = strength;
+    myOutput.stay = !isInput();
+    if (myOutput.stay) { execute(); }
+  }
+}
+
+class StayConstraint extends UnaryConstraint {
+  StayConstraint(Variable v, Strength s, Planner planner) {
+    init(v, s, planner);
+  }
+  void execute() { }
+}
+
+class EditConstraint extends UnaryConstraint {
+  EditConstraint(Variable v, Strength s, Planner planner) {
+    init(v, s, planner);
+  }
+  boolean isInput() { return true; }
+  void execute() { }
+}
+
+abstract class BinaryConstraint extends Constraint {
+  Variable v1;
+  Variable v2;
+  int direction; // 0 none, 1 forward (v2 output), 2 backward (v1 output)
+
+  void init2(Variable var1, Variable var2, Strength s, Planner planner) {
+    strength = s;
+    v1 = var1;
+    v2 = var2;
+    direction = 0;
+    addConstraint(planner);
+  }
+  boolean isSatisfied() { return direction != 0; }
+  void addToGraph() {
+    v1.addConstraint(this);
+    v2.addConstraint(this);
+    direction = 0;
+  }
+  void removeFromGraph() {
+    if (v1 != null) { v1.removeConstraint(this); }
+    if (v2 != null) { v2.removeConstraint(this); }
+    direction = 0;
+  }
+  void chooseMethod(int mark) {
+    if (v1.mark == mark) {
+      if (v2.mark != mark && strength.stronger(v2.walkStrength)) {
+        direction = 1;
+      } else { direction = 0; }
+      return;
+    }
+    if (v2.mark == mark) {
+      if (v1.mark != mark && strength.stronger(v1.walkStrength)) {
+        direction = 2;
+      } else { direction = 0; }
+      return;
+    }
+    if (v1.walkStrength.weaker(v2.walkStrength)) {
+      if (strength.stronger(v1.walkStrength)) { direction = 2; }
+      else { direction = 0; }
+    } else {
+      if (strength.stronger(v2.walkStrength)) { direction = 1; }
+      else { direction = 0; }
+    }
+  }
+  void markUnsatisfied() { direction = 0; }
+  void markInputs(int mark) { input().mark = mark; }
+  boolean inputsKnown(int mark) {
+    Variable i = input();
+    return i.mark == mark || i.stay || i.determinedBy == null;
+  }
+  Variable input() {
+    if (direction == 1) { return v1; }
+    return v2;
+  }
+  Variable output() {
+    if (direction == 1) { return v2; }
+    return v1;
+  }
+  void recalculate() {
+    Variable in = input();
+    Variable out = output();
+    out.walkStrength = strength.weakest(in.walkStrength);
+    out.stay = in.stay;
+    if (out.stay) { execute(); }
+  }
+}
+
+class EqualityConstraint extends BinaryConstraint {
+  EqualityConstraint(Variable var1, Variable var2, Strength s,
+                     Planner planner) {
+    init2(var1, var2, s, planner);
+  }
+  void execute() { output().value = input().value; }
+}
+
+class ScaleConstraint extends BinaryConstraint {
+  Variable scale;
+  Variable offset;
+  ScaleConstraint(Variable src, Variable scale, Variable offset,
+                  Variable dest, Strength s, Planner planner) {
+    this.scale = scale;
+    this.offset = offset;
+    init2(src, dest, s, planner);
+  }
+  void addToGraph() {
+    v1.addConstraint(this);
+    v2.addConstraint(this);
+    scale.addConstraint(this);
+    offset.addConstraint(this);
+    direction = 0;
+  }
+  void removeFromGraph() {
+    if (v1 != null) { v1.removeConstraint(this); }
+    if (v2 != null) { v2.removeConstraint(this); }
+    if (scale != null) { scale.removeConstraint(this); }
+    if (offset != null) { offset.removeConstraint(this); }
+    direction = 0;
+  }
+  void markInputs(int mark) {
+    input().mark = mark;
+    scale.mark = mark;
+    offset.mark = mark;
+  }
+  void execute() {
+    if (direction == 1) {
+      v2.value = v1.value * scale.value + offset.value;
+    } else {
+      v1.value = (v2.value - offset.value) / scale.value;
+    }
+  }
+  void recalculate() {
+    Variable in = input();
+    Variable out = output();
+    out.walkStrength = strength.weakest(in.walkStrength);
+    out.stay = in.stay && scale.stay && offset.stay;
+    if (out.stay) { execute(); }
+  }
+}
+
+class Plan {
+  Vector constraints;
+  Plan() { constraints = new Vector(); }
+  void addConstraint(Constraint c) { constraints.append(c); }
+  void execute() {
+    for (int i = 0; i < constraints.size(); i = i + 1) {
+      Constraint c = (Constraint) constraints.at(i);
+      c.execute();
+    }
+  }
+}
+
+class Planner {
+  int currentMark;
+  Planner() { currentMark = 0; }
+
+  int newMark() {
+    currentMark = currentMark + 1;
+    return currentMark;
+  }
+
+  void incrementalAdd(Constraint c) {
+    int mark = newMark();
+    Constraint overridden = c.satisfy(mark, this);
+    while (overridden != null) {
+      overridden = overridden.satisfy(mark, this);
+    }
+  }
+
+  void incrementalRemove(Constraint c) {
+    Variable out = c.output();
+    c.markUnsatisfied();
+    c.removeFromGraph();
+    Vector unsatisfied = removePropagateFrom(out);
+    for (int i = 0; i < unsatisfied.size(); i = i + 1) {
+      Constraint u = (Constraint) unsatisfied.at(i);
+      incrementalAdd(u);
+    }
+  }
+
+  boolean addPropagate(Constraint c, int mark) {
+    Vector todo = new Vector();
+    todo.append(c);
+    while (!todo.isEmpty()) {
+      Constraint d = (Constraint) todo.removeLast();
+      if (d.output().mark == mark) { return false; }
+      d.recalculate();
+      addConstraintsConsumingTo(d.output(), todo);
+    }
+    return true;
+  }
+
+  Vector removePropagateFrom(Variable out) {
+    out.determinedBy = null;
+    out.walkStrength = Strength.WEAKEST;
+    out.stay = true;
+    Vector unsatisfied = new Vector();
+    Vector todo = new Vector();
+    todo.append(out);
+    while (!todo.isEmpty()) {
+      Variable v = (Variable) todo.removeLast();
+      for (int i = 0; i < v.constraints.size(); i = i + 1) {
+        Constraint c = (Constraint) v.constraints.at(i);
+        if (!c.isSatisfied()) { unsatisfied.append(c); }
+      }
+      Constraint determining = v.determinedBy;
+      for (int i = 0; i < v.constraints.size(); i = i + 1) {
+        Constraint next = (Constraint) v.constraints.at(i);
+        if (next != determining && next.isSatisfied()) {
+          next.recalculate();
+          todo.append(next.output());
+        }
+      }
+    }
+    return unsatisfied;
+  }
+
+  void addConstraintsConsumingTo(Variable v, Vector coll) {
+    Constraint determining = v.determinedBy;
+    for (int i = 0; i < v.constraints.size(); i = i + 1) {
+      Constraint c = (Constraint) v.constraints.at(i);
+      if (c != determining && c.isSatisfied()) { coll.append(c); }
+    }
+  }
+
+  Plan makePlan(Vector sources) {
+    int mark = newMark();
+    Plan plan = new Plan();
+    Vector todo = sources;
+    while (!todo.isEmpty()) {
+      Constraint c = (Constraint) todo.removeLast();
+      if (c.output().mark != mark && c.inputsKnown(mark)) {
+        plan.addConstraint(c);
+        c.output().mark = mark;
+        addConstraintsConsumingTo(c.output(), todo);
+      }
+    }
+    return plan;
+  }
+
+  Plan extractPlanFromConstraints(Vector constraints) {
+    Vector sources = new Vector();
+    for (int i = 0; i < constraints.size(); i = i + 1) {
+      Constraint c = (Constraint) constraints.at(i);
+      if (c.isInput() && c.isSatisfied()) { sources.append(c); }
+    }
+    return makePlan(sources);
+  }
+}
+
+class DeltaBlue {
+  static int chainTest(int n) {
+    Planner planner = new Planner();
+    Variable[] vars = new Variable[n + 1];
+    for (int i = 0; i <= n; i = i + 1) { vars[i] = new Variable(0); }
+    for (int i = 0; i < n; i = i + 1) {
+      EqualityConstraint eq =
+          new EqualityConstraint(vars[i], vars[i + 1], Strength.REQUIRED,
+                                 planner);
+    }
+    StayConstraint stay =
+        new StayConstraint(vars[n], Strength.STRONG_DEFAULT, planner);
+    EditConstraint edit =
+        new EditConstraint(vars[0], Strength.PREFERRED, planner);
+    Vector editV = new Vector();
+    editV.append(edit);
+    Plan plan = planner.extractPlanFromConstraints(editV);
+    int check = 0;
+    for (int i = 0; i < 20; i = i + 1) {
+      vars[0].value = i;
+      plan.execute();
+      if (vars[n].value == i) { check = check + 1; }
+    }
+    edit.destroyConstraint(planner);
+    return check;
+  }
+
+  static int projectionTest(int n) {
+    Planner planner = new Planner();
+    Variable scale = new Variable(10);
+    Variable offset = new Variable(1000);
+    Variable src = null;
+    Variable dst = null;
+    Vector dests = new Vector();
+    for (int i = 0; i < n; i = i + 1) {
+      src = new Variable(i);
+      dst = new Variable(i);
+      dests.append(dst);
+      StayConstraint st = new StayConstraint(src, Strength.NORMAL, planner);
+      ScaleConstraint sc = new ScaleConstraint(src, scale, offset, dst,
+                                               Strength.REQUIRED, planner);
+    }
+    change(planner, src, 17);
+    int check = 0;
+    if (dst.value == 1170) { check = check + 1; }
+    change(planner, scale, 5);
+    for (int i = 0; i < n - 1; i = i + 1) {
+      Variable d = (Variable) dests.at(i);
+      if (d.value == i * 5 + 1000) { check = check + 1; }
+    }
+    change(planner, offset, 2000);
+    for (int i = 0; i < n - 1; i = i + 1) {
+      Variable d = (Variable) dests.at(i);
+      if (d.value == i * 5 + 2000) { check = check + 1; }
+    }
+    return check;
+  }
+
+  static void change(Planner planner, Variable v, int newValue) {
+    EditConstraint edit = new EditConstraint(v, Strength.PREFERRED, planner);
+    Vector editV = new Vector();
+    editV.append(edit);
+    Plan plan = planner.extractPlanFromConstraints(editV);
+    for (int i = 0; i < 10; i = i + 1) {
+      v.value = newValue;
+      plan.execute();
+    }
+    edit.destroyConstraint(planner);
+  }
+
+  static int benchmark() {
+    int a = chainTest(40);
+    int b = projectionTest(40);
+    return a * 1000 + b;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = DeltaBlue.benchmark();
+    Sys.print("DeltaBlue: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::havlakSource() {
+  return R"MJ(
+class BasicBlock {
+  int name;
+  Vector inEdges;
+  Vector outEdges;
+  BasicBlock(int name) {
+    this.name = name;
+    inEdges = new Vector(2);
+    outEdges = new Vector(2);
+  }
+  int numPred() { return inEdges.size(); }
+  void addInEdge(BasicBlock bb) { inEdges.append(bb); }
+  void addOutEdge(BasicBlock bb) { outEdges.append(bb); }
+}
+
+class Cfg {
+  Vector basicBlocks;
+  BasicBlock startNode;
+  Cfg() {
+    basicBlocks = new Vector();
+    startNode = null;
+  }
+  BasicBlock createNode(int name) {
+    while (basicBlocks.size() <= name) { basicBlocks.append(null); }
+    BasicBlock node = (BasicBlock) basicBlocks.at(name);
+    if (node == null) {
+      node = new BasicBlock(name);
+      basicBlocks.atPut(name, node);
+    }
+    if (startNode == null) { startNode = node; }
+    return node;
+  }
+  void addEdge(int from, int to) {
+    BasicBlock f = createNode(from);
+    BasicBlock t = createNode(to);
+    f.addOutEdge(t);
+    t.addInEdge(f);
+  }
+  int getNumNodes() { return basicBlocks.size(); }
+}
+
+class SimpleLoop {
+  Vector basicBlocks;
+  Vector children;
+  SimpleLoop parent;
+  BasicBlock header;
+  boolean isReducible;
+  int counter;
+  int nestingLevel;
+
+  SimpleLoop(BasicBlock bb, boolean reducible) {
+    basicBlocks = new Vector(2);
+    children = new Vector(2);
+    parent = null;
+    isReducible = reducible;
+    nestingLevel = 0;
+    header = bb;
+    if (bb != null) { basicBlocks.append(bb); }
+  }
+  void addNode(BasicBlock bb) { basicBlocks.append(bb); }
+  void addChildLoop(SimpleLoop loop) { children.append(loop); }
+  void setParent(SimpleLoop p) {
+    parent = p;
+    p.addChildLoop(this);
+  }
+}
+
+class Lsg {
+  Vector loops;
+  SimpleLoop root;
+  int loopCounter;
+  Lsg() {
+    loops = new Vector();
+    loopCounter = 0;
+    root = createNewLoop(null, true);
+    addLoop(root);
+  }
+  SimpleLoop createNewLoop(BasicBlock bb, boolean reducible) {
+    SimpleLoop loop = new SimpleLoop(bb, reducible);
+    loop.counter = loopCounter;
+    loopCounter = loopCounter + 1;
+    return loop;
+  }
+  void addLoop(SimpleLoop loop) { loops.append(loop); }
+  int getNumLoops() { return loops.size(); }
+}
+
+class UnionFindNode {
+  UnionFindNode parent;
+  BasicBlock bb;
+  SimpleLoop loop;
+  int dfsNumber;
+
+  void initNode(BasicBlock bb, int dfsNumber) {
+    parent = this;
+    this.bb = bb;
+    this.dfsNumber = dfsNumber;
+    loop = null;
+  }
+  UnionFindNode findSet() {
+    Vector nodeList = new Vector(2);
+    UnionFindNode node = this;
+    while (node != node.parent) {
+      if (node.parent != node.parent.parent) { nodeList.append(node); }
+      node = node.parent;
+    }
+    for (int i = 0; i < nodeList.size(); i = i + 1) {
+      UnionFindNode n = (UnionFindNode) nodeList.at(i);
+      n.parent = node.parent;
+    }
+    return node;
+  }
+  void unionSet(UnionFindNode other) { parent = other; }
+}
+
+class HavlakLoopFinder {
+  Cfg cfg;
+  Lsg lsg;
+  int[] number;
+  int[] header;
+  int[] types;
+  int[] last;
+  UnionFindNode[] nodes;
+  IntVector[] nonBackPreds;
+  IntVector[] backPreds;
+
+  static int BB_NONHEADER = 1;
+  static int BB_REDUCIBLE = 2;
+  static int BB_SELF = 3;
+  static int BB_IRREDUCIBLE = 4;
+  static int BB_DEAD = 5;
+  static int UNVISITED = -1;
+
+  HavlakLoopFinder(Cfg cfg, Lsg lsg) {
+    this.cfg = cfg;
+    this.lsg = lsg;
+  }
+
+  boolean isAncestor(int w, int v) {
+    return w <= v && v <= last[w];
+  }
+
+  int doDfs(BasicBlock currentNode, int current) {
+    nodes[current].initNode(currentNode, current);
+    number[currentNode.name] = current;
+    int lastId = current;
+    for (int i = 0; i < currentNode.outEdges.size(); i = i + 1) {
+      BasicBlock target = (BasicBlock) currentNode.outEdges.at(i);
+      if (number[target.name] == UNVISITED) {
+        lastId = doDfs(target, lastId + 1);
+      }
+    }
+    last[number[currentNode.name]] = lastId;
+    return lastId;
+  }
+
+  int findLoops() {
+    if (cfg.startNode == null) { return 0; }
+    int size = cfg.getNumNodes();
+    nonBackPreds = new IntVector[size];
+    backPreds = new IntVector[size];
+    number = new int[size];
+    header = new int[size];
+    types = new int[size];
+    last = new int[size];
+    nodes = new UnionFindNode[size];
+    for (int i = 0; i < size; i = i + 1) {
+      nonBackPreds[i] = new IntVector();
+      backPreds[i] = new IntVector();
+      number[i] = UNVISITED;
+      nodes[i] = new UnionFindNode();
+    }
+    doDfs(cfg.startNode, 0);
+
+    for (int w = 0; w < size; w = w + 1) {
+      header[w] = 0;
+      types[w] = BB_NONHEADER;
+      BasicBlock nodeW = nodes[w].bb;
+      if (nodeW == null) {
+        types[w] = BB_DEAD;
+      } else {
+        if (nodeW.numPred() > 0) {
+          for (int i = 0; i < nodeW.inEdges.size(); i = i + 1) {
+            BasicBlock nodeV = (BasicBlock) nodeW.inEdges.at(i);
+            int v = number[nodeV.name];
+            if (v != UNVISITED) {
+              if (isAncestor(w, v)) { backPreds[w].append(v); }
+              else { nonBackPreds[w].append(v); }
+            }
+          }
+        }
+      }
+    }
+    header[0] = 0;
+
+    for (int w = size - 1; w >= 0; w = w - 1) {
+      Vector nodePool = new Vector();
+      BasicBlock nodeW = nodes[w].bb;
+      if (nodeW != null) {
+        for (int i = 0; i < backPreds[w].size(); i = i + 1) {
+          int v = backPreds[w].at(i);
+          if (v != w) { nodePool.append(nodes[v].findSet()); }
+          else { types[w] = BB_SELF; }
+        }
+        Vector workList = new Vector();
+        for (int i = 0; i < nodePool.size(); i = i + 1) {
+          workList.append(nodePool.at(i));
+        }
+        if (nodePool.size() != 0) { types[w] = BB_REDUCIBLE; }
+        while (!workList.isEmpty()) {
+          UnionFindNode x = (UnionFindNode) workList.removeFirst();
+          for (int i = 0; i < nonBackPreds[x.dfsNumber].size(); i = i + 1) {
+            UnionFindNode y = nodes[nonBackPreds[x.dfsNumber].at(i)];
+            UnionFindNode ydash = y.findSet();
+            if (!isAncestor(w, ydash.dfsNumber)) {
+              types[w] = BB_IRREDUCIBLE;
+              if (!nonBackPreds[w].contains(ydash.dfsNumber)) {
+                nonBackPreds[w].append(ydash.dfsNumber);
+              }
+            } else {
+              if (ydash.dfsNumber != w) {
+                boolean seen = false;
+                for (int k = 0; k < nodePool.size(); k = k + 1) {
+                  if (nodePool.at(k) == ydash) { seen = true; }
+                }
+                if (!seen) {
+                  workList.append(ydash);
+                  nodePool.append(ydash);
+                }
+              }
+            }
+          }
+        }
+        if (nodePool.size() > 0 || types[w] == BB_SELF) {
+          SimpleLoop loop =
+              lsg.createNewLoop(nodeW, types[w] != BB_IRREDUCIBLE);
+          for (int i = 0; i < nodePool.size(); i = i + 1) {
+            UnionFindNode node = (UnionFindNode) nodePool.at(i);
+            header[node.dfsNumber] = w;
+            node.unionSet(nodes[w]);
+            if (node.loop != null) { node.loop.setParent(loop); }
+            else { loop.addNode(node.bb); }
+          }
+          nodes[w].loop = loop;
+          lsg.addLoop(loop);
+        }
+      }
+    }
+    return lsg.getNumLoops();
+  }
+}
+
+class LoopTesterApp {
+  Cfg cfg;
+  int blockCounter;
+
+  LoopTesterApp() {
+    cfg = new Cfg();
+    blockCounter = 1;
+    cfg.createNode(0);
+  }
+
+  int buildDiamond(int start) {
+    int bb0 = start;
+    cfg.addEdge(bb0, bb0 + 1);
+    cfg.addEdge(bb0, bb0 + 2);
+    cfg.addEdge(bb0 + 1, bb0 + 3);
+    cfg.addEdge(bb0 + 2, bb0 + 3);
+    blockCounter = SomUtil.max(blockCounter, bb0 + 4);
+    return bb0 + 3;
+  }
+
+  void buildConnect(int start, int end) { cfg.addEdge(start, end); }
+
+  int buildStraight(int start, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+      buildConnect(start + i, start + i + 1);
+    }
+    blockCounter = SomUtil.max(blockCounter, start + n + 1);
+    return start + n;
+  }
+
+  int buildBaseLoop(int from) {
+    int header = buildStraight(from, 1);
+    int diamond1 = buildDiamond(header);
+    int d11 = buildStraight(diamond1, 1);
+    int diamond2 = buildDiamond(d11);
+    int footer = buildStraight(diamond2, 1);
+    buildConnect(diamond2, d11);
+    buildConnect(diamond1, header);
+    buildConnect(footer, from);
+    return buildStraight(footer, 1);
+  }
+
+  int run(int parentLoops, int baseLoops) {
+    cfg.addEdge(0, 2);
+    int n = 2;
+    for (int parent = 0; parent < parentLoops; parent = parent + 1) {
+      int top = buildStraight(n, 1);
+      for (int i = 0; i < baseLoops; i = i + 1) {
+        top = buildBaseLoop(top);
+      }
+      int bottom = buildStraight(top, 1);
+      buildConnect(bottom, n);
+      n = buildStraight(bottom, 1);
+    }
+    int total = 0;
+    for (int round = 0; round < 3; round = round + 1) {
+      Lsg lsg = new Lsg();
+      HavlakLoopFinder finder = new HavlakLoopFinder(cfg, lsg);
+      total = finder.findLoops();
+    }
+    return total;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    LoopTesterApp app = new LoopTesterApp();
+    int result = app.run(4, 6);
+    Sys.print("Havlak: " + result);
+    return result;
+  }
+}
+)MJ";
+}

@@ -1,0 +1,509 @@
+//===- AwfyMicro.cpp - AWFY micro benchmarks in MiniJava --------------------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// MiniJava ports of the nine "Are We Fast Yet?" micro benchmarks
+// (Marr et al., DLS'16). Problem sizes are scaled down so a simulated
+// cold-start run stays in the low millions of interpreted instructions;
+// the algorithms and object/array behaviour match the originals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/workloads/WorkloadSources.h"
+
+using namespace nimg;
+
+std::string workloads::bounceSource() {
+  return R"MJ(
+class Ball {
+  int x; int y; int xVel; int yVel;
+  Ball(SomRandom random) {
+    x = random.next() % 500;
+    y = random.next() % 500;
+    xVel = (random.next() % 300) - 150;
+    yVel = (random.next() % 300) - 150;
+  }
+  boolean bounce() {
+    int xLimit = 500;
+    int yLimit = 500;
+    boolean bounced = false;
+    x = x + xVel;
+    y = y + yVel;
+    if (x > xLimit) { x = xLimit; xVel = 0 - SomUtil.abs(xVel); bounced = true; }
+    if (x < 0) { x = 0; xVel = SomUtil.abs(xVel); bounced = true; }
+    if (y > yLimit) { y = yLimit; yVel = 0 - SomUtil.abs(yVel); bounced = true; }
+    if (y < 0) { y = 0; yVel = SomUtil.abs(yVel); bounced = true; }
+    return bounced;
+  }
+}
+class Bounce {
+  static int benchmark() {
+    SomRandom random = new SomRandom();
+    int ballCount = 100;
+    int bounces = 0;
+    Ball[] balls = new Ball[ballCount];
+    for (int i = 0; i < ballCount; i = i + 1) { balls[i] = new Ball(random); }
+    for (int i = 0; i < 50; i = i + 1) {
+      for (int b = 0; b < ballCount; b = b + 1) {
+        if (balls[b].bounce()) { bounces = bounces + 1; }
+      }
+    }
+    return bounces;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = Bounce.benchmark();
+    Sys.print("Bounce: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::listSource() {
+  return R"MJ(
+class ListElement {
+  int val;
+  ListElement next;
+  ListElement(int v) { val = v; next = null; }
+  int length() {
+    if (next == null) { return 1; }
+    return 1 + next.length();
+  }
+}
+class ListBench {
+  static ListElement makeList(int length) {
+    if (length == 0) { return null; }
+    ListElement e = new ListElement(length);
+    e.next = makeList(length - 1);
+    return e;
+  }
+  static boolean isShorterThan(ListElement x, ListElement y) {
+    ListElement xTail = x;
+    ListElement yTail = y;
+    while (yTail != null) {
+      if (xTail == null) { return true; }
+      xTail = xTail.next;
+      yTail = yTail.next;
+    }
+    return false;
+  }
+  static ListElement tail(ListElement x, ListElement y, ListElement z) {
+    if (isShorterThan(y, x)) {
+      return tail(tail(x.next, y, z), tail(y.next, z, x), tail(z.next, x, y));
+    }
+    return z;
+  }
+  static int benchmark() {
+    ListElement result = tail(makeList(15), makeList(10), makeList(6));
+    return result.length();
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = ListBench.benchmark();
+    Sys.print("List: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::mandelbrotSource() {
+  return R"MJ(
+class Mandelbrot {
+  static int benchmark(int size) {
+    int sum = 0;
+    int byteAcc = 0;
+    int bitNum = 0;
+    int y = 0;
+    while (y < size) {
+      double ci = (2.0 * y / size) - 1.0;
+      int x = 0;
+      while (x < size) {
+        double zr = 0.0; double zrzr = 0.0;
+        double zi = 0.0; double zizi = 0.0;
+        double cr = (2.0 * x / size) - 1.5;
+        int z = 0;
+        boolean notDone = true;
+        int escape = 0;
+        while (notDone && z < 50) {
+          zr = zrzr - zizi + cr;
+          zi = 2.0 * zr * zi + ci;
+          zrzr = zr * zr;
+          zizi = zi * zi;
+          if (zrzr + zizi > 4.0) { notDone = false; escape = 1; }
+          z = z + 1;
+        }
+        byteAcc = (byteAcc << 1) + escape;
+        bitNum = bitNum + 1;
+        if (bitNum == 8) {
+          sum = sum ^ byteAcc;
+          byteAcc = 0;
+          bitNum = 0;
+        } else if (x == size - 1) {
+          byteAcc = byteAcc << (8 - bitNum);
+          sum = sum ^ byteAcc;
+          byteAcc = 0;
+          bitNum = 0;
+        }
+        x = x + 1;
+      }
+      y = y + 1;
+    }
+    return sum;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = Mandelbrot.benchmark(64);
+    Sys.print("Mandelbrot: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::nbodySource() {
+  return R"MJ(
+class Body {
+  double x; double y; double z;
+  double vx; double vy; double vz;
+  double mass;
+  Body(double x, double y, double z, double vx, double vy, double vz,
+       double mass) {
+    this.x = x; this.y = y; this.z = z;
+    double dpy = 365.24;
+    this.vx = vx * dpy; this.vy = vy * dpy; this.vz = vz * dpy;
+    this.mass = mass * 39.47841760435743;
+  }
+  void offsetMomentum(double px, double py, double pz) {
+    double sm = 39.47841760435743;
+    vx = 0.0 - (px / sm);
+    vy = 0.0 - (py / sm);
+    vz = 0.0 - (pz / sm);
+  }
+}
+class NBodySystem {
+  Body[] bodies;
+  NBodySystem() {
+    bodies = createBodies();
+    double px = 0.0; double py = 0.0; double pz = 0.0;
+    for (int i = 0; i < bodies.length; i = i + 1) {
+      px = px + bodies[i].vx * bodies[i].mass;
+      py = py + bodies[i].vy * bodies[i].mass;
+      pz = pz + bodies[i].vz * bodies[i].mass;
+    }
+    bodies[0].offsetMomentum(px, py, pz);
+  }
+  Body[] createBodies() {
+    Body[] bs = new Body[5];
+    bs[0] = new Body(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0);
+    bs[1] = new Body(4.841431442464721, -1.1603200440274284,
+                     -0.10362204447112311, 0.001660076642744037,
+                     0.007699011184197404, -0.0000690892245246,
+                     0.0009547919384243266);
+    bs[2] = new Body(8.34336671824458, 4.124798564124305,
+                     -0.4035234171143214, -0.002767425107268624,
+                     0.004998528012349172, 0.0000230417297573763,
+                     0.0002858859806661308);
+    bs[3] = new Body(12.894369562139131, -15.111115081092523,
+                     -0.22330757889265573, 0.002964601375647616,
+                     0.0023784717395948095, -0.0000296589568540237,
+                     0.0000436624404335156);
+    bs[4] = new Body(15.379697114850917, -25.919314609987964,
+                     0.17925877295037118, 0.002680677724903893,
+                     0.001628241700382423, -0.0000951592254519715,
+                     0.0000515138902046611);
+    return bs;
+  }
+  void advance(double dt) {
+    for (int i = 0; i < bodies.length; i = i + 1) {
+      Body iBody = bodies[i];
+      for (int j = i + 1; j < bodies.length; j = j + 1) {
+        Body jBody = bodies[j];
+        double dx = iBody.x - jBody.x;
+        double dy = iBody.y - jBody.y;
+        double dz = iBody.z - jBody.z;
+        double dSquared = dx * dx + dy * dy + dz * dz;
+        double distance = Sys.sqrt(dSquared);
+        double mag = dt / (dSquared * distance);
+        iBody.vx = iBody.vx - dx * jBody.mass * mag;
+        iBody.vy = iBody.vy - dy * jBody.mass * mag;
+        iBody.vz = iBody.vz - dz * jBody.mass * mag;
+        jBody.vx = jBody.vx + dx * iBody.mass * mag;
+        jBody.vy = jBody.vy + dy * iBody.mass * mag;
+        jBody.vz = jBody.vz + dz * iBody.mass * mag;
+      }
+      iBody.x = iBody.x + dt * iBody.vx;
+      iBody.y = iBody.y + dt * iBody.vy;
+      iBody.z = iBody.z + dt * iBody.vz;
+    }
+  }
+  double energy() {
+    double e = 0.0;
+    for (int i = 0; i < bodies.length; i = i + 1) {
+      Body iBody = bodies[i];
+      e = e + 0.5 * iBody.mass *
+              (iBody.vx * iBody.vx + iBody.vy * iBody.vy +
+               iBody.vz * iBody.vz);
+      for (int j = i + 1; j < bodies.length; j = j + 1) {
+        Body jBody = bodies[j];
+        double dx = iBody.x - jBody.x;
+        double dy = iBody.y - jBody.y;
+        double dz = iBody.z - jBody.z;
+        double distance = Sys.sqrt(dx * dx + dy * dy + dz * dz);
+        e = e - (iBody.mass * jBody.mass) / distance;
+      }
+    }
+    return e;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    NBodySystem system = new NBodySystem();
+    for (int i = 0; i < 500; i = i + 1) { system.advance(0.01); }
+    double e = system.energy();
+    Sys.print("NBody: " + e);
+    return (int) (e * -1000.0);
+  }
+}
+)MJ";
+}
+
+std::string workloads::permuteSource() {
+  return R"MJ(
+class Permute {
+  static int count;
+  static int[] v;
+  static void swap(int i, int j) {
+    int tmp = v[i];
+    v[i] = v[j];
+    v[j] = tmp;
+  }
+  static void permute(int n) {
+    count = count + 1;
+    if (n != 0) {
+      int n1 = n - 1;
+      permute(n1);
+      for (int i = n1; i >= 0; i = i - 1) {
+        swap(n1, i);
+        permute(n1);
+        swap(n1, i);
+      }
+    }
+  }
+  static int benchmark() {
+    count = 0;
+    v = new int[6];
+    permute(6);
+    return count;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = Permute.benchmark();
+    Sys.print("Permute: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::queensSource() {
+  return R"MJ(
+class Queens {
+  boolean[] freeMaxs;
+  boolean[] freeRows;
+  boolean[] freeMins;
+  int[] queenRows;
+
+  boolean queens() {
+    freeRows = new boolean[8];
+    freeMaxs = new boolean[16];
+    freeMins = new boolean[16];
+    queenRows = new int[8];
+    for (int i = 0; i < 8; i = i + 1) { freeRows[i] = true; queenRows[i] = -1; }
+    for (int i = 0; i < 16; i = i + 1) { freeMaxs[i] = true; freeMins[i] = true; }
+    return placeQueen(0);
+  }
+  boolean placeQueen(int c) {
+    for (int r = 0; r < 8; r = r + 1) {
+      if (getRowColumn(r, c)) {
+        queenRows[r] = c;
+        setRowColumn(r, c, false);
+        if (c == 7) { return true; }
+        if (placeQueen(c + 1)) { return true; }
+        setRowColumn(r, c, true);
+      }
+    }
+    return false;
+  }
+  boolean getRowColumn(int r, int c) {
+    return freeRows[r] && freeMaxs[c + r] && freeMins[c - r + 7];
+  }
+  void setRowColumn(int r, int c, boolean v) {
+    freeRows[r] = v;
+    freeMaxs[c + r] = v;
+    freeMins[c - r + 7] = v;
+  }
+  static boolean benchmark() {
+    boolean result = true;
+    for (int i = 0; i < 10; i = i + 1) {
+      Queens q = new Queens();
+      result = result && q.queens();
+    }
+    return result;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    boolean ok = Queens.benchmark();
+    int result = 0;
+    if (ok) { result = 1; }
+    Sys.print("Queens: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::sieveSource() {
+  return R"MJ(
+class Sieve {
+  static int sieve(boolean[] flags, int size) {
+    int primeCount = 0;
+    for (int i = 2; i <= size; i = i + 1) {
+      if (flags[i - 1]) {
+        primeCount = primeCount + 1;
+        int k = i + i;
+        while (k <= size) {
+          flags[k - 1] = false;
+          k = k + i;
+        }
+      }
+    }
+    return primeCount;
+  }
+  static int benchmark() {
+    int result = 0;
+    for (int round = 0; round < 5; round = round + 1) {
+      boolean[] flags = new boolean[5000];
+      for (int i = 0; i < flags.length; i = i + 1) { flags[i] = true; }
+      result = sieve(flags, 5000);
+    }
+    return result;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = Sieve.benchmark();
+    Sys.print("Sieve: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::storageSource() {
+  return R"MJ(
+class Storage {
+  static int count;
+  static Object[] buildTreeDepth(int depth, SomRandom random) {
+    count = count + 1;
+    if (depth == 1) {
+      return new Object[(random.next() % 10) + 1];
+    }
+    Object[] arr = new Object[4];
+    for (int i = 0; i < 4; i = i + 1) {
+      arr[i] = buildTreeDepth(depth - 1, random);
+    }
+    return arr;
+  }
+  static int benchmark() {
+    SomRandom random = new SomRandom();
+    count = 0;
+    buildTreeDepth(7, random);
+    return count;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = Storage.benchmark();
+    Sys.print("Storage: " + result);
+    return result;
+  }
+}
+)MJ";
+}
+
+std::string workloads::towersSource() {
+  return R"MJ(
+class TowersDisk {
+  int size;
+  TowersDisk next;
+  TowersDisk(int size) { this.size = size; next = null; }
+}
+class Towers {
+  TowersDisk[] piles;
+  int movesDone;
+
+  void pushDisk(TowersDisk disk, int pile) {
+    TowersDisk top = piles[pile];
+    disk.next = top;
+    piles[pile] = disk;
+  }
+  TowersDisk popDiskFrom(int pile) {
+    TowersDisk top = piles[pile];
+    piles[pile] = top.next;
+    top.next = null;
+    return top;
+  }
+  void moveTopDisk(int fromPile, int toPile) {
+    pushDisk(popDiskFrom(fromPile), toPile);
+    movesDone = movesDone + 1;
+  }
+  void buildTowerAt(int pile, int disks) {
+    for (int i = disks; i >= 0; i = i - 1) {
+      pushDisk(new TowersDisk(i), pile);
+    }
+  }
+  void moveDisks(int disks, int fromPile, int toPile) {
+    if (disks == 1) {
+      moveTopDisk(fromPile, toPile);
+    } else {
+      int otherPile = (3 - fromPile) - toPile;
+      moveDisks(disks - 1, fromPile, otherPile);
+      moveTopDisk(fromPile, toPile);
+      moveDisks(disks - 1, otherPile, toPile);
+    }
+  }
+  static int benchmark() {
+    Towers t = new Towers();
+    t.piles = new TowersDisk[3];
+    t.movesDone = 0;
+    t.buildTowerAt(0, 13);
+    t.moveDisks(13, 0, 1);
+    return t.movesDone;
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    int result = Towers.benchmark();
+    Sys.print("Towers: " + result);
+    return result;
+  }
+}
+)MJ";
+}

@@ -1,0 +1,293 @@
+//===- Microservices.cpp - Generated microservice hello-world workloads ----===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// Three synthetic microservice frameworks stand in for micronaut, quarkus,
+// and spring (Sec. 7.1 evaluates hello-world on each): framework-scale
+// generated class sets with build-time-initialized metadata, a DI
+// container booted at startup, config parsing from an embedded resource,
+// route registration, worker threads, and one handled request — at which
+// point the workload responds and the harness SIGKILLs it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/workloads/WorkloadSources.h"
+
+#include <cstdio>
+
+using namespace nimg;
+
+namespace {
+
+std::string className(const std::string &Prefix, const char *Kind, int I) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%s%s%03d", Prefix.c_str(), Kind, I);
+  return Buf;
+}
+
+} // namespace
+
+std::string workloads::microserviceSource(const std::string &Framework,
+                                          int Controllers, int Services,
+                                          int Repositories, int Workers) {
+  // Class-name prefix makes the three frameworks' alphabetical .text
+  // layouts (and thus their default orders) distinct.
+  std::string Pfx;
+  if (Framework == "micronaut")
+    Pfx = "Mn";
+  else if (Framework == "quarkus")
+    Pfx = "Qk";
+  else
+    Pfx = "Sp";
+
+  std::string Src;
+  Src.reserve(size_t(Controllers + Services + Repositories) * 1600);
+
+  // --- Server core -----------------------------------------------------------
+  Src += R"MJ(
+class HttpRequest {
+  String path;
+  String method;
+  HttpRequest(String path, String method) {
+    this.path = path;
+    this.method = method;
+  }
+}
+class HttpResponse {
+  int status;
+  String body;
+  HttpResponse(int status, String body) {
+    this.status = status;
+    this.body = body;
+  }
+}
+abstract class RequestHandler {
+  abstract HttpResponse handle(HttpRequest request);
+}
+class Route {
+  String path;
+  RequestHandler handler;
+  Route(String path, RequestHandler handler) {
+    this.path = path;
+    this.handler = handler;
+  }
+}
+class Router {
+  static Vector routes;
+  static { routes = new Vector(64); }
+  static void register(String path, RequestHandler handler) {
+    routes.append(new Route(path, handler));
+  }
+  static HttpResponse dispatch(HttpRequest request) {
+    for (int i = 0; i < routes.size(); i = i + 1) {
+      Route r = (Route) routes.at(i);
+      if (Str.equals(r.path, request.path)) {
+        return r.handler.handle(request);
+      }
+    }
+    return new HttpResponse(404, "not found: " + request.path);
+  }
+}
+class ServerState {
+  static int ready = 0;
+  static int done = 0;
+  static int requestsServed = 0;
+}
+class Config {
+  static Dictionary settings;
+  static int parsed = 0;
+  static void load() {
+    settings = new Dictionary(127);
+    String blob = Sys.readResource("application.yml");
+    int n = Str.length(blob);
+    int lineStart = 0;
+    int key = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      if (Str.charAt(blob, i) == 10) {
+        if (i > lineStart) {
+          settings.atPut(key, Str.substring(blob, lineStart, i));
+          key = key + 1;
+        }
+        lineStart = i + 1;
+      }
+    }
+    parsed = key;
+  }
+}
+)MJ";
+
+  // --- Repositories ------------------------------------------------------------
+  for (int I = 0; I < Repositories; ++I) {
+    std::string Name = className(Pfx, "Repo", I);
+    std::string IStr = std::to_string(I);
+    Src += "class " + Name + " {\n";
+    Src += "  static String entity = \"" + Pfx + ".entity.Table" + IStr +
+           ";columns=id,name,created,updated,flags\";\n";
+    Src += "  static String[] schema = new String[5];\n";
+    Src += "  static {\n    for (int i = 0; i < 5; i = i + 1) {\n"
+           "      schema[i] = entity + \".col\" + i;\n    }\n  }\n";
+    Src += "  int queries;\n";
+    Src += "  " + Name + "() { queries = 0; }\n";
+    Src += "  String findById(int id) {\n"
+           "    queries = queries + 1;\n"
+           "    return schema[id % schema.length];\n  }\n";
+    // Cold bulk operations.
+    Src += "  int bulkMigrate(int rows) {\n"
+           "    int acc = 0;\n"
+           "    for (int i = 0; i < rows; i = i + 1) {\n"
+           "      acc = acc + Str.length(schema[i % schema.length]) + i;\n"
+           "      acc = (acc * 131) % 1000003;\n"
+           "    }\n    return acc;\n  }\n";
+    Src += "}\n";
+  }
+
+  // --- Services -------------------------------------------------------------------
+  for (int I = 0; I < Services; ++I) {
+    std::string Name = className(Pfx, "Svc", I);
+    std::string Repo = className(Pfx, "Repo", I % (Repositories > 0 ? Repositories : 1));
+    std::string IStr = std::to_string(I);
+    Src += "class " + Name + " {\n";
+    Src += "  static String meta = \"" + Pfx + ".service." + Name +
+           ";scope=singleton;lazy=false;order=" + IStr + "\";\n";
+    Src += "  static int[] methodTable = new int[48];\n";
+    Src += "  static {\n    for (int i = 0; i < methodTable.length; "
+           "i = i + 1) {\n      methodTable[i] = i * " + IStr +
+           " + 17;\n    }\n  }\n";
+    Src += "  " + Repo + " repository;\n";
+    Src += "  " + Name + "(" + Repo + " repository) { "
+           "this.repository = repository; }\n";
+    Src += "  String greet(String who) {\n"
+           "    return \"hello, \" + who + \" [\" + "
+           "repository.findById(" + IStr + ") + \"]\";\n  }\n";
+    Src += "  int coldReport(int depth) {\n"
+           "    int acc = depth + Str.length(meta);\n"
+           "    for (int i = 0; i < 24; i = i + 1) {\n"
+           "      acc = (acc * 31 + i) % 65521;\n"
+           "    }\n    return acc + repository.bulkMigrate(depth);\n  }\n";
+    Src += "}\n";
+  }
+
+  // --- Controllers --------------------------------------------------------------------
+  for (int I = 0; I < Controllers; ++I) {
+    std::string Name = className(Pfx, "Ctrl", I);
+    std::string Svc = className(Pfx, "Svc", I % (Services > 0 ? Services : 1));
+    std::string IStr = std::to_string(I);
+    std::string Path = I == 0 ? "/hello" : ("/api/v1/resource" + IStr);
+    Src += "class " + Name + " extends RequestHandler {\n";
+    Src += "  static String route = \"" + Path + "\";\n";
+    // beanId embeds a registration rank from the permuted build-time
+    // initialization order: its content differs across builds, which is
+    // what collapses structural-hash matching on microservices (Sec. 7.2:
+    // 1.03x) while heap-path matching — keyed on the stable static-field
+    // path — keeps working.
+    Src += "  static String beanId = \"bean#\" + GlobalCounter.next() + "
+           "\":" + Pfx + "." + Name + "\";\n";
+    Src += "  static String[] annotations = new String[6];\n";
+    Src += "  static int[] dispatchTable = new int[64];\n";
+    Src += "  static {\n"
+           "    annotations[0] = \"@Controller(\" + route + \")\";\n"
+           "    annotations[1] = \"@Produces(application/json)\";\n"
+           "    annotations[2] = \"@Version(" + IStr + ")\";\n"
+           "    annotations[3] = \"@Timed(" + Pfx + "." + Name + ")\";\n"
+           "    annotations[4] = \"@Secured(role=user,scope=read)\";\n"
+           "    annotations[5] = \"@RateLimited(100/s," + Pfx + ")\";\n"
+           "    for (int i = 0; i < dispatchTable.length; i = i + 1) {\n"
+           "      dispatchTable[i] = (i * 2654435761) % 1048573;\n"
+           "    }\n"
+           "  }\n";
+    Src += "  " + Svc + " service;\n";
+    Src += "  " + Name + "(" + Svc + " service) { this.service = service; }\n";
+    Src += "  HttpResponse handle(HttpRequest request) {\n"
+           "    return new HttpResponse(200, service.greet(\"world\"));\n"
+           "  }\n";
+    // Cold admin endpoint.
+    Src += "  HttpResponse admin(HttpRequest request) {\n"
+           "    int acc = service.coldReport(64);\n"
+           "    return new HttpResponse(200, \"admin:\" + acc);\n  }\n";
+    Src += "}\n";
+  }
+
+  // --- Container: boots repositories, services, controllers, routes ------------
+  Src += "class Container {\n";
+  Src += "  static Vector beans;\n";
+  Src += "  static int booted = 0;\n";
+  Src += "  static int bootChecksum = 0;\n";
+  Src += "  static void boot() {\n";
+  Src += "    beans = new Vector(" +
+         std::to_string(Controllers + Services + Repositories + 8) + ");\n";
+  for (int I = 0; I < Repositories; ++I)
+    Src += "    " + className(Pfx, "Repo", I) + " repo" + std::to_string(I) +
+           " = new " + className(Pfx, "Repo", I) + "();\n" +
+           "    beans.append(repo" + std::to_string(I) + ");\n";
+  for (int I = 0; I < Services; ++I) {
+    int R = Repositories > 0 ? I % Repositories : 0;
+    Src += "    " + className(Pfx, "Svc", I) + " svc" + std::to_string(I) +
+           " = new " + className(Pfx, "Svc", I) + "(repo" +
+           std::to_string(R) + ");\n" + "    beans.append(svc" +
+           std::to_string(I) + ");\n";
+  }
+  for (int I = 0; I < Controllers; ++I) {
+    int S = Services > 0 ? I % Services : 0;
+    Src += "    " + className(Pfx, "Ctrl", I) + " ctrl" + std::to_string(I) +
+           " = new " + className(Pfx, "Ctrl", I) + "(svc" +
+           std::to_string(S) + ");\n";
+    Src += "    Router.register(" + className(Pfx, "Ctrl", I) +
+           ".route, ctrl" + std::to_string(I) + ");\n";
+    Src += "    bootChecksum = bootChecksum + Str.length(" +
+           className(Pfx, "Ctrl", I) + ".beanId);\n";
+  }
+  Src += "    booted = 1;\n";
+  Src += "  }\n";
+  // Cold diagnostics path keeps admin endpoints reachable.
+  Src += "  static int diagnostics() {\n";
+  Src += "    int acc = 0;\n";
+  Src += "    HttpRequest probe = new HttpRequest(\"/probe\", \"GET\");\n";
+  for (int I = 0; I < Controllers; ++I)
+    Src += "    acc = acc + ((" + className(Pfx, "Ctrl", I) +
+           ") Router.routes.at(" + std::to_string(I) +
+           ")).admin(probe).status;\n";
+  Src += "    return acc;\n  }\n";
+  Src += "}\n";
+
+  // --- Workers and main ------------------------------------------------------------
+  Src += R"MJ(
+class RequestWorker {
+  static void run() {
+    while (ServerState.ready == 0) { Sys.yield(); }
+    HttpRequest request = new HttpRequest("/hello", "GET");
+    HttpResponse response = Router.dispatch(request);
+    ServerState.requestsServed = ServerState.requestsServed + 1;
+    Sys.respond(response.body);
+    ServerState.done = 1;
+  }
+}
+class MetricsWorker {
+  static int samples = 0;
+  static void run() {
+    while (ServerState.done == 0) {
+      samples = samples + 1;
+      Sys.yield();
+    }
+  }
+}
+class Main {
+  static int main() {
+    Runtime.initialize();
+    Config.load();
+    Container.boot();
+)MJ";
+  for (int W = 0; W < Workers; ++W)
+    Src += W % 2 == 0 ? "    Sys.spawn(\"RequestWorker.run\");\n"
+                      : "    Sys.spawn(\"MetricsWorker.run\");\n";
+  Src += R"MJ(
+    ServerState.ready = 1;
+    if (Container.booted < 0) {
+      int ignored = Container.diagnostics();
+    }
+    return Config.parsed;
+  }
+}
+)MJ";
+  return Src;
+}

@@ -1,0 +1,236 @@
+//===- SomLib.cpp - som-style core library in MiniJava ----------------------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+// The AWFY benchmarks share a small core library (Vector, Dictionary,
+// Random, ...) originally ported from SOM; this is its MiniJava port. It
+// is prepended to every workload, so its methods are part of every image
+// and its unused parts are part of every image's cold code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/workloads/Workloads.h"
+
+using namespace nimg;
+
+std::string nimg::somLibrarySource() {
+  return R"SOM(
+// --- som core library --------------------------------------------------
+
+class SomRandom {
+  int seed;
+  SomRandom() { seed = 74755; }
+  int next() {
+    seed = ((seed * 1309) + 13849) & 65535;
+    return seed;
+  }
+}
+
+class Vector {
+  Object[] storage;
+  int firstIdx;
+  int lastIdx;
+
+  Vector() {
+    storage = new Object[8];
+    firstIdx = 0;
+    lastIdx = 0;
+  }
+  Vector(int cap) {
+    storage = new Object[cap];
+    firstIdx = 0;
+    lastIdx = 0;
+  }
+
+  int size() { return lastIdx - firstIdx; }
+  boolean isEmpty() { return lastIdx == firstIdx; }
+
+  Object at(int idx) {
+    return storage[firstIdx + idx];
+  }
+
+  void atPut(int idx, Object val) {
+    int pos = firstIdx + idx;
+    while (pos >= storage.length) { grow(); }
+    storage[pos] = val;
+    if (lastIdx < pos + 1) { lastIdx = pos + 1; }
+  }
+
+  void append(Object val) {
+    if (lastIdx >= storage.length) { grow(); }
+    storage[lastIdx] = val;
+    lastIdx = lastIdx + 1;
+  }
+
+  void grow() {
+    Object[] ns = new Object[storage.length * 2];
+    for (int i = 0; i < storage.length; i = i + 1) { ns[i] = storage[i]; }
+    storage = ns;
+  }
+
+  Object first() {
+    if (isEmpty()) { return null; }
+    return storage[firstIdx];
+  }
+
+  Object removeFirst() {
+    if (isEmpty()) { return null; }
+    Object v = storage[firstIdx];
+    storage[firstIdx] = null;
+    firstIdx = firstIdx + 1;
+    return v;
+  }
+
+  Object removeLast() {
+    if (isEmpty()) { return null; }
+    lastIdx = lastIdx - 1;
+    Object v = storage[lastIdx];
+    storage[lastIdx] = null;
+    return v;
+  }
+
+  boolean removeObj(Object obj) {
+    for (int i = firstIdx; i < lastIdx; i = i + 1) {
+      if (storage[i] == obj) {
+        for (int j = i; j < lastIdx - 1; j = j + 1) {
+          storage[j] = storage[j + 1];
+        }
+        lastIdx = lastIdx - 1;
+        storage[lastIdx] = null;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void removeAll() {
+    storage = new Object[storage.length];
+    firstIdx = 0;
+    lastIdx = 0;
+  }
+}
+
+class IntVector {
+  int[] storage;
+  int sz;
+  IntVector() { storage = new int[8]; sz = 0; }
+  int size() { return sz; }
+  int at(int i) { return storage[i]; }
+  void atPut(int i, int v) { storage[i] = v; }
+  void append(int v) {
+    if (sz >= storage.length) {
+      int[] ns = new int[storage.length * 2];
+      for (int i = 0; i < storage.length; i = i + 1) { ns[i] = storage[i]; }
+      storage = ns;
+    }
+    storage[sz] = v;
+    sz = sz + 1;
+  }
+  boolean contains(int v) {
+    for (int i = 0; i < sz; i = i + 1) {
+      if (storage[i] == v) { return true; }
+    }
+    return false;
+  }
+}
+
+// An int-keyed hash dictionary with chained buckets, in the style of the
+// AWFY CD benchmark's RedBlackTree usage sites (reduced to hashing).
+class DictEntry {
+  int key;
+  Object value;
+  DictEntry next;
+  DictEntry(int key, Object value) {
+    this.key = key;
+    this.value = value;
+    next = null;
+  }
+}
+
+class Dictionary {
+  DictEntry[] buckets;
+  int sz;
+
+  Dictionary() { buckets = new DictEntry[97]; sz = 0; }
+  Dictionary(int cap) { buckets = new DictEntry[cap]; sz = 0; }
+
+  int hash(int key) {
+    int h = key % buckets.length;
+    if (h < 0) { return -h; }
+    return h;
+  }
+
+  Object at(int key) {
+    DictEntry e = buckets[hash(key)];
+    while (e != null) {
+      if (e.key == key) { return e.value; }
+      e = e.next;
+    }
+    return null;
+  }
+
+  boolean containsKey(int key) {
+    DictEntry e = buckets[hash(key)];
+    while (e != null) {
+      if (e.key == key) { return true; }
+      e = e.next;
+    }
+    return false;
+  }
+
+  void atPut(int key, Object value) {
+    int h = hash(key);
+    DictEntry e = buckets[h];
+    while (e != null) {
+      if (e.key == key) { e.value = value; return; }
+      e = e.next;
+    }
+    DictEntry ne = new DictEntry(key, value);
+    ne.next = buckets[h];
+    buckets[h] = ne;
+    sz = sz + 1;
+  }
+
+  int size() { return sz; }
+
+  Vector values() {
+    Vector out = new Vector(sz + 1);
+    for (int i = 0; i < buckets.length; i = i + 1) {
+      DictEntry e = buckets[i];
+      while (e != null) {
+        out.append(e.value);
+        e = e.next;
+      }
+    }
+    return out;
+  }
+
+  Vector keys() {
+    Vector out = new Vector(sz + 1);
+    for (int i = 0; i < buckets.length; i = i + 1) {
+      DictEntry e = buckets[i];
+      while (e != null) {
+        out.append(new IntBox(e.key));
+        e = e.next;
+      }
+    }
+    return out;
+  }
+}
+
+class IntBox {
+  int value;
+  IntBox(int value) { this.value = value; }
+}
+
+class SomUtil {
+  static int max(int a, int b) { if (a > b) { return a; } return b; }
+  static int min(int a, int b) { if (a < b) { return a; } return b; }
+  static int abs(int a) { if (a < 0) { return -a; } return a; }
+  static double dmax(double a, double b) { if (a > b) { return a; } return b; }
+  static double dmin(double a, double b) { if (a < b) { return a; } return b; }
+  static double dabs(double a) { if (a < 0.0) { return -a; } return a; }
+}
+)SOM";
+}

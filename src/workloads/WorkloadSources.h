@@ -1,0 +1,42 @@
+//===- WorkloadSources.h - Internal workload source functions --*- C++ -*-===//
+//
+// Part of the nimage project. Internal header: per-benchmark MiniJava
+// source providers, combined by Workloads.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_WORKLOADS_WORKLOADSOURCES_H
+#define NIMG_WORKLOADS_WORKLOADSOURCES_H
+
+#include <string>
+
+namespace nimg {
+namespace workloads {
+
+// AWFY micro benchmarks.
+std::string bounceSource();
+std::string listSource();
+std::string mandelbrotSource();
+std::string nbodySource();
+std::string permuteSource();
+std::string queensSource();
+std::string sieveSource();
+std::string storageSource();
+std::string towersSource();
+
+// AWFY macro benchmarks (reduced, structure-preserving ports).
+std::string cdSource();
+std::string deltaBlueSource();
+std::string havlakSource();
+std::string jsonSource();
+std::string richardsSource();
+
+// Microservice frameworks (generated).
+std::string microserviceSource(const std::string &Framework,
+                               int Controllers, int Services,
+                               int Repositories, int Workers);
+
+} // namespace workloads
+} // namespace nimg
+
+#endif // NIMG_WORKLOADS_WORKLOADSOURCES_H

@@ -1,0 +1,162 @@
+//===- AnalysesTest.cpp - Post-processing analysis tests ---------------------===//
+
+#include "src/ir/IrBuilder.h"
+#include "src/profiling/Analyses.h"
+
+#include <gtest/gtest.h>
+
+using namespace nimg;
+
+namespace {
+
+/// A program with two trivial static methods for record-level tests.
+struct Fixture {
+  Program P;
+  MethodId A, B;
+
+  Fixture() {
+    ClassId C = P.addClass("T");
+    A = P.addMethod(C, "aa", {}, P.intType(), true);
+    {
+      IrBuilder Bld(P, A);
+      Bld.ret(Bld.constInt(1));
+    }
+    B = P.addMethod(C, "bb", {}, P.intType(), true);
+    {
+      IrBuilder Bld(P, B);
+      Bld.ret(Bld.constInt(2));
+    }
+  }
+};
+
+} // namespace
+
+TEST(Analyses, CuOrderDedupsKeepingFirst) {
+  Fixture F;
+  TraceCapture Cap;
+  Cap.Options.Mode = TraceMode::CuOrder;
+  Cap.Threads.resize(1);
+  auto &W = Cap.Threads[0].Words;
+  W.push_back(tracerec::makeCuEnter(F.B));
+  W.push_back(tracerec::makeCuEnter(F.A));
+  W.push_back(tracerec::makeCuEnter(F.B)); // duplicate
+  CodeProfile Prof = analyzeCuOrder(F.P, Cap);
+  ASSERT_EQ(Prof.Sigs.size(), 2u);
+  EXPECT_EQ(Prof.Sigs[0], "T.bb()");
+  EXPECT_EQ(Prof.Sigs[1], "T.aa()");
+}
+
+TEST(Analyses, ThreadsConcatenateInCreationOrder) {
+  // Sec. 7.1: multi-threaded orderings concatenate per-thread traces in
+  // thread-creation order and dedup.
+  Fixture F;
+  TraceCapture Cap;
+  Cap.Options.Mode = TraceMode::CuOrder;
+  Cap.Threads.resize(2);
+  Cap.Threads[0].Words.push_back(tracerec::makeCuEnter(F.A));
+  Cap.Threads[1].Words.push_back(tracerec::makeCuEnter(F.B));
+  Cap.Threads[1].Words.push_back(tracerec::makeCuEnter(F.A)); // dup of t0
+  CodeProfile Prof = analyzeCuOrder(F.P, Cap);
+  ASSERT_EQ(Prof.Sigs.size(), 2u);
+  EXPECT_EQ(Prof.Sigs[0], "T.aa()");
+  EXPECT_EQ(Prof.Sigs[1], "T.bb()");
+}
+
+TEST(Analyses, MethodOrderDecodesEntryPaths) {
+  Fixture F;
+  PathGraphCache Paths(F.P);
+  const PathGraph &GA = Paths.of(F.A);
+  TraceCapture Cap;
+  Cap.Options.Mode = TraceMode::MethodOrder;
+  Cap.Threads.resize(1);
+  // The single path of T.aa() starts at the method entry.
+  Cap.Threads[0].Words.push_back(tracerec::makePath(F.A, GA.entryValue()));
+  CodeProfile Prof = analyzeMethodOrder(F.P, Cap, Paths);
+  ASSERT_EQ(Prof.Sigs.size(), 1u);
+  EXPECT_EQ(Prof.Sigs[0], "T.aa()");
+}
+
+TEST(Analyses, ReplaySkipsCorruptWordsAndBadMethods) {
+  Fixture F;
+  TraceCapture Cap;
+  Cap.Options.Mode = TraceMode::CuOrder;
+  Cap.Threads.resize(1);
+  auto &W = Cap.Threads[0].Words;
+  W.push_back(0);                                 // corrupt (kind 0)
+  W.push_back(tracerec::makePath(999999, 0));     // method out of range
+  W.push_back(tracerec::makeCuEnter(F.A));        // still processed
+  CodeProfile Prof = analyzeCuOrder(F.P, Cap);
+  ASSERT_EQ(Prof.Sigs.size(), 1u);
+  EXPECT_EQ(Prof.Sigs[0], "T.aa()");
+}
+
+TEST(Analyses, HeapOrderDedupsByEntryAndSkipsNonImageOperands) {
+  // Build a method with one access site so its path has one operand.
+  Program P;
+  ClassId C = P.addClass("Box");
+  P.classDef(C).InstanceFields.push_back({"v", P.intType(), C, false});
+  MethodId M = P.addMethod(C, "get", {}, P.intType(), true);
+  {
+    IrBuilder Bld(P, M);
+    uint16_t Obj = Bld.newObject(C);
+    Bld.ret(Bld.getField(Obj, 0));
+  }
+  PathGraphCache Paths(P);
+  const PathGraph &G = Paths.of(M);
+  ASSERT_EQ(G.numPaths(), 1u);
+
+  TraceCapture Cap;
+  Cap.Options.Mode = TraceMode::HeapOrder;
+  Cap.Threads.resize(1);
+  auto &W = Cap.Threads[0].Words;
+  W.push_back(tracerec::makePath(M, 0));
+  W.push_back(8);                       // snapshot entry 7
+  W.push_back(tracerec::makePath(M, 0));
+  W.push_back(0);                       // not an image object -> skipped
+  W.push_back(tracerec::makePath(M, 0));
+  W.push_back(8);                       // duplicate of entry 7
+  W.push_back(tracerec::makePath(M, 0));
+  W.push_back(3);                       // entry 2
+
+  std::vector<int32_t> Order = analyzeHeapAccessOrder(P, Cap, Paths);
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], 7);
+  EXPECT_EQ(Order[1], 2);
+}
+
+TEST(Analyses, HeapProfileMapsEntriesThroughIdTable) {
+  IdTable Ids;
+  Ids.IncrementalIds = {10, 11, 12};
+  Ids.StructuralHashes = {20, 21, 22};
+  Ids.HeapPathHashes = {30, 31, 32};
+  std::vector<int32_t> Order = {2, 0, 99 /*out of range -> dropped*/};
+  HeapProfile Inc = heapProfileFor(Order, Ids, HeapStrategy::IncrementalId);
+  HeapProfile Path = heapProfileFor(Order, Ids, HeapStrategy::HeapPath);
+  EXPECT_EQ(Inc.Ids, (std::vector<uint64_t>{12, 10}));
+  EXPECT_EQ(Path.Ids, (std::vector<uint64_t>{32, 30}));
+}
+
+TEST(Analyses, TruncatedHeapTraceConsumesWhatIsThere) {
+  // A mode-1 SIGKILL can cut a trace mid-operands; replay must not read
+  // past the end.
+  Program P;
+  ClassId C = P.addClass("Box");
+  P.classDef(C).InstanceFields.push_back({"v", P.intType(), C, false});
+  MethodId M = P.addMethod(C, "get2", {}, P.intType(), true);
+  {
+    IrBuilder Bld(P, M);
+    uint16_t Obj = Bld.newObject(C);
+    uint16_t V1 = Bld.getField(Obj, 0);
+    uint16_t V2 = Bld.getField(Obj, 0);
+    Bld.ret(Bld.binop(Opcode::Add, V1, V2));
+  }
+  PathGraphCache Paths(P);
+  TraceCapture Cap;
+  Cap.Options.Mode = TraceMode::HeapOrder;
+  Cap.Threads.resize(1);
+  Cap.Threads[0].Words.push_back(tracerec::makePath(M, 0));
+  Cap.Threads[0].Words.push_back(5); // second operand is missing
+  std::vector<int32_t> Order = analyzeHeapAccessOrder(P, Cap, Paths);
+  ASSERT_EQ(Order.size(), 1u);
+  EXPECT_EQ(Order[0], 4);
+}

@@ -1,0 +1,130 @@
+//===- ImageFileTest.cpp - Image serialization round-trip tests -------------===//
+
+#include "src/core/Builder.h"
+#include "src/image/ImageFile.h"
+#include "src/lang/Compile.h"
+#include "src/runtime/ExecEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace nimg;
+
+namespace {
+
+const char *kSource = R"MJ(
+class Pair { int a; String label;
+  Pair(int a, String label) { this.a = a; this.label = label; } }
+class Registry {
+  static String banner = "serialized";
+  static Pair[] pairs = new Pair[6];
+  static {
+    for (int i = 0; i < pairs.length; i = i + 1) {
+      pairs[i] = new Pair(i, banner + "-" + i);
+    }
+  }
+}
+class Main { static int main() {
+  String same1 = "shared-literal";
+  String same2 = "shared-literal";
+  int id = 0;
+  if (same1 == same2) { id = 1; }
+  Sys.print(Registry.banner + ":" + Registry.pairs[3].a + ":" + id);
+  return Registry.pairs.length;
+} }
+)MJ";
+
+struct Fixture {
+  Program P;
+  NativeImage Img;
+
+  Fixture() {
+    std::vector<std::string> Errors;
+    bool Ok = compileSources({kSource}, P, Errors);
+    EXPECT_TRUE(Ok);
+    for (auto &E : Errors)
+      ADD_FAILURE() << E;
+    BuildConfig Cfg;
+    Cfg.Seed = 21;
+    Img = buildNativeImage(P, Cfg);
+  }
+};
+
+} // namespace
+
+TEST(ImageFile, FingerprintIsStableAndSensitive) {
+  Fixture F;
+  EXPECT_EQ(programFingerprint(F.P), programFingerprint(F.P));
+  Program Other;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(compileSources({"class Main { static int main() { return 1; } "
+                              "}"},
+                             Other, Errors));
+  EXPECT_NE(programFingerprint(F.P), programFingerprint(Other));
+}
+
+TEST(ImageFile, RoundTripPreservesEverything) {
+  Fixture F;
+  std::vector<uint8_t> Bytes = serializeImage(F.P, F.Img);
+  EXPECT_GT(Bytes.size(), 1000u);
+
+  NativeImage Loaded;
+  std::string Error;
+  ASSERT_TRUE(deserializeImage(F.P, Bytes, Loaded, Error)) << Error;
+
+  EXPECT_EQ(Loaded.Seed, F.Img.Seed);
+  EXPECT_EQ(Loaded.Code.CUs.size(), F.Img.Code.CUs.size());
+  EXPECT_EQ(Loaded.Code.InlineFingerprint, F.Img.Code.InlineFingerprint);
+  EXPECT_EQ(Loaded.Snapshot.Entries.size(), F.Img.Snapshot.Entries.size());
+  EXPECT_EQ(Loaded.Ids.HeapPathHashes, F.Img.Ids.HeapPathHashes);
+  EXPECT_EQ(Loaded.Layout.TextSize, F.Img.Layout.TextSize);
+  EXPECT_EQ(Loaded.Layout.HeapSize, F.Img.Layout.HeapSize);
+  EXPECT_EQ(Loaded.Layout.ObjectOffsets, F.Img.Layout.ObjectOffsets);
+  EXPECT_EQ(Loaded.Built.BuildHeap->numCells(),
+            F.Img.Built.BuildHeap->numCells());
+}
+
+TEST(ImageFile, LoadedImageRunsIdentically) {
+  Fixture F;
+  std::vector<uint8_t> Bytes = serializeImage(F.P, F.Img);
+  NativeImage Loaded;
+  std::string Error;
+  ASSERT_TRUE(deserializeImage(F.P, Bytes, Loaded, Error)) << Error;
+
+  RunConfig RC;
+  RunStats A = runImage(F.Img, RC);
+  RunStats B = runImage(Loaded, RC);
+  ASSERT_FALSE(A.Trapped) << A.TrapMessage;
+  ASSERT_FALSE(B.Trapped) << B.TrapMessage;
+  EXPECT_EQ(A.Output, B.Output);
+  // Intern-table restoration keeps literal identity: ":1" in the output.
+  EXPECT_NE(B.Output.find(":1"), std::string::npos) << B.Output;
+  EXPECT_EQ(A.TextFaults, B.TextFaults);
+  EXPECT_EQ(A.HeapFaults, B.HeapFaults);
+  EXPECT_EQ(A.Instructions, B.Instructions);
+}
+
+TEST(ImageFile, RejectsWrongProgram) {
+  Fixture F;
+  std::vector<uint8_t> Bytes = serializeImage(F.P, F.Img);
+  Program Other;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(compileSources(
+      {"class Main { static int main() { return 2; } }"}, Other, Errors));
+  NativeImage Loaded;
+  std::string Error;
+  EXPECT_FALSE(deserializeImage(Other, Bytes, Loaded, Error));
+  EXPECT_NE(Error.find("fingerprint"), std::string::npos);
+}
+
+TEST(ImageFile, RejectsGarbageAndTruncation) {
+  Fixture F;
+  NativeImage Loaded;
+  std::string Error;
+  std::vector<uint8_t> Garbage = {1, 2, 3, 4};
+  EXPECT_FALSE(deserializeImage(F.P, Garbage, Loaded, Error));
+
+  std::vector<uint8_t> Bytes = serializeImage(F.P, F.Img);
+  Bytes.resize(Bytes.size() / 2); // truncate
+  NativeImage Loaded2;
+  EXPECT_FALSE(deserializeImage(F.P, Bytes, Loaded2, Error));
+}

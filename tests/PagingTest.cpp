@@ -1,0 +1,104 @@
+//===- PagingTest.cpp - Page-cache simulator tests ---------------------------===//
+
+#include "src/runtime/Paging.h"
+
+#include <gtest/gtest.h>
+
+using namespace nimg;
+
+namespace {
+
+PagingConfig cfg(uint32_t Readahead) {
+  PagingConfig C;
+  C.ReadaheadPages = Readahead;
+  return C;
+}
+
+} // namespace
+
+TEST(Paging, FirstTouchFaultsOncePerCluster) {
+  PagingSim P(64 * 4096, 0, cfg(4));
+  P.touch(ImageSection::Text, 0, 1);
+  EXPECT_EQ(P.faults(ImageSection::Text), 1u);
+  // The rest of the aligned 4-page cluster is resident now.
+  P.touch(ImageSection::Text, 3 * 4096, 100);
+  EXPECT_EQ(P.faults(ImageSection::Text), 1u);
+  // The next cluster faults again.
+  P.touch(ImageSection::Text, 4 * 4096, 1);
+  EXPECT_EQ(P.faults(ImageSection::Text), 2u);
+}
+
+TEST(Paging, RangeTouchSpansPages) {
+  PagingSim P(64 * 4096, 0, cfg(1));
+  P.touch(ImageSection::Text, 4090, 20); // crosses a page boundary
+  EXPECT_EQ(P.faults(ImageSection::Text), 2u);
+}
+
+TEST(Paging, ZeroLengthTouchIsNoop) {
+  PagingSim P(16 * 4096, 16 * 4096, cfg(4));
+  P.touch(ImageSection::Text, 0, 0);
+  EXPECT_EQ(P.totalFaults(), 0u);
+}
+
+TEST(Paging, OutOfRangeTouchIsClamped) {
+  PagingSim P(4 * 4096, 0, cfg(4));
+  P.touch(ImageSection::Text, 100 * 4096, 10); // beyond the section
+  EXPECT_EQ(P.faults(ImageSection::Text), 0u);
+  P.touch(ImageSection::Text, 3 * 4096, 2 * 4096); // tail-clamped
+  EXPECT_EQ(P.faults(ImageSection::Text), 1u);
+}
+
+TEST(Paging, SectionsAreIndependent) {
+  PagingSim P(8 * 4096, 8 * 4096, cfg(1));
+  P.touch(ImageSection::Text, 0, 1);
+  P.touch(ImageSection::HeapSec, 0, 1);
+  P.touch(ImageSection::HeapSec, 4096, 1);
+  EXPECT_EQ(P.faults(ImageSection::Text), 1u);
+  EXPECT_EQ(P.faults(ImageSection::HeapSec), 2u);
+}
+
+TEST(Paging, PageStatesMatchFig6Convention) {
+  PagingSim P(8 * 4096, 0, cfg(4));
+  P.touch(ImageSection::Text, 4096, 1); // page 1 faults; cluster 0..3 loads
+  const auto &S = P.pageStates(ImageSection::Text);
+  EXPECT_EQ(S[1], PageState::Faulted);
+  EXPECT_EQ(S[0], PageState::Prefetched);
+  EXPECT_EQ(S[2], PageState::Prefetched);
+  EXPECT_EQ(S[4], PageState::Untouched);
+  // Touching a prefetched page later does not fault and keeps it "red".
+  P.touch(ImageSection::Text, 2 * 4096, 1);
+  EXPECT_EQ(P.faults(ImageSection::Text), 1u);
+  EXPECT_EQ(S[2], PageState::Prefetched);
+}
+
+TEST(Paging, DropCachesEvictsEverything) {
+  PagingSim P(8 * 4096, 0, cfg(2));
+  P.touch(ImageSection::Text, 0, 4096);
+  uint64_t First = P.faults(ImageSection::Text);
+  P.touch(ImageSection::Text, 0, 4096);
+  EXPECT_EQ(P.faults(ImageSection::Text), First); // still cached
+  P.dropCaches();
+  P.touch(ImageSection::Text, 0, 4096);
+  EXPECT_EQ(P.faults(ImageSection::Text), First * 2);
+}
+
+TEST(Paging, PrefetchCounterCounts) {
+  PagingSim P(16 * 4096, 0, cfg(8));
+  P.touch(ImageSection::Text, 0, 1);
+  EXPECT_EQ(P.prefetchedPages(), 7u); // 8-page cluster minus the fault
+}
+
+class PagingSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PagingSweepTest, SequentialScanFaultsOncePerCluster) {
+  uint32_t Window = GetParam();
+  const uint64_t Pages = 64;
+  PagingSim P(Pages * 4096, 0, cfg(Window));
+  for (uint64_t Pg = 0; Pg < Pages; ++Pg)
+    P.touch(ImageSection::Text, Pg * 4096, 4096);
+  EXPECT_EQ(P.faults(ImageSection::Text), (Pages + Window - 1) / Window);
+  EXPECT_EQ(P.prefetchedPages(), Pages - P.faults(ImageSection::Text));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, PagingSweepTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));

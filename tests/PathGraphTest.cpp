@@ -1,0 +1,224 @@
+//===- PathGraphTest.cpp - Ball-Larus path numbering tests ------------------===//
+
+#include "src/ir/IrBuilder.h"
+#include "src/profiling/PathGraph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace nimg;
+
+namespace {
+
+/// Builds a static int method with the given body-builder callback.
+template <typename Fn> MethodId makeMethod(Program &P, Fn Body) {
+  ClassId C = P.findClass("T") != -1 ? P.findClass("T") : P.addClass("T");
+  MethodId M = P.addMethod(C, "m" + std::to_string(P.numMethods()), {},
+                           P.intType(), /*IsStatic=*/true);
+  IrBuilder B(P, M);
+  Body(B);
+  return M;
+}
+
+} // namespace
+
+TEST(PathGraph, StraightLineHasOnePath) {
+  Program P;
+  MethodId M = makeMethod(P, [](IrBuilder &B) {
+    uint16_t R = B.constInt(1);
+    B.ret(R);
+  });
+  auto G = PathGraph::build(P, M);
+  EXPECT_EQ(G->numPaths(), 1u);
+  PathEvents E = G->decode(0);
+  EXPECT_TRUE(E.MethodEntry);
+  EXPECT_EQ(E.OperandCount, 0u);
+}
+
+TEST(PathGraph, DiamondHasTwoPaths) {
+  Program P;
+  MethodId M = makeMethod(P, [](IrBuilder &B) {
+    uint16_t C = B.constBool(true);
+    BlockId T = B.newBlock(), F = B.newBlock();
+    B.br(C, T, F);
+    B.setBlock(T);
+    B.ret(B.constInt(1));
+    B.setBlock(F);
+    B.ret(B.constInt(2));
+  });
+  auto G = PathGraph::build(P, M);
+  EXPECT_EQ(G->numPaths(), 2u);
+  // Both ids decode as method-entry paths with distinct... identical events
+  // (no access sites), but both must be method entries.
+  EXPECT_TRUE(G->decode(0).MethodEntry);
+  EXPECT_TRUE(G->decode(1).MethodEntry);
+}
+
+TEST(PathGraph, AccessSitesAppearOnTheRightPaths) {
+  Program P;
+  ClassId C = P.addClass("Box");
+  P.classDef(C).InstanceFields.push_back({"v", P.intType(), C, false});
+  MethodId M = makeMethod(P, [&](IrBuilder &B) {
+    uint16_t Obj = B.newObject(C);
+    uint16_t Cond = B.constBool(true);
+    BlockId T = B.newBlock(), F = B.newBlock();
+    B.br(Cond, T, F);
+    B.setBlock(T);
+    uint16_t V = B.getField(Obj, 0); // access site on the true path
+    B.ret(V);
+    B.setBlock(F);
+    B.ret(B.constInt(0));
+  });
+  auto G = PathGraph::build(P, M);
+  ASSERT_EQ(G->numPaths(), 2u);
+  int WithAccess = 0, WithoutAccess = 0;
+  for (uint64_t Id = 0; Id < 2; ++Id) {
+    PathEvents E = G->decode(Id);
+    if (E.OperandCount == 1)
+      ++WithAccess;
+    else if (E.OperandCount == 0)
+      ++WithoutAccess;
+  }
+  EXPECT_EQ(WithAccess, 1);
+  EXPECT_EQ(WithoutAccess, 1);
+}
+
+TEST(PathGraph, LoopBackEdgeIsCut) {
+  // while-style loop: entry -> cond -> (body -> cond | exit).
+  Program P;
+  MethodId M = makeMethod(P, [](IrBuilder &B) {
+    uint16_t I = B.constInt(0);
+    BlockId Cond = B.newBlock(), Body = B.newBlock(), Exit = B.newBlock();
+    B.jmp(Cond);
+    B.setBlock(Cond);
+    uint16_t Ten = B.constInt(10);
+    uint16_t Lt = B.binop(Opcode::CmpLt, I, Ten);
+    B.br(Lt, Body, Exit);
+    B.setBlock(Body);
+    uint16_t One = B.constInt(1);
+    uint16_t I2 = B.binop(Opcode::Add, I, One);
+    B.move(I, I2);
+    B.jmp(Cond); // back edge
+    B.setBlock(Exit);
+    B.ret(I);
+  });
+  auto G = PathGraph::build(P, M);
+  EXPECT_FALSE(G->fullyCut());
+  // Paths: entry->cond->body (cut), entry->cond->exit->ret,
+  // resume cond->body (cut), resume cond->exit->ret.
+  EXPECT_EQ(G->numPaths(), 4u);
+  const PathEdgeAction &Back = G->branchAction(2, 1);
+  EXPECT_TRUE(Back.Cut);
+  // Exactly the paths that used the real entry edge are method entries.
+  int Entries = 0;
+  for (uint64_t Id = 0; Id < G->numPaths(); ++Id)
+    Entries += G->decode(Id).MethodEntry;
+  EXPECT_EQ(Entries, 2);
+}
+
+TEST(PathGraph, CallSitesCutPaths) {
+  Program P;
+  MethodId Callee = makeMethod(P, [](IrBuilder &B) { B.ret(B.constInt(7)); });
+  MethodId M = makeMethod(P, [&](IrBuilder &B) {
+    uint16_t A = B.callStatic(Callee, {});
+    uint16_t B2 = B.callStatic(Callee, {});
+    uint16_t S = B.binop(Opcode::Add, A, B2);
+    B.ret(S);
+  });
+  auto G = PathGraph::build(P, M);
+  // Segments: [call1], [call2], [add,ret] -> 3 unit paths.
+  EXPECT_EQ(G->numPaths(), 3u);
+  const PathEdgeAction &A0 = G->callAction(makeSiteId(0, 0));
+  EXPECT_TRUE(A0.Cut);
+  const PathEdgeAction &A1 = G->callAction(makeSiteId(0, 1));
+  EXPECT_TRUE(A1.Cut);
+  // Exactly one of the three paths is a method entry.
+  int Entries = 0;
+  std::set<uint32_t> AllSites;
+  for (uint64_t Id = 0; Id < G->numPaths(); ++Id) {
+    PathEvents E = G->decode(Id);
+    Entries += E.MethodEntry;
+  }
+  EXPECT_EQ(Entries, 1);
+}
+
+TEST(PathGraph, NestedBranchesCountPaths) {
+  // Two sequential diamonds -> 4 paths.
+  Program P;
+  MethodId M = makeMethod(P, [](IrBuilder &B) {
+    uint16_t C = B.constBool(true);
+    BlockId T1 = B.newBlock(), F1 = B.newBlock(), J1 = B.newBlock();
+    B.br(C, T1, F1);
+    B.setBlock(T1);
+    B.jmp(J1);
+    B.setBlock(F1);
+    B.jmp(J1);
+    B.setBlock(J1);
+    uint16_t C2 = B.constBool(false);
+    BlockId T2 = B.newBlock(), F2 = B.newBlock();
+    B.br(C2, T2, F2);
+    B.setBlock(T2);
+    B.ret(B.constInt(1));
+    B.setBlock(F2);
+    B.ret(B.constInt(2));
+  });
+  auto G = PathGraph::build(P, M);
+  EXPECT_EQ(G->numPaths(), 4u);
+  // All four ids decode without falling off the graph.
+  for (uint64_t Id = 0; Id < 4; ++Id)
+    EXPECT_TRUE(G->decode(Id).MethodEntry);
+}
+
+TEST(PathGraph, OverflowFallsBackToFullCut) {
+  // 25 sequential diamonds -> 2^25 paths > PathLimit -> fully cut.
+  Program P;
+  MethodId M = makeMethod(P, [](IrBuilder &B) {
+    for (int I = 0; I < 25; ++I) {
+      uint16_t C = B.constBool(true);
+      BlockId T = B.newBlock(), F = B.newBlock(), J = B.newBlock();
+      B.br(C, T, F);
+      B.setBlock(T);
+      B.jmp(J);
+      B.setBlock(F);
+      B.jmp(J);
+      B.setBlock(J);
+    }
+    B.ret(B.constInt(0));
+  });
+  auto G = PathGraph::build(P, M);
+  EXPECT_TRUE(G->fullyCut());
+  EXPECT_LE(G->numPaths(), PathGraph::PathLimit);
+  EXPECT_GT(G->numPaths(), 0u);
+  // Path id 0 (real entry edge to the first segment) is a method entry.
+  EXPECT_TRUE(G->decode(G->entryValue()).MethodEntry);
+}
+
+TEST(PathGraph, DecodeOutOfRangeIsEmpty) {
+  Program P;
+  MethodId M = makeMethod(P, [](IrBuilder &B) { B.ret(B.constInt(0)); });
+  auto G = PathGraph::build(P, M);
+  PathEvents E = G->decode(999999);
+  EXPECT_FALSE(E.MethodEntry);
+  EXPECT_EQ(E.OperandCount, 0u);
+}
+
+TEST(PathGraph, RetEmitAddKnownForReturnBlocks) {
+  Program P;
+  MethodId M = makeMethod(P, [](IrBuilder &B) {
+    uint16_t C = B.constBool(true);
+    BlockId T = B.newBlock(), F = B.newBlock();
+    B.br(C, T, F);
+    B.setBlock(T);
+    B.ret(B.constInt(1));
+    B.setBlock(F);
+    B.ret(B.constInt(2));
+  });
+  auto G = PathGraph::build(P, M);
+  // Both return blocks have emit values, and they differ (distinct paths).
+  uint64_t E1 = G->retEmitAdd(1);
+  uint64_t E2 = G->retEmitAdd(2);
+  const PathEdgeAction &B1 = G->branchAction(0, 1);
+  const PathEdgeAction &B2 = G->branchAction(0, 2);
+  EXPECT_NE(B1.Add + E1, B2.Add + E2);
+}

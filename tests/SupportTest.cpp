@@ -1,0 +1,164 @@
+//===- SupportTest.cpp - Tests for support utilities -----------------------===//
+
+#include "src/support/ByteBuffer.h"
+#include "src/support/Csv.h"
+#include "src/support/Murmur3.h"
+#include "src/support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace nimg;
+
+// --- MurmurHash3 -----------------------------------------------------------
+
+TEST(Murmur3, EmptyInputIsStable) {
+  EXPECT_EQ(murmurHash3(nullptr, 0), murmurHash3(nullptr, 0));
+  EXPECT_NE(murmurHash3(nullptr, 0, 1), murmurHash3(nullptr, 0, 2));
+}
+
+TEST(Murmur3, KnownVector) {
+  // Reference value of MurmurHash3 x64-128 ("hello", seed 0): the canonical
+  // C implementation yields low 64 bits 0xcbd8a7b341bd9b02.
+  EXPECT_EQ(murmurHash3("hello"), 0xcbd8a7b341bd9b02ULL);
+}
+
+TEST(Murmur3, DiffersByContent) {
+  EXPECT_NE(murmurHash3("abc"), murmurHash3("abd"));
+  EXPECT_NE(murmurHash3("abc"), murmurHash3("ab"));
+}
+
+TEST(Murmur3, AllTailLengthsDiffer) {
+  // Exercise every switch arm of the tail handling (lengths 0..16).
+  std::set<uint64_t> Seen;
+  std::string Data = "0123456789abcdefg";
+  for (size_t Len = 0; Len <= 16; ++Len)
+    Seen.insert(murmurHash3(Data.data(), Len));
+  EXPECT_EQ(Seen.size(), 17u);
+}
+
+TEST(Murmur3, MultiBlockInput) {
+  std::string Long(1000, 'x');
+  std::string Long2 = Long;
+  Long2[999] = 'y';
+  EXPECT_NE(murmurHash3(Long), murmurHash3(Long2));
+}
+
+TEST(Murmur3, DigestHiLoIndependent) {
+  Murmur3Digest D = murmurHash3x64_128("data", 4, 7);
+  EXPECT_NE(D.Lo, D.Hi);
+}
+
+// --- ByteBuffer ---------------------------------------------------------------
+
+TEST(ByteBuffer, AppendsLittleEndian) {
+  ByteBuffer B;
+  B.appendU32(0x11223344);
+  ASSERT_EQ(B.size(), 4u);
+  EXPECT_EQ(B.bytes()[0], 0x44);
+  EXPECT_EQ(B.bytes()[3], 0x11);
+  B.appendU64(0x0102030405060708ULL);
+  EXPECT_EQ(B.bytes()[4], 0x08);
+  EXPECT_EQ(B.bytes()[11], 0x01);
+}
+
+TEST(ByteBuffer, SizedStringRoundTrips) {
+  ByteBuffer B;
+  B.appendSizedString("hi");
+  ASSERT_EQ(B.size(), 6u);
+  EXPECT_EQ(B.bytes()[0], 2u);
+  EXPECT_EQ(B.bytes()[4], 'h');
+}
+
+TEST(ByteBuffer, AppendBufferConcatenates) {
+  ByteBuffer A, B;
+  A.appendU8(1);
+  B.appendU8(2);
+  A.appendBuffer(B);
+  ASSERT_EQ(A.size(), 2u);
+  EXPECT_EQ(A.bytes()[1], 2u);
+}
+
+TEST(ByteBuffer, DoubleEncodingIsBitExact) {
+  ByteBuffer A, B;
+  A.appendF64(1.5);
+  B.appendF64(1.5);
+  EXPECT_EQ(A.bytes(), B.bytes());
+  ByteBuffer C;
+  C.appendF64(-1.5);
+  EXPECT_NE(A.bytes(), C.bytes());
+}
+
+// --- CSV -----------------------------------------------------------------------
+
+TEST(Csv, RoundTripsSimpleRows) {
+  CsvDocument Doc;
+  Doc.Rows = {{"a", "b"}, {"1", "2"}};
+  CsvDocument Parsed = parseCsv(writeCsv(Doc));
+  EXPECT_EQ(Parsed.Rows, Doc.Rows);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvDocument Doc;
+  Doc.Rows = {{"has,comma", "has\"quote", "has\nnewline"}};
+  std::string Text = writeCsv(Doc);
+  CsvDocument Parsed = parseCsv(Text);
+  EXPECT_EQ(Parsed.Rows, Doc.Rows);
+}
+
+TEST(Csv, ParsesWithoutTrailingNewline) {
+  CsvDocument Parsed = parseCsv("a,b\nc,d");
+  ASSERT_EQ(Parsed.Rows.size(), 2u);
+  EXPECT_EQ(Parsed.Rows[1][1], "d");
+}
+
+TEST(Csv, EmptyCellsSurvive) {
+  CsvDocument Parsed = parseCsv("a,,c\n");
+  ASSERT_EQ(Parsed.Rows.size(), 1u);
+  ASSERT_EQ(Parsed.Rows[0].size(), 3u);
+  EXPECT_EQ(Parsed.Rows[0][1], "");
+}
+
+TEST(Csv, EmptyInputHasNoRows) {
+  EXPECT_TRUE(parseCsv("").Rows.empty());
+}
+
+// --- SplitMix64 ------------------------------------------------------------------
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  SplitMix64 A2(42);
+  EXPECT_NE(A2.next(), C.next());
+}
+
+TEST(SplitMix64, NextBelowInRange) {
+  SplitMix64 R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(10), 10u);
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval) {
+  SplitMix64 R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(SplitMix64, ShufflePermutes) {
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  SplitMix64 R(123);
+  R.shuffle(V);
+  std::multiset<int> A(V.begin(), V.end()), B(Orig.begin(), Orig.end());
+  EXPECT_EQ(A, B);
+  EXPECT_NE(V, Orig); // Overwhelmingly likely for this seed.
+}
+
+TEST(SplitMix64, Mix64IsOrderSensitive) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_EQ(mix64(5, 9), mix64(5, 9));
+}

@@ -1,0 +1,101 @@
+//===- TraceTest.cpp - Trace records, writer, and dump-mode tests -----------===//
+
+#include "src/profiling/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace nimg;
+
+TEST(TraceRecords, PathRecordRoundTrips) {
+  uint64_t W = tracerec::makePath(MethodId(12345), 999);
+  EXPECT_TRUE(tracerec::isPath(W));
+  EXPECT_FALSE(tracerec::isCuEnter(W));
+  EXPECT_EQ(tracerec::pathId(W), 999u);
+  EXPECT_EQ(tracerec::pathMethod(W), 12345);
+}
+
+TEST(TraceRecords, CuEnterRoundTrips) {
+  uint64_t W = tracerec::makeCuEnter(MethodId(777));
+  EXPECT_TRUE(tracerec::isCuEnter(W));
+  EXPECT_FALSE(tracerec::isPath(W));
+  EXPECT_EQ(tracerec::cuRoot(W), 777);
+}
+
+TEST(TraceRecords, MaxPathIdFits) {
+  uint64_t MaxPath = (1u << 20) - 1;
+  uint64_t W = tracerec::makePath(MethodId(1) << 20, MaxPath);
+  EXPECT_EQ(tracerec::pathId(W), MaxPath);
+  EXPECT_EQ(tracerec::pathMethod(W), MethodId(1) << 20);
+}
+
+namespace {
+
+TraceOptions opts(DumpMode Mode, uint32_t BufferWords = 8) {
+  TraceOptions O;
+  O.Mode = TraceMode::HeapOrder;
+  O.Dump = Mode;
+  O.BufferWords = BufferWords;
+  return O;
+}
+
+} // namespace
+
+TEST(TraceWriter, FlushOnFullKeepsFlushedPrefixOnKill) {
+  TraceWriter W(opts(DumpMode::FlushOnFull, /*BufferWords=*/4));
+  for (uint64_t I = 0; I < 10; ++I)
+    W.append(0, I); // flushes at 4 and 8; 2 words pending
+  W.killAll();      // SIGKILL: pending words are lost
+  TraceCapture C = W.take();
+  ASSERT_EQ(C.Threads.size(), 1u);
+  EXPECT_EQ(C.Threads[0].Words.size(), 8u);
+  EXPECT_EQ(C.Threads[0].Words[7], 7u);
+}
+
+TEST(TraceWriter, FlushOnFullKeepsEverythingOnCleanExit) {
+  TraceWriter W(opts(DumpMode::FlushOnFull, 4));
+  for (uint64_t I = 0; I < 10; ++I)
+    W.append(0, I);
+  W.flushAll(); // clean termination handlers ran
+  TraceCapture C = W.take();
+  EXPECT_EQ(C.Threads[0].Words.size(), 10u);
+}
+
+TEST(TraceWriter, MemoryMappedSurvivesKill) {
+  TraceWriter W(opts(DumpMode::MemoryMapped, 4));
+  for (uint64_t I = 0; I < 10; ++I)
+    W.append(0, I);
+  W.killAll(); // nothing to lose: every word was written through
+  TraceCapture C = W.take();
+  EXPECT_EQ(C.Threads[0].Words.size(), 10u);
+}
+
+TEST(TraceWriter, MemoryMappedCostsMorePerWord) {
+  TraceWriter A(opts(DumpMode::FlushOnFull, 1024));
+  TraceWriter B(opts(DumpMode::MemoryMapped, 1024));
+  for (uint64_t I = 0; I < 100; ++I) {
+    A.append(0, I);
+    B.append(0, I);
+  }
+  EXPECT_GT(B.probeUnits(), A.probeUnits());
+}
+
+TEST(TraceWriter, ThreadsAreKeptInCreationOrder) {
+  TraceWriter W(opts(DumpMode::MemoryMapped));
+  W.append(2, 22); // threads 0 and 1 implicitly exist, empty
+  W.append(0, 0);
+  W.append(1, 11);
+  TraceCapture C = W.take();
+  ASSERT_EQ(C.Threads.size(), 3u);
+  EXPECT_EQ(C.Threads[0].Words, std::vector<uint64_t>{0});
+  EXPECT_EQ(C.Threads[1].Words, std::vector<uint64_t>{11});
+  EXPECT_EQ(C.Threads[2].Words, std::vector<uint64_t>{22});
+}
+
+TEST(TraceWriter, TakeResetsState) {
+  TraceWriter W(opts(DumpMode::MemoryMapped));
+  W.append(0, 1);
+  TraceCapture C1 = W.take();
+  EXPECT_EQ(C1.totalWords(), 1u);
+  TraceCapture C2 = W.take();
+  EXPECT_EQ(C2.totalWords(), 0u);
+}

@@ -1,0 +1,173 @@
+//===- VerifierTest.cpp - IR verifier tests ----------------------------------===//
+
+#include "src/ir/IrBuilder.h"
+#include "src/ir/Printer.h"
+#include "src/ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nimg;
+
+namespace {
+
+struct Fixture {
+  Program P;
+  ClassId C;
+
+  Fixture() { C = P.addClass("T"); }
+
+  MethodId method() {
+    return P.addMethod(C, "m" + std::to_string(P.numMethods()), {},
+                       P.intType(), /*IsStatic=*/true);
+  }
+
+  std::vector<std::string> verify(MethodId M) {
+    std::vector<std::string> Errors;
+    verifyMethod(P, M, Errors);
+    return Errors;
+  }
+};
+
+} // namespace
+
+TEST(Verifier, AcceptsWellFormedMethod) {
+  Fixture F;
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  uint16_t A = B.constInt(1);
+  uint16_t Bv = B.constInt(2);
+  B.ret(B.binop(Opcode::Add, A, Bv));
+  EXPECT_TRUE(F.verify(M).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Fixture F;
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  B.constInt(1); // no terminator
+  auto Errors = F.verify(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Fixture F;
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  B.newBlock(); // left empty
+  B.ret(B.constInt(0));
+  auto Errors = F.verify(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("empty block"), std::string::npos);
+}
+
+TEST(Verifier, RejectsRegisterOutOfRange) {
+  Fixture F;
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  Instr Bad{Opcode::Move};
+  Bad.Dst = 50; // never allocated
+  Bad.A = 60;
+  B.emit(Bad);
+  B.ret(B.constInt(0));
+  auto Errors = F.verify(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("register out of range"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBranchTargetOutOfRange) {
+  Fixture F;
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  uint16_t Cond = B.constBool(true);
+  Instr Br{Opcode::Br};
+  Br.A = Cond;
+  Br.Target = 99;
+  Br.Aux2 = 0;
+  B.emit(Br);
+  auto Errors = F.verify(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("branch target"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  Fixture F;
+  MethodId Callee =
+      F.P.addMethod(F.C, "callee", {F.P.intType()}, F.P.intType(), true);
+  {
+    IrBuilder B(F.P, Callee);
+    B.ret(0);
+  }
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  B.ret(B.callStatic(Callee, {})); // missing the int argument
+  auto Errors = F.verify(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("argument count"), std::string::npos);
+}
+
+TEST(Verifier, RejectsNewOfAbstractClass) {
+  Fixture F;
+  ClassId Abs = F.P.addClass("Abs", -1, /*IsAbstract=*/true);
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  Instr New{Opcode::NewObject};
+  New.Dst = B.newReg();
+  New.Aux = Abs;
+  B.emit(New);
+  B.ret(B.constInt(0));
+  auto Errors = F.verify(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("abstract"), std::string::npos);
+}
+
+TEST(Verifier, RejectsStaticFieldIndexOutOfRange) {
+  Fixture F;
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  uint16_t Dst = B.getStatic(F.C, 3); // class T has no statics
+  B.ret(Dst);
+  auto Errors = F.verify(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("static field index"), std::string::npos);
+}
+
+TEST(Verifier, AbstractMethodsHaveNoBody) {
+  Fixture F;
+  MethodId M = F.P.addMethod(F.C, "abs", {F.P.objectType(F.C)}, F.P.intType(),
+                             /*IsStatic=*/false, /*IsAbstract=*/true);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyMethod(F.P, M, Errors));
+  // Giving it a body is rejected.
+  IrBuilder B(F.P, M);
+  B.ret(B.constInt(1));
+  Errors.clear();
+  EXPECT_FALSE(verifyMethod(F.P, M, Errors));
+}
+
+TEST(Verifier, ProgramLevelChecksMain) {
+  Fixture F;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyProgram(F.P, Errors)); // no main set
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  B.ret(B.constInt(0));
+  F.P.MainMethod = M;
+  Errors.clear();
+  EXPECT_TRUE(verifyProgram(F.P, Errors));
+}
+
+TEST(Printer, RendersInstructionsReadably) {
+  Fixture F;
+  MethodId M = F.method();
+  IrBuilder B(F.P, M);
+  uint16_t A = B.constInt(42);
+  uint16_t S = B.constString(F.P.internString("hello"));
+  uint16_t Sum = B.binop(Opcode::Concat, S, A);
+  B.ret(Sum);
+  std::string Text = printMethod(F.P, M);
+  EXPECT_NE(Text.find("= 42"), std::string::npos);
+  EXPECT_NE(Text.find("\"hello\""), std::string::npos);
+  EXPECT_NE(Text.find("concat"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}

@@ -1,0 +1,143 @@
+//===- WorkloadsTest.cpp - AWFY and microservice workload tests -------------===//
+
+#include "src/core/Builder.h"
+#include "src/runtime/ExecEngine.h"
+#include "src/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace nimg;
+
+namespace {
+
+/// Builds a baseline image of the benchmark and runs it once, cold.
+RunStats buildAndRun(const BenchmarkSpec &Spec, std::unique_ptr<Program> &P) {
+  std::vector<std::string> Errors;
+  P = compileBenchmark(Spec, Errors);
+  EXPECT_TRUE(P) << Spec.Name;
+  for (auto &E : Errors)
+    ADD_FAILURE() << Spec.Name << ": " << E;
+  if (!P)
+    return {};
+  BuildConfig Cfg;
+  Cfg.Seed = 42;
+  NativeImage Img = buildNativeImage(*P, Cfg);
+  EXPECT_FALSE(Img.Built.Failed) << Spec.Name << ": "
+                                 << Img.Built.FailureMessage;
+  RunConfig RC;
+  RC.StopAtFirstResponse = Spec.Microservice;
+  return runImage(Img, RC);
+}
+
+} // namespace
+
+class AwfyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AwfyTest, RunsAndProducesExpectedOutput) {
+  std::unique_ptr<Program> P;
+  RunStats S = buildAndRun(awfyBenchmark(GetParam()), P);
+  ASSERT_FALSE(S.Trapped) << GetParam() << ": " << S.TrapMessage;
+  EXPECT_FALSE(S.FuelExhausted) << GetParam();
+  EXPECT_NE(S.Output.find(GetParam() + ":"), std::string::npos)
+      << GetParam() << " output: " << S.Output;
+  EXPECT_GT(S.TextFaults, 0u) << GetParam();
+  EXPECT_GT(S.HeapFaults, 0u) << GetParam();
+  // Runtime startup plus benchmark touch only part of the image.
+  EXPECT_GT(S.StoredObjectsTotal, S.StoredObjectsTouched * 2) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Awfy, AwfyTest,
+                         ::testing::ValuesIn(awfyBenchmarkNames()));
+
+namespace {
+
+int64_t expectedResult(const std::string &Name) {
+  // Golden results, fixed by the deterministic algorithms; these guard
+  // against semantic regressions in the frontend/interpreter/workloads.
+  if (Name == "Permute")
+    return 8660;
+  if (Name == "Queens")
+    return 1;
+  if (Name == "Sieve")
+    return 669;
+  if (Name == "Storage")
+    return 5461;
+  if (Name == "Towers")
+    return 8191;
+  if (Name == "List")
+    return 10;
+  return -1;
+}
+
+} // namespace
+
+TEST(AwfyGolden, KnownResults) {
+  for (const std::string &Name :
+       {"Permute", "Queens", "Sieve", "Storage", "Towers", "List"}) {
+    std::unique_ptr<Program> P;
+    RunStats S = buildAndRun(awfyBenchmark(Name), P);
+    ASSERT_FALSE(S.Trapped) << Name << ": " << S.TrapMessage;
+    std::string Want = Name + ": " + std::to_string(expectedResult(Name));
+    EXPECT_NE(S.Output.find(Want), std::string::npos)
+        << Name << " output: " << S.Output;
+  }
+}
+
+TEST(AwfyGolden, RichardsSchedulerCounts) {
+  std::unique_ptr<Program> P;
+  RunStats S = buildAndRun(awfyBenchmark("Richards"), P);
+  ASSERT_FALSE(S.Trapped) << S.TrapMessage;
+  // queueCount * 100000 + holdCount; the classic counts for 1000
+  // idle-task iterations are 2322 and 928.
+  EXPECT_NE(S.Output.find("Richards: 232200928"), std::string::npos)
+      << S.Output;
+}
+
+class MicroserviceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MicroserviceTest, RespondsToFirstRequest) {
+  std::unique_ptr<Program> P;
+  RunStats S = buildAndRun(microserviceBenchmark(GetParam()), P);
+  ASSERT_FALSE(S.Trapped) << GetParam() << ": " << S.TrapMessage;
+  EXPECT_TRUE(S.Responded) << GetParam();
+  EXPECT_GT(S.TimeToFirstResponseNs, 0.0);
+  EXPECT_GT(S.TextFaults, 0u);
+  EXPECT_GT(S.HeapFaults, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Micro, MicroserviceTest,
+                         ::testing::ValuesIn(microserviceNames()));
+
+TEST(Microservice, HelloWorldBodyIsServed) {
+  std::unique_ptr<Program> P;
+  BenchmarkSpec Spec = microserviceBenchmark("micronaut");
+  std::vector<std::string> Errors;
+  P = compileBenchmark(Spec, Errors);
+  ASSERT_TRUE(P);
+  BuildConfig Cfg;
+  NativeImage Img = buildNativeImage(*P, Cfg);
+  RunConfig RC;
+  RC.StopAtFirstResponse = false; // Run to completion instead of SIGKILL.
+  RunStats S = runImage(Img, RC);
+  ASSERT_FALSE(S.Trapped) << S.TrapMessage;
+  EXPECT_TRUE(S.Responded);
+  EXPECT_FALSE(S.FuelExhausted);
+}
+
+TEST(Microservice, FrameworksDifferInSize) {
+  std::vector<size_t> HeapSizes;
+  for (const std::string &Name : microserviceNames()) {
+    std::unique_ptr<Program> P;
+    BenchmarkSpec Spec = microserviceBenchmark(Name);
+    std::vector<std::string> Errors;
+    P = compileBenchmark(Spec, Errors);
+    ASSERT_TRUE(P) << Name;
+    BuildConfig Cfg;
+    NativeImage Img = buildNativeImage(*P, Cfg);
+    HeapSizes.push_back(size_t(Img.Layout.HeapSize));
+    EXPECT_GT(Img.Snapshot.numStored(), 500u) << Name;
+  }
+  // spring > micronaut > quarkus in heap-snapshot size.
+  EXPECT_GT(HeapSizes[2], HeapSizes[0]);
+  EXPECT_GT(HeapSizes[0], HeapSizes[1]);
+}
