@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dumpmode.dir/abl_dumpmode.cpp.o"
+  "CMakeFiles/abl_dumpmode.dir/abl_dumpmode.cpp.o.d"
+  "abl_dumpmode"
+  "abl_dumpmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dumpmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

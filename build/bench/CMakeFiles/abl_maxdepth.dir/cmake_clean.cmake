@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_maxdepth.dir/abl_maxdepth.cpp.o"
+  "CMakeFiles/abl_maxdepth.dir/abl_maxdepth.cpp.o.d"
+  "abl_maxdepth"
+  "abl_maxdepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_maxdepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

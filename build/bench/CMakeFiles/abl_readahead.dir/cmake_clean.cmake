@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_readahead.dir/abl_readahead.cpp.o"
+  "CMakeFiles/abl_readahead.dir/abl_readahead.cpp.o.d"
+  "abl_readahead"
+  "abl_readahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

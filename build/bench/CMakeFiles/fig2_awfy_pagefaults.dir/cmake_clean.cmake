@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_awfy_pagefaults.dir/fig2_awfy_pagefaults.cpp.o"
+  "CMakeFiles/fig2_awfy_pagefaults.dir/fig2_awfy_pagefaults.cpp.o.d"
+  "fig2_awfy_pagefaults"
+  "fig2_awfy_pagefaults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_awfy_pagefaults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

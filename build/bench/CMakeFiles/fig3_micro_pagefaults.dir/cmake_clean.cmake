@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_micro_pagefaults.dir/fig3_micro_pagefaults.cpp.o"
+  "CMakeFiles/fig3_micro_pagefaults.dir/fig3_micro_pagefaults.cpp.o.d"
+  "fig3_micro_pagefaults"
+  "fig3_micro_pagefaults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_micro_pagefaults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_text_visualization.dir/fig6_text_visualization.cpp.o"
+  "CMakeFiles/fig6_text_visualization.dir/fig6_text_visualization.cpp.o.d"
+  "fig6_text_visualization"
+  "fig6_text_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_text_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

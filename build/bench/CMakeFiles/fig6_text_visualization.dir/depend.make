@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_text_visualization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_profiling_overhead.dir/tab_profiling_overhead.cpp.o"
+  "CMakeFiles/tab_profiling_overhead.dir/tab_profiling_overhead.cpp.o.d"
+  "tab_profiling_overhead"
+  "tab_profiling_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_profiling_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

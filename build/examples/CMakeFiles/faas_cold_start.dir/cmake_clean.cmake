@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_cold_start.dir/faas_cold_start.cpp.o"
+  "CMakeFiles/faas_cold_start.dir/faas_cold_start.cpp.o.d"
+  "faas_cold_start"
+  "faas_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

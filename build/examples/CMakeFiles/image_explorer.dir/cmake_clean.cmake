@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_explorer.dir/image_explorer.cpp.o"
+  "CMakeFiles/image_explorer.dir/image_explorer.cpp.o.d"
+  "image_explorer"
+  "image_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

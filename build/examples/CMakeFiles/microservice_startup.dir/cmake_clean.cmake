@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservice_startup.dir/microservice_startup.cpp.o"
+  "CMakeFiles/microservice_startup.dir/microservice_startup.cpp.o.d"
+  "microservice_startup"
+  "microservice_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservice_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimage_cli.dir/nimage_cli.cpp.o"
+  "CMakeFiles/nimage_cli.dir/nimage_cli.cpp.o.d"
+  "nimage_cli"
+  "nimage_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimage_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

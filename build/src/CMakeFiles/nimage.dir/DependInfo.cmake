@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/CodeSize.cpp" "src/CMakeFiles/nimage.dir/compiler/CodeSize.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/compiler/CodeSize.cpp.o.d"
+  "/root/repo/src/compiler/Inliner.cpp" "src/CMakeFiles/nimage.dir/compiler/Inliner.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/compiler/Inliner.cpp.o.d"
+  "/root/repo/src/compiler/Reachability.cpp" "src/CMakeFiles/nimage.dir/compiler/Reachability.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/compiler/Reachability.cpp.o.d"
+  "/root/repo/src/core/Builder.cpp" "src/CMakeFiles/nimage.dir/core/Builder.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/core/Builder.cpp.o.d"
+  "/root/repo/src/core/Evaluation.cpp" "src/CMakeFiles/nimage.dir/core/Evaluation.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/core/Evaluation.cpp.o.d"
+  "/root/repo/src/heap/BuildHeap.cpp" "src/CMakeFiles/nimage.dir/heap/BuildHeap.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/heap/BuildHeap.cpp.o.d"
+  "/root/repo/src/heap/Heap.cpp" "src/CMakeFiles/nimage.dir/heap/Heap.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/heap/Heap.cpp.o.d"
+  "/root/repo/src/heap/Snapshot.cpp" "src/CMakeFiles/nimage.dir/heap/Snapshot.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/heap/Snapshot.cpp.o.d"
+  "/root/repo/src/image/ImageFile.cpp" "src/CMakeFiles/nimage.dir/image/ImageFile.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/image/ImageFile.cpp.o.d"
+  "/root/repo/src/image/ImageLayout.cpp" "src/CMakeFiles/nimage.dir/image/ImageLayout.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/image/ImageLayout.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/nimage.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/CMakeFiles/nimage.dir/ir/Program.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/ir/Program.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/nimage.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/lang/Compile.cpp" "src/CMakeFiles/nimage.dir/lang/Compile.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/lang/Compile.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/CMakeFiles/nimage.dir/lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/lang/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/nimage.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/ordering/IdStrategies.cpp" "src/CMakeFiles/nimage.dir/ordering/IdStrategies.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/ordering/IdStrategies.cpp.o.d"
+  "/root/repo/src/ordering/Orderers.cpp" "src/CMakeFiles/nimage.dir/ordering/Orderers.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/ordering/Orderers.cpp.o.d"
+  "/root/repo/src/profiling/Analyses.cpp" "src/CMakeFiles/nimage.dir/profiling/Analyses.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/profiling/Analyses.cpp.o.d"
+  "/root/repo/src/profiling/PathGraph.cpp" "src/CMakeFiles/nimage.dir/profiling/PathGraph.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/profiling/PathGraph.cpp.o.d"
+  "/root/repo/src/runtime/ExecEngine.cpp" "src/CMakeFiles/nimage.dir/runtime/ExecEngine.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/runtime/ExecEngine.cpp.o.d"
+  "/root/repo/src/runtime/Interpreter.cpp" "src/CMakeFiles/nimage.dir/runtime/Interpreter.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/runtime/Interpreter.cpp.o.d"
+  "/root/repo/src/runtime/Paging.cpp" "src/CMakeFiles/nimage.dir/runtime/Paging.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/runtime/Paging.cpp.o.d"
+  "/root/repo/src/support/Csv.cpp" "src/CMakeFiles/nimage.dir/support/Csv.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/support/Csv.cpp.o.d"
+  "/root/repo/src/support/Murmur3.cpp" "src/CMakeFiles/nimage.dir/support/Murmur3.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/support/Murmur3.cpp.o.d"
+  "/root/repo/src/workloads/AwfyMacro1.cpp" "src/CMakeFiles/nimage.dir/workloads/AwfyMacro1.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/workloads/AwfyMacro1.cpp.o.d"
+  "/root/repo/src/workloads/AwfyMacro2.cpp" "src/CMakeFiles/nimage.dir/workloads/AwfyMacro2.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/workloads/AwfyMacro2.cpp.o.d"
+  "/root/repo/src/workloads/AwfyMicro.cpp" "src/CMakeFiles/nimage.dir/workloads/AwfyMicro.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/workloads/AwfyMicro.cpp.o.d"
+  "/root/repo/src/workloads/Microservices.cpp" "src/CMakeFiles/nimage.dir/workloads/Microservices.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/workloads/Microservices.cpp.o.d"
+  "/root/repo/src/workloads/Prelude.cpp" "src/CMakeFiles/nimage.dir/workloads/Prelude.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/workloads/Prelude.cpp.o.d"
+  "/root/repo/src/workloads/SomLib.cpp" "src/CMakeFiles/nimage.dir/workloads/SomLib.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/workloads/SomLib.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/CMakeFiles/nimage.dir/workloads/Workloads.cpp.o" "gcc" "src/CMakeFiles/nimage.dir/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

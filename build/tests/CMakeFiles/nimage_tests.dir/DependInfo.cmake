@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysesTest.cpp" "tests/CMakeFiles/nimage_tests.dir/AnalysesTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/AnalysesTest.cpp.o.d"
+  "/root/repo/tests/EngineTest.cpp" "tests/CMakeFiles/nimage_tests.dir/EngineTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/EngineTest.cpp.o.d"
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/nimage_tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/IdStrategiesTest.cpp" "tests/CMakeFiles/nimage_tests.dir/IdStrategiesTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/IdStrategiesTest.cpp.o.d"
+  "/root/repo/tests/ImageFileTest.cpp" "tests/CMakeFiles/nimage_tests.dir/ImageFileTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/ImageFileTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/nimage_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/OrderersTest.cpp" "tests/CMakeFiles/nimage_tests.dir/OrderersTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/OrderersTest.cpp.o.d"
+  "/root/repo/tests/PagingTest.cpp" "tests/CMakeFiles/nimage_tests.dir/PagingTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/PagingTest.cpp.o.d"
+  "/root/repo/tests/PathGraphTest.cpp" "tests/CMakeFiles/nimage_tests.dir/PathGraphTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/PathGraphTest.cpp.o.d"
+  "/root/repo/tests/PipelineTest.cpp" "tests/CMakeFiles/nimage_tests.dir/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/PipelineTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/nimage_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TraceTest.cpp" "tests/CMakeFiles/nimage_tests.dir/TraceTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/TraceTest.cpp.o.d"
+  "/root/repo/tests/VerifierTest.cpp" "tests/CMakeFiles/nimage_tests.dir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/WorkloadsTest.cpp" "tests/CMakeFiles/nimage_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/nimage_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nimage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

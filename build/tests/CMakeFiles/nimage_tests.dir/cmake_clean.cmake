@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimage_tests.dir/AnalysesTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/AnalysesTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/EngineTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/EngineTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/FrontendTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/FrontendTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/IdStrategiesTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/IdStrategiesTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/ImageFileTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/ImageFileTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/InterpreterTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/InterpreterTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/OrderersTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/OrderersTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/PagingTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/PagingTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/PathGraphTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/PathGraphTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/PipelineTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/PipelineTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/SupportTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/SupportTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/TraceTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/TraceTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/VerifierTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/VerifierTest.cpp.o.d"
+  "CMakeFiles/nimage_tests.dir/WorkloadsTest.cpp.o"
+  "CMakeFiles/nimage_tests.dir/WorkloadsTest.cpp.o.d"
+  "nimage_tests"
+  "nimage_tests.pdb"
+  "nimage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
