@@ -160,7 +160,16 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
                    File.c_str());
       return 1;
     }
-    CodeProf = CodeProfile::fromCsv(Csv);
+    ProfileReadReport Report;
+    CodeProf = CodeProfile::fromCsv(Csv, &Report);
+    if (!Report.usable())
+      std::fprintf(stderr,
+                   "warning: %s is unusable (%s); building with the "
+                   "default code layout\n",
+                   File.c_str(), profileErrorName(Report.Fatal));
+    else if (Report.RowsSkipped > 0)
+      std::fprintf(stderr, "warning: %s: skipped %zu malformed row(s)\n",
+                   File.c_str(), Report.RowsSkipped);
     Cfg.CodeOrder = std::strcmp(Code, "method") == 0
                         ? CodeStrategy::MethodOrder
                         : CodeStrategy::CuOrder;
@@ -185,7 +194,16 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
                    File.c_str());
       return 1;
     }
-    HeapProf = HeapProfile::fromCsv(Csv);
+    ProfileReadReport Report;
+    HeapProf = HeapProfile::fromCsv(Csv, &Report);
+    if (!Report.usable())
+      std::fprintf(stderr,
+                   "warning: %s is unusable (%s); building with the "
+                   "default heap layout\n",
+                   File.c_str(), profileErrorName(Report.Fatal));
+    else if (Report.RowsSkipped > 0)
+      std::fprintf(stderr, "warning: %s: skipped %zu malformed row(s)\n",
+                   File.c_str(), Report.RowsSkipped);
     Cfg.UseHeapOrder = true;
     Cfg.HeapProf = &HeapProf;
   }
@@ -202,6 +220,22 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
               (unsigned long long)(Img.imageBytes() / 1024),
               (unsigned long long)(Img.Layout.TextSize / 1024),
               (unsigned long long)(Img.Layout.HeapSize / 1024));
+  if (Img.ProfileDiag.degraded()) {
+    std::fprintf(stderr,
+                 "warning: build degraded to default layout(s) — code "
+                 "profile %s, heap profile %s\n",
+                 Img.ProfileDiag.CodeProfileProvided
+                     ? (Img.ProfileDiag.CodeProfileApplied ? "applied"
+                                                           : "rejected")
+                     : "absent",
+                 Img.ProfileDiag.HeapProfileProvided
+                     ? (Img.ProfileDiag.HeapProfileApplied ? "applied"
+                                                           : "rejected")
+                     : "absent");
+    for (const ProfileIssue &I : Img.ProfileDiag.Issues)
+      std::fprintf(stderr, "  - %s: %s\n", profileErrorName(I.Kind),
+                   I.Detail.c_str());
+  }
   if (const char *Out = flagValue(Argc, Argv, "--out")) {
     std::vector<uint8_t> Bytes = serializeImage(*P, Img);
     std::string Blob(Bytes.begin(), Bytes.end());

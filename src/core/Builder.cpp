@@ -2,9 +2,76 @@
 
 #include "src/core/Builder.h"
 
+#include "src/image/ImageFile.h"
 #include "src/support/SplitMix64.h"
 
 using namespace nimg;
+
+namespace {
+
+void addDiag(ProfileDiagnostics &Diag, ProfileError Kind, std::string Detail) {
+  Diag.Issues.push_back({Kind, 0, std::move(Detail)});
+}
+
+/// Whether the offered code profile may drive code ordering in this build.
+/// Rejections are recorded in \p Diag; the build then keeps the default
+/// .text order instead of consuming a bad profile.
+bool codeProfileUsable(const CodeProfile &CP, CodeStrategy Strategy,
+                       uint64_t BuildFp, ProfileDiagnostics &Diag) {
+  if (CP.LoadError != ProfileError::None) {
+    addDiag(Diag, CP.LoadError, "code profile rejected at load");
+    return false;
+  }
+  // Legacy headerless profiles (Version 0) carry no provenance; they are
+  // accepted as-is. Versioned headers are checked for provenance.
+  if (CP.Header.Version == 0)
+    return true;
+  TraceMode Want = Strategy == CodeStrategy::MethodOrder
+                       ? TraceMode::MethodOrder
+                       : TraceMode::CuOrder;
+  if (CP.Header.Mode != Want) {
+    addDiag(Diag, ProfileError::ModeMismatch,
+            "code profile traced in a different mode than the ordering "
+            "strategy expects");
+    return false;
+  }
+  if (CP.Header.Fingerprint != 0 && BuildFp != 0 &&
+      CP.Header.Fingerprint != BuildFp) {
+    addDiag(Diag, ProfileError::FingerprintMismatch,
+            "code profile came from a different program");
+    return false;
+  }
+  return true;
+}
+
+bool heapProfileUsable(const HeapProfile &HP, HeapStrategy Strategy,
+                       uint64_t BuildFp, ProfileDiagnostics &Diag) {
+  if (HP.LoadError != ProfileError::None) {
+    addDiag(Diag, HP.LoadError, "heap profile rejected at load");
+    return false;
+  }
+  if (HP.Header.Version == 0)
+    return true;
+  if (HP.Header.Mode != TraceMode::HeapOrder) {
+    addDiag(Diag, ProfileError::ModeMismatch,
+            "heap profile built from a non-heap trace");
+    return false;
+  }
+  if (HP.Header.HasStrategy && HP.Header.Strategy != Strategy) {
+    addDiag(Diag, ProfileError::StrategyMismatch,
+            "heap profile ids use a different identity strategy");
+    return false;
+  }
+  if (HP.Header.Fingerprint != 0 && BuildFp != 0 &&
+      HP.Header.Fingerprint != BuildFp) {
+    addDiag(Diag, ProfileError::FingerprintMismatch,
+            "heap profile came from a different program");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
 
 NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
   assert(P.MainMethod != -1 && "program has no entry point");
@@ -17,6 +84,27 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
   // class-id space.
   ensureClassMetaClass(P);
 
+  // Profile validation (degradation policy): a corrupt, stale, or
+  // mismatched profile downgrades the affected ordering to the default
+  // layout; it never fails the build.
+  uint64_t BuildFp = programFingerprint(P);
+  const CodeProfile *CodeProf = Cfg.CodeProf;
+  if (Cfg.CodeOrder != CodeStrategy::None && CodeProf) {
+    Img.ProfileDiag.CodeProfileProvided = true;
+    if (codeProfileUsable(*CodeProf, Cfg.CodeOrder, BuildFp, Img.ProfileDiag))
+      Img.ProfileDiag.CodeProfileApplied = true;
+    else
+      CodeProf = nullptr;
+  }
+  const HeapProfile *HeapProf = Cfg.HeapProf;
+  if (Cfg.UseHeapOrder && HeapProf) {
+    Img.ProfileDiag.HeapProfileProvided = true;
+    if (heapProfileUsable(*HeapProf, Cfg.HeapOrder, BuildFp, Img.ProfileDiag))
+      Img.ProfileDiag.HeapProfileApplied = true;
+    else
+      HeapProf = nullptr;
+  }
+
   // 1. Points-to-style reachability (Sec. 2).
   Img.Reach = analyzeReachability(P, Cfg.Reach);
 
@@ -28,8 +116,8 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
   // 3. Code ordering (Sec. 4) — determines .text placement and, through
   //    it, the default object traversal order.
   std::vector<int32_t> CuOrder;
-  if (Cfg.CodeOrder != CodeStrategy::None && Cfg.CodeProf)
-    CuOrder = orderCusWithProfile(P, Img.Code, *Cfg.CodeProf,
+  if (Cfg.CodeOrder != CodeStrategy::None && CodeProf)
+    CuOrder = orderCusWithProfile(P, Img.Code, *CodeProf,
                                   Cfg.CodeOrder == CodeStrategy::MethodOrder);
 
   // 4. Build-time initialization (permuted) and heap snapshotting.
@@ -53,9 +141,9 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
   // 6. Heap ordering (Sec. 5): match the profile's ids against this
   //    build's snapshot and hoist matched objects to the front.
   std::vector<int32_t> ObjOrder;
-  if (Cfg.UseHeapOrder && Cfg.HeapProf)
+  if (Cfg.UseHeapOrder && HeapProf)
     ObjOrder = orderObjectsWithProfile(Img.Snapshot, Img.Ids, Cfg.HeapOrder,
-                                       *Cfg.HeapProf);
+                                       *HeapProf);
 
   // 7. Image layout.
   Img.Layout =
@@ -89,21 +177,37 @@ CollectedProfiles nimg::collectProfiles(Program &P,
     RC.Trace = &TOpts;
     TraceCapture Capture;
     StatsOut = runImage(Img, RC, &Capture);
+    if (Capture.totalWords() == 0) {
+      // An empty capture usually means the run died before any buffer
+      // flushed (mode-1 SIGKILL); retry once with the memory-mapped dump
+      // mode, which persists every word.
+      TOpts.Dump = DumpMode::MemoryMapped;
+      StatsOut = runImage(Img, RC, &Capture);
+      ++Out.RetriedRuns;
+    }
     return Capture;
   };
 
+  uint64_t Fp = programFingerprint(P);
+
   TraceCapture CuCap = RunWith(TraceMode::CuOrder, Out.CuRun);
-  Out.Cu = analyzeCuOrder(P, CuCap);
+  Out.Cu = analyzeCuOrder(P, CuCap, &Out.CuSalvage);
+  Out.Cu.Header.Fingerprint = Fp;
 
   TraceCapture MethodCap = RunWith(TraceMode::MethodOrder, Out.MethodRun);
-  Out.Method = analyzeMethodOrder(P, MethodCap, Paths);
+  Out.Method = analyzeMethodOrder(P, MethodCap, Paths, &Out.MethodSalvage);
+  Out.Method.Header.Fingerprint = Fp;
 
   TraceCapture HeapCap = RunWith(TraceMode::HeapOrder, Out.HeapRun);
-  std::vector<int32_t> AccessOrder = analyzeHeapAccessOrder(P, HeapCap, Paths);
+  std::vector<int32_t> AccessOrder =
+      analyzeHeapAccessOrder(P, HeapCap, Paths, &Out.HeapSalvage);
   Out.IncrementalId =
       heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::IncrementalId);
   Out.StructuralHash =
       heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::StructuralHash);
   Out.HeapPath = heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::HeapPath);
+  Out.IncrementalId.Header.Fingerprint = Fp;
+  Out.StructuralHash.Header.Fingerprint = Fp;
+  Out.HeapPath.Header.Fingerprint = Fp;
   return Out;
 }

@@ -58,6 +58,12 @@ struct BuildConfig {
 /// Runs the full pipeline over \p P. Asserts the program has a main
 /// method; a failed build (trapping initializer) is reported through the
 /// returned image's Built.Failed.
+///
+/// Profiles are validated before use (load error, trace mode vs. code
+/// strategy, heap strategy, program fingerprint). An invalid or stale
+/// profile never fails the build: the affected ordering degrades to the
+/// default layout and the rejection is recorded in the returned image's
+/// ProfileDiag.
 NativeImage buildNativeImage(Program &P, const BuildConfig &Cfg);
 
 /// All ordering profiles obtained from one instrumented image, plus the
@@ -72,6 +78,13 @@ struct CollectedProfiles {
   RunStats CuRun;
   RunStats MethodRun;
   RunStats HeapRun;
+  /// What trace salvage dropped from each instrumented run's capture.
+  SalvageStats CuSalvage;
+  SalvageStats MethodSalvage;
+  SalvageStats HeapSalvage;
+  /// Instrumented runs re-executed because the first attempt produced an
+  /// empty capture (retried once, in the memory-mapped dump mode).
+  int RetriedRuns = 0;
 
   const HeapProfile &forStrategy(HeapStrategy S) const {
     switch (S) {

@@ -25,6 +25,7 @@
 #include "src/heap/Snapshot.h"
 #include "src/image/ImageLayout.h"
 #include "src/ordering/IdStrategies.h"
+#include "src/profiling/ProfileDiagnostics.h"
 
 namespace nimg {
 
@@ -39,6 +40,9 @@ struct NativeImage {
   IdTable Ids;
   bool Instrumented = false;
   uint64_t Seed = 0;
+  /// Profile-ingestion outcome of this build: whether offered profiles
+  /// were applied, and why any were rejected (degradation policy).
+  ProfileDiagnostics ProfileDiag;
 
   NativeImage() = default;
   NativeImage(NativeImage &&) = default;

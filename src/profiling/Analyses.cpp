@@ -2,26 +2,210 @@
 
 #include "src/profiling/Analyses.h"
 
+#include "src/support/Crc32.h"
 #include "src/support/Csv.h"
 
+#include <charconv>
 #include <cinttypes>
 #include <cstdio>
 #include <unordered_set>
 
 using namespace nimg;
 
+//===----------------------------------------------------------------------===//
+// CSV interchange: header row + payload + CRC.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr const char *ProfileMagic = "#nimg-profile";
+/// Cap on recorded per-row issues so a multi-megabyte corrupt file cannot
+/// balloon the report.
+constexpr size_t MaxRecordedIssues = 16;
+/// Payload sanity bound: no real signature is this long.
+constexpr size_t MaxSigBytes = 4096;
+
+const char *modeToken(TraceMode M) {
+  switch (M) {
+  case TraceMode::CuOrder:
+    return "cu";
+  case TraceMode::MethodOrder:
+    return "method";
+  case TraceMode::HeapOrder:
+    return "heap";
+  }
+  return "cu";
+}
+
+bool parseModeToken(const std::string &S, TraceMode &Out) {
+  if (S == "cu")
+    Out = TraceMode::CuOrder;
+  else if (S == "method")
+    Out = TraceMode::MethodOrder;
+  else if (S == "heap")
+    Out = TraceMode::HeapOrder;
+  else
+    return false;
+  return true;
+}
+
+const char *strategyToken(HeapStrategy S) {
+  switch (S) {
+  case HeapStrategy::IncrementalId:
+    return "inc";
+  case HeapStrategy::StructuralHash:
+    return "struct";
+  case HeapStrategy::HeapPath:
+    return "path";
+  }
+  return "inc";
+}
+
+bool parseStrategyToken(const std::string &S, bool &Has, HeapStrategy &Out) {
+  Has = true;
+  if (S == "inc")
+    Out = HeapStrategy::IncrementalId;
+  else if (S == "struct")
+    Out = HeapStrategy::StructuralHash;
+  else if (S == "path")
+    Out = HeapStrategy::HeapPath;
+  else if (S == "-")
+    Has = false;
+  else
+    return false;
+  return true;
+}
+
+/// Range-checked hex parse of a whole cell (satellite: no strtoull UB on
+/// non-numeric or overflowing cells).
+bool parseHexU64(const std::string &Cell, uint64_t &Out) {
+  if (Cell.empty() || Cell.size() > 16)
+    return false;
+  auto [Ptr, Ec] =
+      std::from_chars(Cell.data(), Cell.data() + Cell.size(), Out, 16);
+  return Ec == std::errc() && Ptr == Cell.data() + Cell.size();
+}
+
+bool parseDecU32(const std::string &Cell, uint32_t &Out) {
+  if (Cell.empty() || Cell.size() > 9)
+    return false;
+  auto [Ptr, Ec] =
+      std::from_chars(Cell.data(), Cell.data() + Cell.size(), Out, 10);
+  return Ec == std::errc() && Ptr == Cell.data() + Cell.size();
+}
+
+void addIssue(ProfileReadReport &R, ProfileError Kind, size_t Row,
+              std::string Detail) {
+  if (R.Issues.size() < MaxRecordedIssues)
+    R.Issues.push_back({Kind, Row, std::move(Detail)});
+}
+
+std::string headerRowCsv(const ProfileHeader &H, uint32_t Crc) {
+  char Fp[17], CrcBuf[9];
+  std::snprintf(Fp, sizeof(Fp), "%016" PRIx64, H.Fingerprint);
+  std::snprintf(CrcBuf, sizeof(CrcBuf), "%08" PRIx32, Crc);
+  CsvDocument Doc;
+  Doc.Rows.push_back({ProfileMagic, std::to_string(ProfileFormatVersion),
+                      modeToken(H.Mode),
+                      H.HasStrategy ? strategyToken(H.Strategy) : "-", Fp,
+                      CrcBuf});
+  return writeCsv(Doc);
+}
+
+/// Validates the header row (Doc.Rows[0]) if present. Returns the index of
+/// the first payload row; on a fatal problem R.Fatal is set. A file whose
+/// first cell does not start with '#' is a legacy headerless profile:
+/// accepted without checksum or fingerprint protection.
+size_t readProfileHeader(const std::string &Text, const CsvDocument &Doc,
+                         ProfileReadReport &R) {
+  R.Header.Version = 0;
+  if (Doc.Rows.empty())
+    return 0;
+  const std::vector<std::string> &Row = Doc.Rows[0];
+  if (Row.empty() || Row[0].empty() || Row[0][0] != '#') {
+    addIssue(R, ProfileError::LegacyFormat, 1, "no interchange header");
+    return 0;
+  }
+  // The row claims to be a header; from here anything unparsable is fatal
+  // corruption, not legacy data.
+  if (Row[0] != ProfileMagic || Row.size() < 6) {
+    R.Fatal = ProfileError::BadHeader;
+    addIssue(R, R.Fatal, 1, "unrecognized header row");
+    return 1;
+  }
+  uint32_t Version = 0;
+  if (!parseDecU32(Row[1], Version) || Version == 0) {
+    R.Fatal = ProfileError::BadHeader;
+    addIssue(R, R.Fatal, 1, "bad version cell: " + Row[1]);
+    return 1;
+  }
+  if (Version > ProfileFormatVersion) {
+    R.Fatal = ProfileError::UnsupportedVersion;
+    addIssue(R, R.Fatal, 1, "profile version " + Row[1]);
+    return 1;
+  }
+  uint64_t Fp = 0, Crc = 0;
+  if (!parseModeToken(Row[2], R.Header.Mode) ||
+      !parseStrategyToken(Row[3], R.Header.HasStrategy, R.Header.Strategy) ||
+      !parseHexU64(Row[4], Fp) || !parseHexU64(Row[5], Crc) ||
+      Crc > 0xffffffffu) {
+    R.Fatal = ProfileError::BadHeader;
+    addIssue(R, R.Fatal, 1, "bad header cells");
+    return 1;
+  }
+  R.Header.Version = Version;
+  R.Header.Fingerprint = Fp;
+  R.HeaderPresent = true;
+  // The CRC covers the raw payload text: everything after the header line.
+  size_t Nl = Text.find('\n');
+  std::string Payload = Nl == std::string::npos ? "" : Text.substr(Nl + 1);
+  if (crc32(Payload) != uint32_t(Crc)) {
+    R.Fatal = ProfileError::ChecksumMismatch;
+    addIssue(R, R.Fatal, 0, "payload CRC-32 mismatch");
+    return 1;
+  }
+  return 1;
+}
+
+bool isBlankRow(const std::vector<std::string> &Row) {
+  return Row.empty() || (Row.size() == 1 && Row[0].empty());
+}
+
+} // namespace
+
 std::string CodeProfile::toCsv() const {
   CsvDocument Doc;
   for (const std::string &S : Sigs)
     Doc.Rows.push_back({S});
-  return writeCsv(Doc);
+  std::string Body = writeCsv(Doc);
+  return headerRowCsv(Header, crc32(Body)) + Body;
 }
 
-CodeProfile CodeProfile::fromCsv(const std::string &Text) {
+CodeProfile CodeProfile::fromCsv(const std::string &Text,
+                                 ProfileReadReport *Report) {
+  ProfileReadReport Local;
+  ProfileReadReport &R = Report ? *Report : Local;
+  R = ProfileReadReport{};
   CodeProfile P;
-  for (const auto &Row : parseCsv(Text).Rows)
-    if (!Row.empty() && !Row[0].empty())
-      P.Sigs.push_back(Row[0]);
+  CsvDocument Doc = parseCsv(Text);
+  size_t Start = readProfileHeader(Text, Doc, R);
+  P.Header = R.Header;
+  if (!R.usable()) {
+    P.LoadError = R.Fatal;
+    return P;
+  }
+  for (size_t I = Start; I < Doc.Rows.size(); ++I) {
+    const std::vector<std::string> &Row = Doc.Rows[I];
+    if (isBlankRow(Row))
+      continue;
+    if (Row[0].empty() || Row[0].size() > MaxSigBytes) {
+      ++R.RowsSkipped;
+      addIssue(R, ProfileError::MalformedCell, I + 1, "bad signature cell");
+      continue;
+    }
+    P.Sigs.push_back(Row[0]);
+    ++R.RowsKept;
+  }
   return P;
 }
 
@@ -32,34 +216,64 @@ std::string HeapProfile::toCsv() const {
     std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, Id);
     Doc.Rows.push_back({Buf});
   }
-  return writeCsv(Doc);
+  std::string Body = writeCsv(Doc);
+  return headerRowCsv(Header, crc32(Body)) + Body;
 }
 
-HeapProfile HeapProfile::fromCsv(const std::string &Text) {
+HeapProfile HeapProfile::fromCsv(const std::string &Text,
+                                 ProfileReadReport *Report) {
+  ProfileReadReport Local;
+  ProfileReadReport &R = Report ? *Report : Local;
+  R = ProfileReadReport{};
   HeapProfile P;
-  for (const auto &Row : parseCsv(Text).Rows) {
-    if (Row.empty() || Row[0].empty())
+  CsvDocument Doc = parseCsv(Text);
+  size_t Start = readProfileHeader(Text, Doc, R);
+  P.Header = R.Header;
+  if (!R.usable()) {
+    P.LoadError = R.Fatal;
+    return P;
+  }
+  for (size_t I = Start; I < Doc.Rows.size(); ++I) {
+    const std::vector<std::string> &Row = Doc.Rows[I];
+    if (isBlankRow(Row))
       continue;
-    P.Ids.push_back(std::strtoull(Row[0].c_str(), nullptr, 16));
+    uint64_t Id = 0;
+    if (!parseHexU64(Row[0], Id)) {
+      ++R.RowsSkipped;
+      addIssue(R, ProfileError::MalformedCell, I + 1,
+               Row[0].substr(0, 32));
+      continue;
+    }
+    P.Ids.push_back(Id);
+    ++R.RowsKept;
   }
   return P;
 }
 
+//===----------------------------------------------------------------------===//
+// Replay and analyses.
+//===----------------------------------------------------------------------===//
+
 void nimg::replayTrace(const Program &P, const TraceCapture &Capture,
                        PathGraphCache &Paths,
-                       const std::vector<OrderingAnalysis *> &Analyses) {
+                       const std::vector<OrderingAnalysis *> &Analyses,
+                       SalvageStats *StatsOut) {
+  SalvageStats Stats;
+  std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Stats);
   bool HasOperands = Capture.Options.Mode == TraceMode::HeapOrder;
-  for (const ThreadTrace &T : Capture.Threads) {
+  for (size_t T = 0; T < Capture.Threads.size(); ++T) {
+    const std::vector<uint64_t> &Words = Capture.Threads[T].Words;
+    size_t End = Prefix[T];
     size_t I = 0;
-    while (I < T.Words.size()) {
-      uint64_t W = T.Words[I++];
+    while (I < End) {
+      uint64_t W = Words[I++];
       if (tracerec::isCuEnter(W)) {
         for (OrderingAnalysis *A : Analyses)
           A->onCuEnter(tracerec::cuRoot(W));
         continue;
       }
       if (!tracerec::isPath(W))
-        continue; // Corrupt word; skip (traces of killed runs may truncate).
+        continue; // Unreachable inside a salvaged prefix; defensive.
       MethodId M = tracerec::pathMethod(W);
       if (M < 0 || size_t(M) >= P.numMethods())
         continue;
@@ -69,11 +283,10 @@ void nimg::replayTrace(const Program &P, const TraceCapture &Capture,
           A->onMethodEnter(M);
       if (!HasOperands)
         continue;
-      // A truncated trace (mode-1 SIGKILL) may cut operands short; consume
-      // what is there.
-      for (uint32_t K = 0; K < Events.OperandCount && I < T.Words.size();
-           ++K) {
-        uint64_t Op = T.Words[I++];
+      // A record cut mid-operands at the thread's end (mode-1 SIGKILL)
+      // keeps its surviving operands; consume what is there.
+      for (uint32_t K = 0; K < Events.OperandCount && I < End; ++K) {
+        uint64_t Op = Words[I++];
         if (Op == 0)
           continue;
         for (OrderingAnalysis *A : Analyses)
@@ -81,6 +294,8 @@ void nimg::replayTrace(const Program &P, const TraceCapture &Capture,
       }
     }
   }
+  if (StatsOut)
+    *StatsOut = Stats;
 }
 
 namespace {
@@ -90,9 +305,9 @@ public:
   explicit CuOrderAnalysis(const Program &P) : P(P) {}
   void onCuEnter(MethodId Root) override {
     if (Seen.insert(Root).second)
-      Profile.Sigs.push_back(P.method(Root).Sig);
+      Sigs.push_back(P.method(Root).Sig);
   }
-  CodeProfile Profile;
+  std::vector<std::string> Sigs;
 
 private:
   const Program &P;
@@ -104,9 +319,9 @@ public:
   explicit MethodOrderAnalysis(const Program &P) : P(P) {}
   void onMethodEnter(MethodId M) override {
     if (Seen.insert(M).second)
-      Profile.Sigs.push_back(P.method(M).Sig);
+      Sigs.push_back(P.method(M).Sig);
   }
-  CodeProfile Profile;
+  std::vector<std::string> Sigs;
 
 private:
   const Program &P;
@@ -125,41 +340,66 @@ private:
   std::unordered_set<int32_t> Seen;
 };
 
+void reportModeMismatch(SalvageStats *Stats) {
+  if (!Stats) {
+    return;
+  }
+  *Stats = SalvageStats{};
+  Stats->ModeMismatch = true;
+}
+
 } // namespace
 
-CodeProfile nimg::analyzeCuOrder(const Program &P,
-                                 const TraceCapture &Capture) {
-  assert(Capture.Options.Mode == TraceMode::CuOrder &&
-         "cu analysis needs a cu-mode capture");
+CodeProfile nimg::analyzeCuOrder(const Program &P, const TraceCapture &Capture,
+                                 SalvageStats *Stats) {
+  CodeProfile Out;
+  Out.Header.Mode = TraceMode::CuOrder;
+  if (Capture.Options.Mode != TraceMode::CuOrder) {
+    reportModeMismatch(Stats);
+    return Out;
+  }
   CuOrderAnalysis A(P);
   PathGraphCache Paths(P); // Unused for cu records but required by replay.
-  replayTrace(P, Capture, Paths, {&A});
-  return std::move(A.Profile);
+  replayTrace(P, Capture, Paths, {&A}, Stats);
+  Out.Sigs = std::move(A.Sigs);
+  return Out;
 }
 
 CodeProfile nimg::analyzeMethodOrder(const Program &P,
                                      const TraceCapture &Capture,
-                                     PathGraphCache &Paths) {
-  assert(Capture.Options.Mode == TraceMode::MethodOrder &&
-         "method analysis needs a method-mode capture");
+                                     PathGraphCache &Paths,
+                                     SalvageStats *Stats) {
+  CodeProfile Out;
+  Out.Header.Mode = TraceMode::MethodOrder;
+  if (Capture.Options.Mode != TraceMode::MethodOrder) {
+    reportModeMismatch(Stats);
+    return Out;
+  }
   MethodOrderAnalysis A(P);
-  replayTrace(P, Capture, Paths, {&A});
-  return std::move(A.Profile);
+  replayTrace(P, Capture, Paths, {&A}, Stats);
+  Out.Sigs = std::move(A.Sigs);
+  return Out;
 }
 
 std::vector<int32_t> nimg::analyzeHeapAccessOrder(const Program &P,
                                                   const TraceCapture &Capture,
-                                                  PathGraphCache &Paths) {
-  assert(Capture.Options.Mode == TraceMode::HeapOrder &&
-         "heap analysis needs a heap-mode capture");
+                                                  PathGraphCache &Paths,
+                                                  SalvageStats *Stats) {
+  if (Capture.Options.Mode != TraceMode::HeapOrder) {
+    reportModeMismatch(Stats);
+    return {};
+  }
   HeapOrderAnalysis A;
-  replayTrace(P, Capture, Paths, {&A});
+  replayTrace(P, Capture, Paths, {&A}, Stats);
   return std::move(A.Order);
 }
 
 HeapProfile nimg::heapProfileFor(const std::vector<int32_t> &EntryOrder,
                                  const IdTable &Ids, HeapStrategy Strategy) {
   HeapProfile P;
+  P.Header.Mode = TraceMode::HeapOrder;
+  P.Header.HasStrategy = true;
+  P.Header.Strategy = Strategy;
   const std::vector<uint64_t> &Table = Ids.of(Strategy);
   for (int32_t Entry : EntryOrder) {
     if (Entry < 0 || size_t(Entry) >= Table.size())

@@ -11,6 +11,12 @@
 /// order, Sec. 7.1), keep an ordered set in encounter order, and emit a
 /// CSV ordering profile that the optimizing build consumes.
 ///
+/// Ingestion is crash-tolerant: replay salvages the longest valid prefix
+/// of each thread (TraceSalvage.h), and the CSV interchange carries a
+/// versioned header with a payload CRC-32 and program fingerprint so a
+/// truncated, bit-flipped, or stale profile is rejected with a typed
+/// diagnostic instead of silently producing a garbage layout.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NIMG_PROFILING_ANALYSES_H
@@ -18,7 +24,9 @@
 
 #include "src/ordering/IdStrategies.h"
 #include "src/profiling/PathGraph.h"
+#include "src/profiling/ProfileDiagnostics.h"
 #include "src/profiling/Trace.h"
+#include "src/profiling/TraceSalvage.h"
 
 #include <string>
 #include <vector>
@@ -28,19 +36,31 @@ namespace nimg {
 /// Ordering profile over code: first-execution order of CU roots (cu
 /// ordering) or of all methods (method ordering).
 struct CodeProfile {
+  ProfileHeader Header;
+  /// Fatal problem found by fromCsv(); a profile with a load error is
+  /// empty and the optimizing build falls back to the default layout.
+  ProfileError LoadError = ProfileError::None;
   std::vector<std::string> Sigs;
 
+  /// Serializes header row + payload + CRC.
   std::string toCsv() const;
-  static CodeProfile fromCsv(const std::string &Text);
+  /// Parses and validates; never throws or asserts on hostile input. The
+  /// returned profile records any fatal problem in LoadError; pass
+  /// \p Report for per-row diagnostics.
+  static CodeProfile fromCsv(const std::string &Text,
+                             ProfileReadReport *Report = nullptr);
 };
 
 /// Ordering profile over heap objects: first-access order of 64-bit
 /// strategy ids.
 struct HeapProfile {
+  ProfileHeader Header;
+  ProfileError LoadError = ProfileError::None;
   std::vector<uint64_t> Ids;
 
   std::string toCsv() const;
-  static HeapProfile fromCsv(const std::string &Text);
+  static HeapProfile fromCsv(const std::string &Text,
+                             ProfileReadReport *Report = nullptr);
 };
 
 /// An event sink in the visitor style of Sec. 6.2.
@@ -53,23 +73,31 @@ public:
   virtual void onObjectAccess(int32_t SnapshotEntry) { (void)SnapshotEntry; }
 };
 
-/// Replays a capture: decodes path records via \p Paths and dispatches
-/// events to \p Analyses in execution order.
+/// Replays a capture: salvages each thread's longest valid prefix, decodes
+/// path records via \p Paths, and dispatches events to \p Analyses in
+/// execution order. \p Stats (optional) reports what salvage dropped.
 void replayTrace(const Program &P, const TraceCapture &Capture,
                  PathGraphCache &Paths,
-                 const std::vector<OrderingAnalysis *> &Analyses);
+                 const std::vector<OrderingAnalysis *> &Analyses,
+                 SalvageStats *Stats = nullptr);
 
-/// The cu-ordering profile (Sec. 4.1) from a CuOrder-mode capture.
-CodeProfile analyzeCuOrder(const Program &P, const TraceCapture &Capture);
+/// The cu-ordering profile (Sec. 4.1) from a CuOrder-mode capture. A
+/// capture in the wrong mode yields an empty profile (and sets
+/// Stats->ModeMismatch) instead of asserting — trace files are external
+/// input.
+CodeProfile analyzeCuOrder(const Program &P, const TraceCapture &Capture,
+                           SalvageStats *Stats = nullptr);
 
 /// The method-ordering profile (Sec. 4.2) from a MethodOrder-mode capture.
 CodeProfile analyzeMethodOrder(const Program &P, const TraceCapture &Capture,
-                               PathGraphCache &Paths);
+                               PathGraphCache &Paths,
+                               SalvageStats *Stats = nullptr);
 
 /// First-access order of snapshot entries from a HeapOrder-mode capture.
 std::vector<int32_t> analyzeHeapAccessOrder(const Program &P,
                                             const TraceCapture &Capture,
-                                            PathGraphCache &Paths);
+                                            PathGraphCache &Paths,
+                                            SalvageStats *Stats = nullptr);
 
 /// Translates a first-access entry order into a strategy-id profile using
 /// the profiling build's identity table.

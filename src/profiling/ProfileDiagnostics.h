@@ -1,0 +1,122 @@
+//===- ProfileDiagnostics.h - Profile ingestion diagnostics -----*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed diagnostics for the profile interchange format. Ordering-profile
+/// CSVs carry a header row (format version, trace mode, heap strategy,
+/// program fingerprint, payload CRC-32); ingestion validates it and every
+/// payload cell, and the optimizing build downgrades to the default layout
+/// — recording a ProfileDiagnostics summary on the image — instead of
+/// consuming a corrupt or stale profile. This is the degradation policy
+/// the paper's pipeline needs to survive SIGKILL'd profiling runs and
+/// build-to-build staleness (Secs. 6.1, 7.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_PROFILING_PROFILEDIAGNOSTICS_H
+#define NIMG_PROFILING_PROFILEDIAGNOSTICS_H
+
+#include "src/ordering/IdStrategies.h"
+#include "src/profiling/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nimg {
+
+/// Current version of the profile CSV header. Version 0 denotes a legacy
+/// headerless file (accepted, but without checksum/fingerprint checks).
+inline constexpr uint32_t ProfileFormatVersion = 1;
+
+enum class ProfileError : uint8_t {
+  None,
+  BadHeader,           ///< Header row present but unparsable.
+  UnsupportedVersion,  ///< Header version newer than this build understands.
+  ChecksumMismatch,    ///< Payload CRC-32 does not match the header.
+  FingerprintMismatch, ///< Profile came from a different program.
+  ModeMismatch,        ///< Trace mode does not fit the requested strategy.
+  StrategyMismatch,    ///< Heap profile computed for a different strategy.
+  MalformedCell,       ///< A payload cell failed to parse (row skipped).
+  LegacyFormat,        ///< Informational: headerless pre-v1 file.
+};
+
+inline const char *profileErrorName(ProfileError E) {
+  switch (E) {
+  case ProfileError::None:
+    return "none";
+  case ProfileError::BadHeader:
+    return "bad header";
+  case ProfileError::UnsupportedVersion:
+    return "unsupported version";
+  case ProfileError::ChecksumMismatch:
+    return "checksum mismatch";
+  case ProfileError::FingerprintMismatch:
+    return "fingerprint mismatch";
+  case ProfileError::ModeMismatch:
+    return "trace-mode mismatch";
+  case ProfileError::StrategyMismatch:
+    return "heap-strategy mismatch";
+  case ProfileError::MalformedCell:
+    return "malformed cell";
+  case ProfileError::LegacyFormat:
+    return "legacy headerless format";
+  }
+  return "unknown";
+}
+
+/// One ingestion finding: what went wrong and where.
+struct ProfileIssue {
+  ProfileError Kind = ProfileError::None;
+  size_t Row = 0; ///< 1-based CSV row; 0 = whole file.
+  std::string Detail;
+};
+
+/// The interchange header of a profile CSV (first row). Fingerprint 0
+/// means "unknown" and disables the staleness check.
+struct ProfileHeader {
+  uint32_t Version = ProfileFormatVersion;
+  TraceMode Mode = TraceMode::CuOrder;
+  bool HasStrategy = false; ///< Heap profiles also carry their strategy.
+  HeapStrategy Strategy = HeapStrategy::IncrementalId;
+  uint64_t Fingerprint = 0;
+};
+
+/// Everything fromCsv() learned while reading one profile file.
+struct ProfileReadReport {
+  bool HeaderPresent = false;
+  ProfileHeader Header;
+  /// First unrecoverable problem; None means the profile is usable (its
+  /// payload may still have skipped rows, listed in Issues).
+  ProfileError Fatal = ProfileError::None;
+  std::vector<ProfileIssue> Issues;
+  size_t RowsKept = 0;
+  size_t RowsSkipped = 0;
+
+  bool usable() const { return Fatal == ProfileError::None; }
+};
+
+/// Summary of profile ingestion recorded on a built image: which profiles
+/// were offered, which were actually applied, and why any were rejected.
+struct ProfileDiagnostics {
+  bool CodeProfileProvided = false;
+  bool CodeProfileApplied = false;
+  bool HeapProfileProvided = false;
+  bool HeapProfileApplied = false;
+  std::vector<ProfileIssue> Issues;
+
+  /// True when at least one offered profile was rejected and the build
+  /// fell back to the default layout for that dimension.
+  bool degraded() const {
+    return (CodeProfileProvided && !CodeProfileApplied) ||
+           (HeapProfileProvided && !HeapProfileApplied);
+  }
+};
+
+} // namespace nimg
+
+#endif // NIMG_PROFILING_PROFILEDIAGNOSTICS_H

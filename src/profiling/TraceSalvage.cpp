@@ -1,0 +1,98 @@
+//===- TraceSalvage.cpp - Validate and salvage trace captures -----------------===//
+
+#include "src/profiling/TraceSalvage.h"
+
+using namespace nimg;
+
+namespace {
+
+/// Longest valid prefix (in words) of one thread's trace. Sets
+/// \p IncompleteTail when the thread ends inside a record's operand run.
+size_t scanThread(const Program &P, TraceMode Mode,
+                  const std::vector<uint64_t> &Words, PathGraphCache &Paths,
+                  const SalvageOptions &Opts, bool &IncompleteTail) {
+  size_t I = 0;
+  while (I < Words.size()) {
+    uint64_t W = Words[I];
+    if (Mode == TraceMode::CuOrder) {
+      // CU-entry records use bits [3, 35) for the root method; anything
+      // else is corruption.
+      if (!tracerec::isCuEnter(W) || (W >> 35) != 0)
+        return I;
+      MethodId Root = tracerec::cuRoot(W);
+      if (Root < 0 || size_t(Root) >= P.numMethods())
+        return I;
+      ++I;
+      continue;
+    }
+    // Method/heap traces hold path records: bits [56, 64) are reserved,
+    // the method must exist, and the path id must decode in its graph.
+    if (!tracerec::isPath(W) || (W >> 56) != 0)
+      return I;
+    MethodId M = tracerec::pathMethod(W);
+    if (M < 0 || size_t(M) >= P.numMethods())
+      return I;
+    const PathGraph &G = Paths.of(M);
+    if (tracerec::pathId(W) >= G.numPaths())
+      return I;
+    ++I;
+    if (Mode != TraceMode::HeapOrder)
+      continue;
+    // The path statically determines how many operand words follow.
+    uint32_t Need = G.decode(tracerec::pathId(W)).OperandCount;
+    uint32_t Have = 0;
+    while (Have < Need && I < Words.size()) {
+      uint64_t Op = Words[I];
+      if (Op != 0 && Op > Opts.MaxOperand)
+        return I; // Corrupt operand: keep the record, cut before it.
+      ++I;
+      ++Have;
+    }
+    if (Have < Need)
+      IncompleteTail = true; // SIGKILL landed mid-record; keep the prefix.
+  }
+  return Words.size();
+}
+
+} // namespace
+
+std::vector<size_t> nimg::scanCapture(const Program &P, const TraceCapture &C,
+                                      PathGraphCache &Paths,
+                                      SalvageStats &Stats,
+                                      const SalvageOptions &Opts) {
+  std::vector<size_t> Prefix(C.Threads.size(), 0);
+  for (size_t T = 0; T < C.Threads.size(); ++T) {
+    const std::vector<uint64_t> &Words = C.Threads[T].Words;
+    bool IncompleteTail = false;
+    size_t Valid = scanThread(P, C.Options.Mode, Words, Paths, Opts,
+                              IncompleteTail);
+    Prefix[T] = Valid;
+    Stats.WordsScanned += Words.size();
+    Stats.WordsKept += Valid;
+    Stats.WordsDropped += Words.size() - Valid;
+    if (IncompleteTail)
+      ++Stats.IncompleteTailRecords;
+    if (Valid < Words.size()) {
+      if (Valid == 0)
+        ++Stats.ThreadsDropped;
+      else
+        ++Stats.ThreadsTruncated;
+    }
+  }
+  return Prefix;
+}
+
+TraceCapture nimg::salvageCapture(const Program &P, const TraceCapture &C,
+                                  PathGraphCache &Paths, SalvageStats &Stats,
+                                  const SalvageOptions &Opts) {
+  std::vector<size_t> Prefix = scanCapture(P, C, Paths, Stats, Opts);
+  TraceCapture Out;
+  Out.Options = C.Options;
+  Out.Threads.resize(C.Threads.size());
+  for (size_t T = 0; T < C.Threads.size(); ++T) {
+    const std::vector<uint64_t> &Words = C.Threads[T].Words;
+    Out.Threads[T].Words.assign(Words.begin(),
+                                Words.begin() + ptrdiff_t(Prefix[T]));
+  }
+  return Out;
+}

@@ -75,12 +75,10 @@ public:
   void onMethodExit(uint32_t Tid, MethodId M, BlockId Block) override {
     if (!Trace || Mode == TraceMode::CuOrder)
       return;
-    ensureStack(Tid);
-    assert(!Stacks[Tid].empty() && "trace stack underflow");
-    FrameState &F = Stacks[Tid].back();
-    assert(F.M == M && "trace stack out of sync");
-    (void)M;
-    emitPath(Tid, F, F.PathVal + F.Graph->retEmitAdd(Block));
+    FrameState *F = frameFor(Tid, M);
+    if (!F)
+      return; // Desynced trace stack: drop the event, not the process.
+    emitPath(Tid, *F, F->PathVal + F->Graph->retEmitAdd(Block));
     Stacks[Tid].pop_back();
     Trace->addProbeCost(Costs.EnterExit);
   }
@@ -88,26 +86,23 @@ public:
   void onCallSite(uint32_t Tid, MethodId Caller, uint32_t SiteId) override {
     if (!Trace || Mode == TraceMode::CuOrder)
       return;
-    ensureStack(Tid);
-    assert(!Stacks[Tid].empty() && "trace stack underflow");
-    FrameState &F = Stacks[Tid].back();
-    assert(F.M == Caller && "trace stack out of sync");
-    (void)Caller;
-    const PathEdgeAction &A = F.Graph->callAction(SiteId);
+    FrameState *F = frameFor(Tid, Caller);
+    if (!F)
+      return;
+    const PathEdgeAction &A = F->Graph->callAction(SiteId);
     assert(A.Cut && "call edges are always cut");
-    emitPath(Tid, F, F.PathVal + A.EmitAdd);
-    F.PathVal = A.Reset;
+    emitPath(Tid, *F, F->PathVal + A.EmitAdd);
+    F->PathVal = A.Reset;
   }
 
   void onBlockEdge(uint32_t Tid, MethodId M, BlockId From,
                    BlockId To) override {
     if (!Trace || Mode == TraceMode::CuOrder)
       return;
-    ensureStack(Tid);
-    assert(!Stacks[Tid].empty() && "trace stack underflow");
-    FrameState &F = Stacks[Tid].back();
-    assert(F.M == M && "trace stack out of sync");
-    (void)M;
+    FrameState *F2 = frameFor(Tid, M);
+    if (!F2)
+      return;
+    FrameState &F = *F2;
     const PathEdgeAction &A = F.Graph->branchAction(From, To);
     if (A.Cut) {
       emitPath(Tid, F, F.PathVal + A.EmitAdd);
@@ -133,7 +128,8 @@ public:
       }
       if (Trace && Mode == TraceMode::HeapOrder) {
         ensureStack(Tid);
-        assert(!Stacks[Tid].empty() && "trace stack underflow");
+        if (Stacks[Tid].empty())
+          continue; // No open frame to attach the operand to; drop it.
         uint64_t Operand =
             Off != ImageLayout::NotStored ? uint64_t(Entry) + 1 : 0;
         Stacks[Tid].back().Operands.push_back(Operand);
@@ -170,6 +166,17 @@ private:
   void ensureStack(uint32_t Tid) {
     if (Tid >= Stacks.size())
       Stacks.resize(Tid + 1);
+  }
+
+  /// The top frame of \p Tid if it belongs to \p M, else nullptr. Hook
+  /// sequences driven by external state can desync from the probe stack;
+  /// trace events are best-effort observations, so a mismatched event is
+  /// dropped instead of asserting.
+  FrameState *frameFor(uint32_t Tid, MethodId M) {
+    ensureStack(Tid);
+    if (Stacks[Tid].empty() || Stacks[Tid].back().M != M)
+      return nullptr;
+    return &Stacks[Tid].back();
   }
 
   void emitPath(uint32_t Tid, FrameState &F, uint64_t PathId) {

@@ -1,0 +1,31 @@
+//===- Crc32.cpp - CRC-32 checksum -------------------------------------------===//
+
+#include "src/support/Crc32.h"
+
+#include <array>
+
+using namespace nimg;
+
+namespace {
+
+std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? (0xedb88320u ^ (C >> 1)) : (C >> 1);
+    Table[I] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t nimg::crc32(const void *Data, size_t Len) {
+  static const std::array<uint32_t, 256> Table = makeTable();
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  uint32_t C = 0xffffffffu;
+  for (size_t I = 0; I < Len; ++I)
+    C = Table[(C ^ Bytes[I]) & 0xff] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}

@@ -1,0 +1,32 @@
+//===- Crc32.h - CRC-32 checksum -------------------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant). Used to checksum
+/// the payload of profile CSV files so a truncated or bit-flipped profile
+/// is detected at ingestion instead of silently producing a garbage
+/// layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_SUPPORT_CRC32_H
+#define NIMG_SUPPORT_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nimg {
+
+/// CRC-32 of \p Len bytes at \p Data.
+uint32_t crc32(const void *Data, size_t Len);
+
+inline uint32_t crc32(const std::string &S) { return crc32(S.data(), S.size()); }
+
+} // namespace nimg
+
+#endif // NIMG_SUPPORT_CRC32_H

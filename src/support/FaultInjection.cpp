@@ -1,0 +1,76 @@
+//===- FaultInjection.cpp - Deterministic fault injection ---------------------===//
+
+#include "src/support/FaultInjection.h"
+
+#include <cstddef>
+
+using namespace nimg;
+
+using std::ptrdiff_t;
+
+int32_t FaultInjector::pickNonEmptyThread(const TraceCapture &C) {
+  std::vector<int32_t> NonEmpty;
+  for (size_t I = 0; I < C.Threads.size(); ++I)
+    if (!C.Threads[I].Words.empty())
+      NonEmpty.push_back(int32_t(I));
+  if (NonEmpty.empty())
+    return -1;
+  return NonEmpty[size_t(Rng.nextBelow(NonEmpty.size()))];
+}
+
+bool FaultInjector::truncateMidRecord(TraceCapture &C) {
+  int32_t Tid = pickNonEmptyThread(C);
+  if (Tid < 0)
+    return false;
+  std::vector<uint64_t> &Words = C.Threads[size_t(Tid)].Words;
+  // Keep [0, Cut) words; Cut < size so at least the last word is lost.
+  Words.resize(size_t(Rng.nextBelow(Words.size())));
+  return true;
+}
+
+bool FaultInjector::bitFlipWord(TraceCapture &C) {
+  int32_t Tid = pickNonEmptyThread(C);
+  if (Tid < 0)
+    return false;
+  std::vector<uint64_t> &Words = C.Threads[size_t(Tid)].Words;
+  size_t Idx = size_t(Rng.nextBelow(Words.size()));
+  Words[Idx] ^= uint64_t(1) << Rng.nextBelow(64);
+  return true;
+}
+
+bool FaultInjector::dropThread(TraceCapture &C) {
+  if (C.Threads.empty())
+    return false;
+  C.Threads.erase(C.Threads.begin() +
+                  ptrdiff_t(Rng.nextBelow(C.Threads.size())));
+  return true;
+}
+
+bool FaultInjector::applyTraceFault(TraceCapture &C, TraceFault Kind) {
+  switch (Kind) {
+  case TraceFault::TruncateMidRecord:
+    return truncateMidRecord(C);
+  case TraceFault::BitFlip:
+    return bitFlipWord(C);
+  case TraceFault::DropThread:
+    return dropThread(C);
+  }
+  return false;
+}
+
+bool FaultInjector::truncateText(std::string &Text) {
+  if (Text.empty())
+    return false;
+  Text.resize(size_t(Rng.nextBelow(Text.size())));
+  return true;
+}
+
+bool FaultInjector::bitFlipText(std::string &Text, size_t Flips) {
+  if (Text.empty())
+    return false;
+  for (size_t I = 0; I < Flips; ++I) {
+    size_t Idx = size_t(Rng.nextBelow(Text.size()));
+    Text[Idx] = char(uint8_t(Text[Idx]) ^ uint8_t(1u << Rng.nextBelow(8)));
+  }
+  return true;
+}

@@ -1,0 +1,74 @@
+//===- FaultInjection.h - Deterministic fault injection ---------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seed-driven fault injector for the profile pipeline's hostile inputs
+/// (Sec. 6.1 / 7.1): traces of SIGKILL'd runs that end mid-record, trace
+/// words corrupted on disk, whole per-thread trace files that were never
+/// persisted, and profile CSV text that was truncated or bit-flipped.
+/// Every fault is a pure function of the constructor seed, so a failing
+/// scenario replays exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_SUPPORT_FAULTINJECTION_H
+#define NIMG_SUPPORT_FAULTINJECTION_H
+
+#include "src/profiling/Trace.h"
+#include "src/support/SplitMix64.h"
+
+#include <string>
+
+namespace nimg {
+
+/// The fault kinds applyTraceFault() cycles through.
+enum class TraceFault : uint8_t { TruncateMidRecord, BitFlip, DropThread };
+
+class FaultInjector {
+public:
+  explicit FaultInjector(uint64_t Seed) : Rng(Seed) {}
+
+  // --- Trace faults ---------------------------------------------------------
+
+  /// Cuts one nonempty thread at a random word offset, modeling a SIGKILL
+  /// that lands between mmap page syncs: the persisted file ends at an
+  /// arbitrary word, possibly inside a record's operand run. Returns false
+  /// when the capture has no words to truncate.
+  bool truncateMidRecord(TraceCapture &C);
+
+  /// Flips one random bit of one random word of one nonempty thread.
+  bool bitFlipWord(TraceCapture &C);
+
+  /// Removes one whole thread's trace (a per-thread file that was never
+  /// synced). Returns false when the capture has no threads.
+  bool dropThread(TraceCapture &C);
+
+  /// Applies \p Kind; convenience dispatcher for seeded fault matrices.
+  bool applyTraceFault(TraceCapture &C, TraceFault Kind);
+
+  // --- Text (profile CSV) faults --------------------------------------------
+
+  /// Truncates \p Text at a random byte offset (possibly mid-cell or
+  /// mid-header). Returns false when the text is empty.
+  bool truncateText(std::string &Text);
+
+  /// Flips \p Flips random bits at random byte offsets.
+  bool bitFlipText(std::string &Text, size_t Flips = 1);
+
+  /// Direct access to the underlying RNG for scenario-local choices.
+  uint64_t nextBelow(uint64_t Bound) { return Rng.nextBelow(Bound); }
+
+private:
+  /// Index of a random nonempty thread, or -1 if none.
+  int32_t pickNonEmptyThread(const TraceCapture &C);
+
+  SplitMix64 Rng;
+};
+
+} // namespace nimg
+
+#endif // NIMG_SUPPORT_FAULTINJECTION_H

@@ -76,18 +76,59 @@ TEST(Analyses, MethodOrderDecodesEntryPaths) {
   EXPECT_EQ(Prof.Sigs[0], "T.aa()");
 }
 
-TEST(Analyses, ReplaySkipsCorruptWordsAndBadMethods) {
+TEST(Analyses, ReplayTruncatesAtFirstCorruptWord) {
+  // Once a word is corrupt, record alignment is lost; salvage keeps the
+  // longest valid prefix of each thread instead of skipping bad words
+  // (which would manufacture garbage events from misaligned data).
   Fixture F;
   TraceCapture Cap;
   Cap.Options.Mode = TraceMode::CuOrder;
   Cap.Threads.resize(1);
   auto &W = Cap.Threads[0].Words;
-  W.push_back(0);                                 // corrupt (kind 0)
-  W.push_back(tracerec::makePath(999999, 0));     // method out of range
-  W.push_back(tracerec::makeCuEnter(F.A));        // still processed
-  CodeProfile Prof = analyzeCuOrder(F.P, Cap);
+  W.push_back(tracerec::makeCuEnter(F.B));    // valid prefix
+  W.push_back(0);                             // corrupt (kind 0)
+  W.push_back(tracerec::makeCuEnter(F.A));    // after corruption: dropped
+  SalvageStats Stats;
+  CodeProfile Prof = analyzeCuOrder(F.P, Cap, &Stats);
+  ASSERT_EQ(Prof.Sigs.size(), 1u);
+  EXPECT_EQ(Prof.Sigs[0], "T.bb()");
+  EXPECT_EQ(Stats.WordsScanned, 3u);
+  EXPECT_EQ(Stats.WordsKept, 1u);
+  EXPECT_EQ(Stats.WordsDropped, 2u);
+  EXPECT_EQ(Stats.ThreadsTruncated, 1u);
+  EXPECT_FALSE(Stats.clean());
+}
+
+TEST(Analyses, ReplayDropsThreadStartingWithBadMethod) {
+  Fixture F;
+  TraceCapture Cap;
+  Cap.Options.Mode = TraceMode::MethodOrder;
+  Cap.Threads.resize(2);
+  Cap.Threads[0].Words.push_back(tracerec::makePath(999999, 0)); // bad method
+  PathGraphCache Paths(F.P);
+  Cap.Threads[1].Words.push_back(
+      tracerec::makePath(F.A, Paths.of(F.A).entryValue()));
+  SalvageStats Stats;
+  CodeProfile Prof = analyzeMethodOrder(F.P, Cap, Paths, &Stats);
   ASSERT_EQ(Prof.Sigs.size(), 1u);
   EXPECT_EQ(Prof.Sigs[0], "T.aa()");
+  EXPECT_EQ(Stats.ThreadsDropped, 1u);
+  EXPECT_EQ(Stats.WordsKept, 1u);
+}
+
+TEST(Analyses, AnalyzeWrongModeYieldsEmptyProfile) {
+  // Trace files are external input: a capture in the wrong mode must not
+  // assert, it reports ModeMismatch and yields nothing.
+  Fixture F;
+  TraceCapture Cap;
+  Cap.Options.Mode = TraceMode::HeapOrder;
+  Cap.Threads.resize(1);
+  Cap.Threads[0].Words.push_back(tracerec::makeCuEnter(F.A));
+  SalvageStats Stats;
+  CodeProfile Prof = analyzeCuOrder(F.P, Cap, &Stats);
+  EXPECT_TRUE(Prof.Sigs.empty());
+  EXPECT_TRUE(Stats.ModeMismatch);
+  EXPECT_FALSE(Stats.clean());
 }
 
 TEST(Analyses, HeapOrderDedupsByEntryAndSkipsNonImageOperands) {

@@ -1,0 +1,439 @@
+//===- FaultInjectionTest.cpp - Crash-tolerance of the profile pipeline ------===//
+//
+// Seeded fault-injection scenarios for the whole profile pipeline: traces
+// truncated mid-record (SIGKILL between mmap page syncs), bit-flipped
+// trace words, dropped per-thread trace files, and profile CSVs truncated
+// or bit-flipped at arbitrary byte offsets. Every scenario must end in a
+// *completed* optimizing build — salvaging what is valid or degrading to
+// the default layout with diagnostics — never a crash or assert.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Builder.h"
+#include "src/image/ImageFile.h"
+#include "src/lang/Compile.h"
+#include "src/support/Crc32.h"
+#include "src/support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace nimg;
+
+namespace {
+
+const char *kWorkload = R"(
+abstract class Shape {
+  abstract double area();
+}
+class Circle extends Shape {
+  double r;
+  Circle(double r) { this.r = r; }
+  double area() { return 3.14159 * r * r; }
+}
+class Rect extends Shape {
+  double w; double h;
+  Rect(double w, double h) { this.w = w; this.h = h; }
+  double area() { return w * h; }
+}
+class Registry {
+  static String banner = "fault registry v" + 1;
+  static int created = 0;
+  static int[] histogram = new int[16];
+  static { histogram[0] = 1; }
+  static void note(int kind) {
+    created = created + 1;
+    histogram[kind] = histogram[kind] + 1;
+  }
+}
+class Main {
+  static double work() {
+    Shape[] shapes = new Shape[24];
+    for (int i = 0; i < shapes.length; i = i + 1) {
+      if (i % 2 == 0) {
+        shapes[i] = new Circle(1.0 + i);
+        Registry.note(0);
+      } else {
+        shapes[i] = new Rect(2.0, 1.0 + i);
+        Registry.note(1);
+      }
+    }
+    double total = 0.0;
+    for (int i = 0; i < shapes.length; i = i + 1) {
+      total = total + shapes[i].area();
+    }
+    return total;
+  }
+  static int main() {
+    double t = work();
+    Sys.print(Registry.banner + ": " + Registry.created);
+    return (int) t;
+  }
+}
+)";
+
+/// Shared, build-once corpus: the program, one instrumented image, one
+/// pristine capture per trace mode, collected profiles, and the baseline
+/// optimizing build's output. Faults are applied to copies.
+struct Corpus {
+  Program P;
+  NativeImage InstrImg;
+  PathGraphCache Paths;
+  TraceCapture Caps[3]; ///< Indexed by TraceMode.
+  CollectedProfiles Prof;
+  uint64_t Fp = 0;
+  std::string BaselineOutput;
+
+  Corpus() : Paths(P) {
+    std::vector<std::string> Errors;
+    if (!compileSources({kWorkload}, P, Errors)) {
+      for (const std::string &E : Errors)
+        ADD_FAILURE() << E;
+      return;
+    }
+    BuildConfig ICfg;
+    ICfg.Seed = 1001;
+    ICfg.Instrumented = true;
+    InstrImg = buildNativeImage(P, ICfg);
+    EXPECT_FALSE(InstrImg.Built.Failed) << InstrImg.Built.FailureMessage;
+    for (TraceMode Mode : {TraceMode::CuOrder, TraceMode::MethodOrder,
+                           TraceMode::HeapOrder}) {
+      TraceOptions TOpts;
+      TOpts.Mode = Mode;
+      TOpts.Dump = DumpMode::MemoryMapped;
+      RunConfig RC;
+      RC.Trace = &TOpts;
+      RunStats S = runImage(InstrImg, RC, &Caps[size_t(Mode)]);
+      EXPECT_FALSE(S.Trapped) << S.TrapMessage;
+      EXPECT_GT(Caps[size_t(Mode)].totalWords(), 0u);
+    }
+    BuildConfig PCfg;
+    PCfg.Seed = 1001;
+    Prof = collectProfiles(P, PCfg, RunConfig());
+    Fp = programFingerprint(P);
+
+    BuildConfig Base;
+    Base.Seed = 2;
+    NativeImage Baseline = buildNativeImage(P, Base);
+    RunStats BS = runImage(Baseline, RunConfig());
+    EXPECT_FALSE(BS.Trapped) << BS.TrapMessage;
+    BaselineOutput = BS.Output;
+  }
+};
+
+Corpus &corpus() {
+  static Corpus *C = new Corpus();
+  return *C;
+}
+
+/// One seeded trace-fault scenario: corrupt a pristine capture, analyze it
+/// (salvaging), and feed the result through a full optimizing build.
+void runTraceScenario(uint64_t Seed, TraceMode Mode, TraceFault Kind,
+                      bool AlsoRun) {
+  Corpus &C = corpus();
+  SCOPED_TRACE(::testing::Message()
+               << "seed=" << Seed << " mode=" << int(Mode)
+               << " fault=" << int(Kind));
+  TraceCapture Cap = C.Caps[size_t(Mode)];
+  FaultInjector Inj(Seed);
+  Inj.applyTraceFault(Cap, Kind);
+
+  SalvageStats Stats;
+  CodeProfile CodeProf;
+  HeapProfile HeapProf;
+  BuildConfig Cfg;
+  Cfg.Seed = 2 + Seed;
+  switch (Mode) {
+  case TraceMode::CuOrder:
+    CodeProf = analyzeCuOrder(C.P, Cap, &Stats);
+    CodeProf.Header.Fingerprint = C.Fp;
+    Cfg.CodeOrder = CodeStrategy::CuOrder;
+    Cfg.CodeProf = &CodeProf;
+    break;
+  case TraceMode::MethodOrder:
+    CodeProf = analyzeMethodOrder(C.P, Cap, C.Paths, &Stats);
+    CodeProf.Header.Fingerprint = C.Fp;
+    Cfg.CodeOrder = CodeStrategy::MethodOrder;
+    Cfg.CodeProf = &CodeProf;
+    break;
+  case TraceMode::HeapOrder: {
+    std::vector<int32_t> Order =
+        analyzeHeapAccessOrder(C.P, Cap, C.Paths, &Stats);
+    HeapProf = heapProfileFor(Order, C.InstrImg.Ids, HeapStrategy::HeapPath);
+    HeapProf.Header.Fingerprint = C.Fp;
+    Cfg.UseHeapOrder = true;
+    Cfg.HeapOrder = HeapStrategy::HeapPath;
+    Cfg.HeapProf = &HeapProf;
+    break;
+  }
+  }
+
+  // Salvage-stats invariants.
+  EXPECT_FALSE(Stats.ModeMismatch);
+  EXPECT_EQ(Stats.WordsScanned, Cap.totalWords());
+  EXPECT_EQ(Stats.WordsKept + Stats.WordsDropped, Stats.WordsScanned);
+
+  // A salvaged copy accounts for exactly the kept words and re-scans clean.
+  SalvageStats First, Second;
+  TraceCapture Clean = salvageCapture(C.P, Cap, C.Paths, First);
+  EXPECT_EQ(Clean.totalWords(), First.WordsKept);
+  scanCapture(C.P, Clean, C.Paths, Second);
+  EXPECT_TRUE(Second.clean());
+
+  // The optimizing build always completes; a fault-free-looking salvaged
+  // profile is applied, never crashes the pipeline.
+  NativeImage Img = buildNativeImage(C.P, Cfg);
+  ASSERT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+  EXPECT_TRUE(Img.ProfileDiag.CodeProfileApplied ||
+              Img.ProfileDiag.HeapProfileApplied ||
+              !Img.ProfileDiag.Issues.empty() ||
+              (!Img.ProfileDiag.CodeProfileProvided &&
+               !Img.ProfileDiag.HeapProfileProvided));
+  if (AlsoRun) {
+    RunStats S = runImage(Img, RunConfig());
+    EXPECT_FALSE(S.Trapped) << S.TrapMessage;
+    EXPECT_EQ(S.Output, C.BaselineOutput);
+  }
+}
+
+} // namespace
+
+// 12 seeds x 3 modes x 3 fault kinds = 108 seeded trace scenarios.
+TEST(FaultInjection, TraceFaultMatrixSurvivesOptimizingBuild) {
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed)
+    for (TraceMode Mode : {TraceMode::CuOrder, TraceMode::MethodOrder,
+                           TraceMode::HeapOrder})
+      for (TraceFault Kind : {TraceFault::TruncateMidRecord,
+                              TraceFault::BitFlip, TraceFault::DropThread})
+        runTraceScenario(Seed, Mode, Kind, /*AlsoRun=*/Seed % 4 == 0);
+}
+
+// 10 seeds x 3 profile files x 2 text faults = 60 seeded CSV scenarios.
+TEST(FaultInjection, CsvFaultMatrixSurvivesIngestionAndBuild) {
+  Corpus &C = corpus();
+  const std::string Sources[3] = {C.Prof.Cu.toCsv(), C.Prof.Method.toCsv(),
+                                  C.Prof.HeapPath.toCsv()};
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    for (int Src = 0; Src < 3; ++Src) {
+      for (int FaultKind = 0; FaultKind < 2; ++FaultKind) {
+        SCOPED_TRACE(::testing::Message() << "seed=" << Seed << " src=" << Src
+                                          << " fault=" << FaultKind);
+        std::string Text = Sources[size_t(Src)];
+        FaultInjector Inj(Seed * 97 + uint64_t(Src) * 7 + uint64_t(FaultKind));
+        if (FaultKind == 0)
+          Inj.truncateText(Text);
+        else
+          Inj.bitFlipText(Text, 1 + Inj.nextBelow(4));
+
+        // Ingestion never crashes; it either yields a usable profile or a
+        // typed fatal error.
+        ProfileReadReport Report;
+        CodeProfile CodeProf;
+        HeapProfile HeapProf;
+        BuildConfig Cfg;
+        Cfg.Seed = 3 + Seed;
+        if (Src < 2) {
+          CodeProf = CodeProfile::fromCsv(Text, &Report);
+          EXPECT_EQ(CodeProf.LoadError, Report.Fatal);
+          Cfg.CodeOrder =
+              Src == 0 ? CodeStrategy::CuOrder : CodeStrategy::MethodOrder;
+          Cfg.CodeProf = &CodeProf;
+        } else {
+          HeapProf = HeapProfile::fromCsv(Text, &Report);
+          EXPECT_EQ(HeapProf.LoadError, Report.Fatal);
+          Cfg.UseHeapOrder = true;
+          Cfg.HeapOrder = HeapStrategy::HeapPath;
+          Cfg.HeapProf = &HeapProf;
+        }
+
+        // The optimizing build completes either way; a rejected profile
+        // must leave a recorded reason.
+        NativeImage Img = buildNativeImage(C.P, Cfg);
+        ASSERT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+        EXPECT_TRUE(Img.ProfileDiag.CodeProfileProvided ||
+                    Img.ProfileDiag.HeapProfileProvided);
+        if (Img.ProfileDiag.degraded())
+          EXPECT_FALSE(Img.ProfileDiag.Issues.empty());
+        if (!Report.usable())
+          EXPECT_TRUE(Img.ProfileDiag.degraded());
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, FaultsAreDeterministicPerSeed) {
+  Corpus &C = corpus();
+  for (uint64_t Seed : {3u, 17u, 255u}) {
+    TraceCapture A = C.Caps[size_t(TraceMode::HeapOrder)];
+    TraceCapture B = C.Caps[size_t(TraceMode::HeapOrder)];
+    FaultInjector IA(Seed), IB(Seed);
+    IA.applyTraceFault(A, TraceFault::BitFlip);
+    IB.applyTraceFault(B, TraceFault::BitFlip);
+    ASSERT_EQ(A.Threads.size(), B.Threads.size());
+    for (size_t T = 0; T < A.Threads.size(); ++T)
+      EXPECT_EQ(A.Threads[T].Words, B.Threads[T].Words);
+
+    std::string TA = C.Prof.Cu.toCsv(), TB = C.Prof.Cu.toCsv();
+    FaultInjector JA(Seed), JB(Seed);
+    JA.bitFlipText(TA, 3);
+    JB.bitFlipText(TB, 3);
+    EXPECT_EQ(TA, TB);
+  }
+}
+
+TEST(FaultInjection, ChecksumMismatchIsDetected) {
+  Corpus &C = corpus();
+  std::string Text = C.Prof.Cu.toCsv();
+  size_t Nl = Text.find('\n');
+  ASSERT_NE(Nl, std::string::npos);
+  ASSERT_LT(Nl + 1, Text.size());
+  Text[Nl + 1] = Text[Nl + 1] == 'X' ? 'Y' : 'X'; // corrupt the payload
+  ProfileReadReport Report;
+  CodeProfile P = CodeProfile::fromCsv(Text, &Report);
+  EXPECT_EQ(Report.Fatal, ProfileError::ChecksumMismatch);
+  EXPECT_EQ(P.LoadError, ProfileError::ChecksumMismatch);
+  EXPECT_TRUE(P.Sigs.empty());
+
+  BuildConfig Cfg;
+  Cfg.CodeOrder = CodeStrategy::CuOrder;
+  Cfg.CodeProf = &P;
+  NativeImage Img = buildNativeImage(C.P, Cfg);
+  ASSERT_FALSE(Img.Built.Failed);
+  EXPECT_TRUE(Img.ProfileDiag.degraded());
+  ASSERT_FALSE(Img.ProfileDiag.Issues.empty());
+  EXPECT_EQ(Img.ProfileDiag.Issues[0].Kind, ProfileError::ChecksumMismatch);
+}
+
+TEST(FaultInjection, StaleFingerprintIsRejected) {
+  Corpus &C = corpus();
+  CodeProfile Stale = C.Prof.Cu;
+  Stale.Header.Fingerprint ^= 0x1; // a profile from a "different" program
+  BuildConfig Cfg;
+  Cfg.CodeOrder = CodeStrategy::CuOrder;
+  Cfg.CodeProf = &Stale;
+  NativeImage Img = buildNativeImage(C.P, Cfg);
+  ASSERT_FALSE(Img.Built.Failed);
+  EXPECT_FALSE(Img.ProfileDiag.CodeProfileApplied);
+  ASSERT_FALSE(Img.ProfileDiag.Issues.empty());
+  EXPECT_EQ(Img.ProfileDiag.Issues[0].Kind,
+            ProfileError::FingerprintMismatch);
+
+  // The matching fingerprint is accepted.
+  BuildConfig Ok = Cfg;
+  Ok.CodeProf = &C.Prof.Cu;
+  NativeImage Img2 = buildNativeImage(C.P, Ok);
+  EXPECT_TRUE(Img2.ProfileDiag.CodeProfileApplied);
+  EXPECT_FALSE(Img2.ProfileDiag.degraded());
+}
+
+TEST(FaultInjection, ModeAndStrategyMismatchesAreRejected) {
+  Corpus &C = corpus();
+  // A cu-mode profile cannot drive method ordering.
+  BuildConfig MCfg;
+  MCfg.CodeOrder = CodeStrategy::MethodOrder;
+  MCfg.CodeProf = &C.Prof.Cu;
+  NativeImage MImg = buildNativeImage(C.P, MCfg);
+  ASSERT_FALSE(MImg.Built.Failed);
+  EXPECT_FALSE(MImg.ProfileDiag.CodeProfileApplied);
+  ASSERT_FALSE(MImg.ProfileDiag.Issues.empty());
+  EXPECT_EQ(MImg.ProfileDiag.Issues[0].Kind, ProfileError::ModeMismatch);
+
+  // An incremental-id profile cannot drive heap-path matching.
+  BuildConfig HCfg;
+  HCfg.UseHeapOrder = true;
+  HCfg.HeapOrder = HeapStrategy::HeapPath;
+  HCfg.HeapProf = &C.Prof.IncrementalId;
+  NativeImage HImg = buildNativeImage(C.P, HCfg);
+  ASSERT_FALSE(HImg.Built.Failed);
+  EXPECT_FALSE(HImg.ProfileDiag.HeapProfileApplied);
+  ASSERT_FALSE(HImg.ProfileDiag.Issues.empty());
+  EXPECT_EQ(HImg.ProfileDiag.Issues[0].Kind, ProfileError::StrategyMismatch);
+}
+
+TEST(FaultInjection, UnsupportedVersionIsRejectedLegacyAccepted) {
+  // A future-versioned header (with a correct CRC, so only the version is
+  // at fault) must be rejected with a typed error.
+  std::string Payload = "Main.main()\n";
+  char Header[128];
+  std::snprintf(Header, sizeof(Header),
+                "#nimg-profile,99,cu,-,0000000000000000,%08x\n",
+                crc32(Payload));
+  ProfileReadReport Report;
+  CodeProfile P = CodeProfile::fromCsv(std::string(Header) + Payload, &Report);
+  EXPECT_EQ(Report.Fatal, ProfileError::UnsupportedVersion);
+  EXPECT_TRUE(P.Sigs.empty());
+
+  // A malformed header row is BadHeader, not silently legacy.
+  ProfileReadReport BadReport;
+  CodeProfile Bad = CodeProfile::fromCsv("#nimg-profile,garbage\nA.b()\n",
+                                         &BadReport);
+  EXPECT_EQ(BadReport.Fatal, ProfileError::BadHeader);
+  EXPECT_TRUE(Bad.Sigs.empty());
+
+  // A legacy headerless file is accepted with an informational issue.
+  ProfileReadReport LegacyReport;
+  CodeProfile Legacy = CodeProfile::fromCsv("Main.main()\nShape.area()\n",
+                                            &LegacyReport);
+  EXPECT_TRUE(LegacyReport.usable());
+  EXPECT_EQ(Legacy.Header.Version, 0u);
+  ASSERT_EQ(Legacy.Sigs.size(), 2u);
+  ASSERT_FALSE(LegacyReport.Issues.empty());
+  EXPECT_EQ(LegacyReport.Issues[0].Kind, ProfileError::LegacyFormat);
+
+  // And it still drives an optimizing build (no provenance to check).
+  Corpus &C = corpus();
+  BuildConfig Cfg;
+  Cfg.CodeOrder = CodeStrategy::CuOrder;
+  Cfg.CodeProf = &Legacy;
+  NativeImage Img = buildNativeImage(C.P, Cfg);
+  ASSERT_FALSE(Img.Built.Failed);
+  EXPECT_TRUE(Img.ProfileDiag.CodeProfileApplied);
+}
+
+TEST(FaultInjection, MalformedHeapCellsAreSkippedNotUb) {
+  // Non-numeric and overflowing id cells must be skipped with a typed
+  // issue — the old strtoull path silently produced garbage ids.
+  HeapProfile Template;
+  Template.Header.Mode = TraceMode::HeapOrder;
+  Template.Ids = {0x10, 0x20};
+  std::string Payload = "10\nnot-a-number\nffffffffffffffff1\n20\n-5\n";
+  char Header[128];
+  std::snprintf(Header, sizeof(Header),
+                "#nimg-profile,1,heap,path,0000000000000000,%08x\n",
+                crc32(Payload));
+  ProfileReadReport Report;
+  HeapProfile P = HeapProfile::fromCsv(std::string(Header) + Payload, &Report);
+  EXPECT_TRUE(Report.usable());
+  EXPECT_EQ(P.Ids, (std::vector<uint64_t>{0x10, 0x20}));
+  EXPECT_EQ(Report.RowsKept, 2u);
+  EXPECT_EQ(Report.RowsSkipped, 3u);
+  ASSERT_FALSE(Report.Issues.empty());
+  EXPECT_EQ(Report.Issues[0].Kind, ProfileError::MalformedCell);
+}
+
+TEST(FaultInjection, EmptyCaptureRunsAreRetriedOnce) {
+  // With no fuel, every instrumented run yields an empty capture; the
+  // collector retries each once in the memory-mapped dump mode and still
+  // completes with (empty) profiles instead of failing.
+  Corpus &C = corpus();
+  BuildConfig Cfg;
+  Cfg.Seed = 1001;
+  RunConfig RC;
+  RC.MaxInstructions = 0;
+  CollectedProfiles Prof = collectProfiles(C.P, Cfg, RC);
+  // The cu-mode run records the main CU entry before the first fuel
+  // check, so at least the method- and heap-mode runs are retried.
+  EXPECT_GE(Prof.RetriedRuns, 2);
+  EXPECT_LE(Prof.RetriedRuns, 3);
+  EXPECT_TRUE(Prof.Method.Sigs.empty());
+  EXPECT_TRUE(Prof.HeapPath.Ids.empty());
+}
+
+TEST(FaultInjection, CollectedProfilesFromCleanRunsSalvageClean) {
+  Corpus &C = corpus();
+  EXPECT_TRUE(C.Prof.CuSalvage.clean());
+  EXPECT_TRUE(C.Prof.MethodSalvage.clean());
+  EXPECT_TRUE(C.Prof.HeapSalvage.clean());
+  EXPECT_EQ(C.Prof.RetriedRuns, 0);
+}

@@ -1,6 +1,7 @@
 //===- SupportTest.cpp - Tests for support utilities -----------------------===//
 
 #include "src/support/ByteBuffer.h"
+#include "src/support/Crc32.h"
 #include "src/support/Csv.h"
 #include "src/support/Murmur3.h"
 #include "src/support/SplitMix64.h"
@@ -122,6 +123,77 @@ TEST(Csv, EmptyCellsSurvive) {
 
 TEST(Csv, EmptyInputHasNoRows) {
   EXPECT_TRUE(parseCsv("").Rows.empty());
+}
+
+namespace {
+
+/// A random CSV document over an alphabet that includes every character
+/// the writer must quote: commas, quotes, newlines, carriage returns.
+CsvDocument randomDoc(SplitMix64 &Rng) {
+  static const char Alphabet[] = {'a', 'b', 'Z', '0', ' ', ',',
+                                  '"', '\n', '\r', ';', '\t'};
+  CsvDocument Doc;
+  size_t Rows = 1 + Rng.nextBelow(8);
+  for (size_t R = 0; R < Rows; ++R) {
+    std::vector<std::string> Row;
+    size_t Cells = 1 + Rng.nextBelow(5);
+    for (size_t C = 0; C < Cells; ++C) {
+      std::string Cell;
+      size_t Len = Rng.nextBelow(12);
+      for (size_t I = 0; I < Len; ++I)
+        Cell.push_back(Alphabet[Rng.nextBelow(sizeof(Alphabet))]);
+      Row.push_back(Cell);
+    }
+    Doc.Rows.push_back(std::move(Row));
+  }
+  return Doc;
+}
+
+} // namespace
+
+TEST(Csv, RandomDocumentsRoundTrip) {
+  // Property: parse(write(Doc)) == Doc for any document whose rows have at
+  // least one cell, including cells with embedded quotes and newlines.
+  SplitMix64 Rng(20250805);
+  for (int Case = 0; Case < 200; ++Case) {
+    CsvDocument Doc = randomDoc(Rng);
+    CsvDocument Parsed = parseCsv(writeCsv(Doc));
+    ASSERT_EQ(Parsed.Rows, Doc.Rows) << "case " << Case;
+  }
+}
+
+TEST(Csv, TruncatedInputNeverCrashesAndKeepsWholeRows) {
+  // A profile file cut at an arbitrary byte offset (crash mid-write) must
+  // parse without reading past the end; rows before the cut survive.
+  SplitMix64 Rng(77);
+  for (int Case = 0; Case < 50; ++Case) {
+    CsvDocument Doc = randomDoc(Rng);
+    std::string Text = writeCsv(Doc);
+    for (size_t Cut = 0; Cut <= Text.size(); ++Cut) {
+      CsvDocument Parsed = parseCsv(Text.substr(0, Cut));
+      EXPECT_LE(Parsed.Rows.size(), Doc.Rows.size() + 1);
+    }
+  }
+}
+
+// --- CRC-32 --------------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string Data = "the quick brown fox jumps over the lazy dog";
+  uint32_t Ref = crc32(Data);
+  SplitMix64 Rng(5);
+  for (int I = 0; I < 64; ++I) {
+    std::string Mutated = Data;
+    size_t Byte = Rng.nextBelow(Mutated.size());
+    Mutated[Byte] = char(uint8_t(Mutated[Byte]) ^ (1u << Rng.nextBelow(8)));
+    EXPECT_NE(crc32(Mutated), Ref);
+  }
 }
 
 // --- SplitMix64 ------------------------------------------------------------------
