@@ -1,0 +1,76 @@
+//===- BenchJson.h - Machine-readable bench output --------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared JSON emitter for the figure harnesses. The printed tables stay
+/// the primary human output; alongside them each harness drops a
+/// BENCH_<figure>.json ({"schema":"nimg-bench","version":1,...}) so plots
+/// and regression checks can consume the numbers without scraping stdout.
+///
+/// Files land in the current directory by default; set
+/// NIMAGE_BENCH_JSON_DIR to redirect, or set it to "-" to suppress the
+/// files entirely (useful under ctest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_BENCH_BENCHJSON_H
+#define NIMG_BENCH_BENCHJSON_H
+
+#include "src/obs/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace nimg {
+namespace benchjson {
+
+inline constexpr uint32_t BenchJsonVersion = 1;
+
+/// Resolves the output path for \p FileName, honoring
+/// NIMAGE_BENCH_JSON_DIR. Empty result means output is suppressed ("-").
+inline std::string benchJsonPath(const std::string &FileName) {
+  const char *Dir = std::getenv("NIMAGE_BENCH_JSON_DIR");
+  if (Dir && std::string(Dir) == "-")
+    return {};
+  if (Dir && *Dir)
+    return std::string(Dir) + "/" + FileName;
+  return FileName;
+}
+
+/// Writes one bench artifact. \p Body receives a writer positioned inside
+/// the top-level object, after the schema/version/figure members, and adds
+/// the figure-specific members. Returns false on I/O failure (reported on
+/// stderr; bench harnesses keep their table output regardless).
+template <typename BodyFn>
+inline bool writeBenchJson(const std::string &FileName,
+                           const std::string &Figure, BodyFn Body) {
+  std::string Path = benchJsonPath(FileName);
+  if (Path.empty())
+    return true;
+  std::string Out;
+  obs::JsonWriter W(Out);
+  W.beginObject();
+  W.member("schema", "nimg-bench");
+  W.member("version", uint64_t(BenchJsonVersion));
+  W.member("figure", Figure);
+  Body(W);
+  W.endObject();
+  std::ofstream F(Path, std::ios::binary);
+  if (!F || !F.write(Out.data(), std::streamsize(Out.size()))) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "  wrote %s\n", Path.c_str());
+  return true;
+}
+
+} // namespace benchjson
+} // namespace nimg
+
+#endif // NIMG_BENCH_BENCHJSON_H

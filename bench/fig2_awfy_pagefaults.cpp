@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 using namespace nimg;
@@ -43,5 +44,37 @@ int main() {
     Sum += P;
   std::printf("  %-12s %5.1f%%\n", "average",
               Pcts.empty() ? 0.0 : Sum / double(Pcts.size()));
+
+  benchjson::writeBenchJson("BENCH_fig2.json", "fig2", [&](obs::JsonWriter &W) {
+    W.member("seeds", uint64_t(Opts.Seeds));
+    W.key("benchmarks");
+    W.beginArray();
+    for (const BenchmarkEval &E : Evals) {
+      W.beginObject();
+      W.member("name", E.Benchmark);
+      W.key("fault_factors");
+      W.beginObject();
+      for (const std::string &S : strategyNames()) {
+        const VariantEval *V = E.variant(S);
+        W.member(S, V ? faultFactorOf(*V) : 1.0);
+      }
+      W.endObject();
+      W.member("pct_stored_objects_touched", E.PctStoredObjectsTouched);
+      W.member("snapshot_objects", uint64_t(E.SnapshotObjects));
+      W.endObject();
+    }
+    W.endArray();
+    W.key("geomean_fault_factors");
+    W.beginObject();
+    for (const std::string &S : strategyNames()) {
+      std::vector<double> Fs;
+      for (const BenchmarkEval &E : Evals) {
+        const VariantEval *V = E.variant(S);
+        Fs.push_back(V ? faultFactorOf(*V) : 1.0);
+      }
+      W.member(S, geomean(Fs));
+    }
+    W.endObject();
+  });
   return 0;
 }

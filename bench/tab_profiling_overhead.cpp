@@ -12,10 +12,36 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 using namespace nimg;
 using namespace nimg::benchutil;
+
+static void writeSuiteJson(obs::JsonWriter &W,
+                           const std::vector<BenchmarkEval> &Evals) {
+  std::vector<double> Cu, Method, Heap;
+  W.key("benchmarks");
+  W.beginArray();
+  for (const BenchmarkEval &E : Evals) {
+    W.beginObject();
+    W.member("name", E.Benchmark);
+    W.member("cu", E.CuOverhead);
+    W.member("method", E.MethodOverhead);
+    W.member("heap", E.HeapOverhead);
+    W.endObject();
+    Cu.push_back(E.CuOverhead);
+    Method.push_back(E.MethodOverhead);
+    Heap.push_back(E.HeapOverhead);
+  }
+  W.endArray();
+  W.key("geomean");
+  W.beginObject();
+  W.member("cu", geomean(Cu));
+  W.member("method", geomean(Method));
+  W.member("heap", geomean(Heap));
+  W.endObject();
+}
 
 static void printSuite(const char *Title,
                        const std::vector<BenchmarkEval> &Evals) {
@@ -47,5 +73,18 @@ int main() {
       evaluateSuite(microserviceNames(), /*Microservices=*/true, Opts);
   printSuite("microservices (buffer dump mode: memory-mapped trace files)",
              Micro);
+
+  benchjson::writeBenchJson(
+      "BENCH_overhead.json", "tab_overhead", [&](obs::JsonWriter &W) {
+        W.member("seeds", uint64_t(Opts.Seeds));
+        W.key("awfy");
+        W.beginObject();
+        writeSuiteJson(W, Awfy);
+        W.endObject();
+        W.key("microservices");
+        W.beginObject();
+        writeSuiteJson(W, Micro);
+        W.endObject();
+      });
   return 0;
 }

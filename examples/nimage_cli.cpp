@@ -15,11 +15,20 @@
 // is linked against the som library and the runtime prelude).
 // `build --code/--heap` reads the CSV profiles written by `profile`.
 //
+// Observability flags (any command):
+//   --metrics          print the metrics registry after the command
+//   --trace-out FILE   write a Chrome trace-event JSON of the pipeline spans
+//   --report FILE      write the unified startup report (JSON; CSV if FILE
+//                      ends in .csv)
+//
 //===----------------------------------------------------------------------===//
 
 #include "src/core/Builder.h"
 #include "src/image/ImageFile.h"
 #include "src/lang/Compile.h"
+#include "src/obs/Metrics.h"
+#include "src/obs/SpanTracer.h"
+#include "src/obs/StartupReport.h"
 #include "src/workloads/Workloads.h"
 
 #include <cstdio>
@@ -105,8 +114,29 @@ int usage() {
                "  nimage_cli build   <target> [--out F] [--seed N] "
                "[--profiles DIR] [--code cu|method] [--heap inc|struct|path]\n"
                "  nimage_cli run     <target> [--image F] [--warm]\n"
-               "  nimage_cli profile <target> [--dir DIR]\n");
+               "  nimage_cli profile <target> [--dir DIR]\n"
+               "observability (any command):\n"
+               "  --metrics          print the metrics registry on exit\n"
+               "  --trace-out FILE   write Chrome trace-event JSON spans\n"
+               "  --report FILE      write the startup report (JSON, or CSV "
+               "for .csv paths)\n");
   return 2;
+}
+
+/// Writes \p Report to the --report path if given. Failing to write the
+/// report fails the command: silently losing the artifact the user asked
+/// for is worse than a nonzero exit.
+bool emitReport(obs::StartupReport &Report, int Argc, char **Argv) {
+  const char *Path = flagValue(Argc, Argv, "--report");
+  if (!Path)
+    return true;
+  Report.includeMetrics();
+  if (!Report.writeFile(Path)) {
+    std::fprintf(stderr, "error: cannot write report %s\n", Path);
+    return false;
+  }
+  std::printf("wrote startup report %s\n", Path);
+  return true;
 }
 
 int cmdProfile(const std::string &Target, int Argc, char **Argv) {
@@ -118,6 +148,16 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
   BuildConfig Cfg;
   Cfg.Seed = 1001;
   CollectedProfiles Prof = collectProfiles(*P, Cfg, Run);
+
+  obs::StartupReport Report;
+  Report.Target = Target;
+  Report.Command = "profile";
+  Report.addSalvage("cu", Prof.CuSalvage);
+  Report.addSalvage("method", Prof.MethodSalvage);
+  Report.addSalvage("heap", Prof.HeapSalvage);
+  if (!emitReport(Report, Argc, Argv))
+    return 1;
+
   bool Ok = writeFile(Dir + "/cu.csv", Prof.Cu.toCsv()) &&
             writeFile(Dir + "/method.csv", Prof.Method.toCsv()) &&
             writeFile(Dir + "/heap_inc.csv", Prof.IncrementalId.toCsv()) &&
@@ -209,11 +249,27 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
   }
 
   NativeImage Img = buildNativeImage(*P, Cfg);
+
+  obs::StartupReport Report;
+  Report.Target = Target;
+  Report.Command = "build";
+  if (const char *Code = flagValue(Argc, Argv, "--code"))
+    Report.Variant += std::string("code=") + Code;
+  if (const char *HeapFlag = flagValue(Argc, Argv, "--heap"))
+    Report.Variant +=
+        (Report.Variant.empty() ? "" : " ") + std::string("heap=") + HeapFlag;
+  Report.setImage(Img);
+
   if (Img.Built.Failed) {
+    // Still emit the report: a degraded/failed pipeline is exactly when
+    // the diagnostics artifact matters most.
+    emitReport(Report, Argc, Argv);
     std::fprintf(stderr, "build failed: %s\n",
                  Img.Built.FailureMessage.c_str());
     return 1;
   }
+  if (!emitReport(Report, Argc, Argv))
+    return 1;
   std::printf("built image: %zu CUs, %zu snapshot objects, %llu KiB "
               "(.text %llu KiB + .svm_heap %llu KiB)\n",
               Img.Code.CUs.size(), Img.Snapshot.numStored(),
@@ -273,6 +329,16 @@ int cmdRun(const std::string &Target, int Argc, char **Argv) {
   Run.ColdCache = !hasFlag(Argc, Argv, "--warm");
   RunStats S = runImage(Img, Run);
   std::fputs(S.Output.c_str(), stdout);
+
+  obs::StartupReport Report;
+  Report.Target = Target;
+  Report.Command = "run";
+  Report.Variant = Run.ColdCache ? "cold-cache" : "warm-cache";
+  Report.setRun(S);
+  Report.setImage(Img);
+  if (!emitReport(Report, Argc, Argv))
+    return 1;
+
   if (S.Trapped) {
     std::fprintf(stderr, "trap: %s\n", S.TrapMessage.c_str());
     return 1;
@@ -293,11 +359,33 @@ int main(int Argc, char **Argv) {
     return usage();
   std::string Cmd = Argv[1];
   std::string Target = Argv[2];
+
+  const char *TraceOut = flagValue(Argc, Argv, "--trace-out");
+  if (TraceOut)
+    obs::SpanTracer::global().setEnabled(true);
+
+  int Rc = 2;
   if (Cmd == "profile")
-    return cmdProfile(Target, Argc, Argv);
-  if (Cmd == "build")
-    return cmdBuild(Target, Argc, Argv);
-  if (Cmd == "run")
-    return cmdRun(Target, Argc, Argv);
-  return usage();
+    Rc = cmdProfile(Target, Argc, Argv);
+  else if (Cmd == "build")
+    Rc = cmdBuild(Target, Argc, Argv);
+  else if (Cmd == "run")
+    Rc = cmdRun(Target, Argc, Argv);
+  else
+    return usage();
+
+  if (TraceOut) {
+    if (!obs::SpanTracer::global().writeFile(TraceOut)) {
+      std::fprintf(stderr, "error: cannot write trace %s\n", TraceOut);
+      if (Rc == 0)
+        Rc = 1;
+    } else {
+      std::printf("wrote %zu trace event(s) to %s (load in Perfetto / "
+                  "chrome://tracing)\n",
+                  obs::SpanTracer::global().eventCount(), TraceOut);
+    }
+  }
+  if (hasFlag(Argc, Argv, "--metrics"))
+    std::fputs(obs::MetricsRegistry::global().toText().c_str(), stdout);
+  return Rc;
 }

@@ -3,6 +3,8 @@
 #include "src/core/Builder.h"
 
 #include "src/image/ImageFile.h"
+#include "src/obs/Metrics.h"
+#include "src/obs/SpanTracer.h"
 #include "src/support/SplitMix64.h"
 
 using namespace nimg;
@@ -80,6 +82,12 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
   Img.Instrumented = Cfg.Instrumented;
   Img.Seed = Cfg.Seed;
 
+  NIMG_SPAN_NAMED(BuildSpan, "pipeline", "buildNativeImage");
+  NIMG_SPAN_ARG(BuildSpan, "instrumented", Cfg.Instrumented ? "true" : "false");
+  NIMG_COUNTER_ADD("nimg.build.count", 1);
+  if (Cfg.Instrumented)
+    NIMG_COUNTER_ADD("nimg.build.instrumented", 1);
+
   // Builtin runtime classes must exist before the analysis fixes the
   // class-id space.
   ensureClassMetaClass(P);
@@ -91,64 +99,105 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
   const CodeProfile *CodeProf = Cfg.CodeProf;
   if (Cfg.CodeOrder != CodeStrategy::None && CodeProf) {
     Img.ProfileDiag.CodeProfileProvided = true;
-    if (codeProfileUsable(*CodeProf, Cfg.CodeOrder, BuildFp, Img.ProfileDiag))
+    if (codeProfileUsable(*CodeProf, Cfg.CodeOrder, BuildFp,
+                          Img.ProfileDiag)) {
       Img.ProfileDiag.CodeProfileApplied = true;
-    else
+    } else {
       CodeProf = nullptr;
+      NIMG_COUNTER_ADD("nimg.build.degraded.code", 1);
+    }
   }
   const HeapProfile *HeapProf = Cfg.HeapProf;
   if (Cfg.UseHeapOrder && HeapProf) {
     Img.ProfileDiag.HeapProfileProvided = true;
-    if (heapProfileUsable(*HeapProf, Cfg.HeapOrder, BuildFp, Img.ProfileDiag))
+    if (heapProfileUsable(*HeapProf, Cfg.HeapOrder, BuildFp,
+                          Img.ProfileDiag)) {
       Img.ProfileDiag.HeapProfileApplied = true;
-    else
+    } else {
       HeapProf = nullptr;
+      NIMG_COUNTER_ADD("nimg.build.degraded.heap", 1);
+    }
+  }
+  // Per-rejection-kind counters for everything the degradation policy
+  // recorded while vetting the offered profiles.
+  for (const ProfileIssue &I : Img.ProfileDiag.Issues) {
+    (void)I; // unused when observability is compiled out
+    NIMG_COUNTER_ADD_DYN(
+        std::string("nimg.build.profile_rejected.") + profileErrorSlug(I.Kind),
+        1);
   }
 
   // 1. Points-to-style reachability (Sec. 2).
-  Img.Reach = analyzeReachability(P, Cfg.Reach);
+  {
+    NIMG_SPAN("build", "reachability");
+    Img.Reach = analyzeReachability(P, Cfg.Reach);
+  }
 
   // 2. Compilation: size-driven inlining into CUs. Instrumentation
   //    inflates sizes, diverging the CU set from the optimized build's.
-  Img.Code =
-      buildCompilationUnits(P, Img.Reach, Cfg.Inliner, Cfg.Instrumented);
+  {
+    NIMG_SPAN("build", "compile");
+    Img.Code =
+        buildCompilationUnits(P, Img.Reach, Cfg.Inliner, Cfg.Instrumented);
+  }
 
   // 3. Code ordering (Sec. 4) — determines .text placement and, through
   //    it, the default object traversal order.
   std::vector<int32_t> CuOrder;
-  if (Cfg.CodeOrder != CodeStrategy::None && CodeProf)
+  if (Cfg.CodeOrder != CodeStrategy::None && CodeProf) {
+    NIMG_SPAN("build", "code_order");
     CuOrder = orderCusWithProfile(P, Img.Code, *CodeProf,
                                   Cfg.CodeOrder == CodeStrategy::MethodOrder);
+  }
 
   // 4. Build-time initialization (permuted) and heap snapshotting.
-  Img.Built = initializeBuildHeap(P, Img.Reach, Cfg.Seed);
-  if (Img.Built.Failed)
+  {
+    NIMG_SPAN("build", "heap_init");
+    Img.Built = initializeBuildHeap(P, Img.Reach, Cfg.Seed);
+  }
+  if (Img.Built.Failed) {
+    NIMG_COUNTER_ADD("nimg.build.failed", 1);
     return Img;
+  }
 
   SnapshotConfig SnapCfg;
   SnapCfg.EnablePea = Cfg.EnablePea;
   SnapCfg.PeaRate = Cfg.PeaRate;
   SnapCfg.PeaFingerprint = mix64(Img.Code.InlineFingerprint, Cfg.Seed);
   SnapCfg.CuOrder = CuOrder;
-  Img.Snapshot = buildSnapshot(P, *Img.Built.BuildHeap, Img.Built, Img.Code,
-                               Img.Reach, SnapCfg);
+  {
+    NIMG_SPAN("build", "snapshot");
+    Img.Snapshot = buildSnapshot(P, *Img.Built.BuildHeap, Img.Built, Img.Code,
+                                 Img.Reach, SnapCfg);
+  }
 
   // 5. Identifier assignment (Sec. 5): the profiling build stores these in
   //    the image; the optimizing build uses them only for matching.
-  Img.Ids = computeIdTable(P, *Img.Built.BuildHeap, Img.Snapshot,
-                           Cfg.StructuralMaxDepth);
+  {
+    NIMG_SPAN("build", "id_table");
+    Img.Ids = computeIdTable(P, *Img.Built.BuildHeap, Img.Snapshot,
+                             Cfg.StructuralMaxDepth);
+  }
 
   // 6. Heap ordering (Sec. 5): match the profile's ids against this
   //    build's snapshot and hoist matched objects to the front.
   std::vector<int32_t> ObjOrder;
-  if (Cfg.UseHeapOrder && HeapProf)
+  if (Cfg.UseHeapOrder && HeapProf) {
+    NIMG_SPAN_NAMED(HeapOrderSpan, "build", "heap_order");
+    NIMG_SPAN_ARG(HeapOrderSpan, "strategy", heapStrategyName(Cfg.HeapOrder));
     ObjOrder = orderObjectsWithProfile(Img.Snapshot, Img.Ids, Cfg.HeapOrder,
                                        *HeapProf);
+  }
 
   // 7. Image layout.
-  Img.Layout =
-      computeImageLayout(P, Img.Code, Img.Snapshot, CuOrder, ObjOrder,
-                         Cfg.Image);
+  {
+    NIMG_SPAN("build", "layout");
+    Img.Layout =
+        computeImageLayout(P, Img.Code, Img.Snapshot, CuOrder, ObjOrder,
+                           Cfg.Image);
+  }
+  NIMG_GAUGE_SET("nimg.build.last_text_size", int64_t(Img.Layout.TextSize));
+  NIMG_GAUGE_SET("nimg.build.last_heap_size", int64_t(Img.Layout.HeapSize));
   return Img;
 }
 
@@ -157,11 +206,17 @@ CollectedProfiles nimg::collectProfiles(Program &P,
                                         const RunConfig &RunCfg) {
   CollectedProfiles Out;
 
+  NIMG_SPAN_NAMED(CollectSpan, "pipeline", "collectProfiles");
+  NIMG_COUNTER_ADD("nimg.profile.collect.count", 1);
+
   BuildConfig Cfg = InstrumentedCfg;
   Cfg.Instrumented = true;
   Cfg.CodeOrder = CodeStrategy::None;
   Cfg.UseHeapOrder = false;
-  NativeImage Img = buildNativeImage(P, Cfg);
+  NativeImage Img = [&] {
+    NIMG_SPAN("pipeline", "instrumented_build");
+    return buildNativeImage(P, Cfg);
+  }();
   assert(!Img.Built.Failed && "instrumented build failed");
 
   PathGraphCache Paths(P);
@@ -184,30 +239,53 @@ CollectedProfiles nimg::collectProfiles(Program &P,
       TOpts.Dump = DumpMode::MemoryMapped;
       StatsOut = runImage(Img, RC, &Capture);
       ++Out.RetriedRuns;
+      NIMG_COUNTER_ADD("nimg.profile.collect.retried_runs", 1);
     }
     return Capture;
   };
 
   uint64_t Fp = programFingerprint(P);
 
-  TraceCapture CuCap = RunWith(TraceMode::CuOrder, Out.CuRun);
-  Out.Cu = analyzeCuOrder(P, CuCap, &Out.CuSalvage);
-  Out.Cu.Header.Fingerprint = Fp;
+  TraceCapture CuCap;
+  {
+    NIMG_SPAN("profile", "trace.cu");
+    CuCap = RunWith(TraceMode::CuOrder, Out.CuRun);
+  }
+  {
+    NIMG_SPAN("profile", "post.cu");
+    Out.Cu = analyzeCuOrder(P, CuCap, &Out.CuSalvage);
+    Out.Cu.Header.Fingerprint = Fp;
+  }
 
-  TraceCapture MethodCap = RunWith(TraceMode::MethodOrder, Out.MethodRun);
-  Out.Method = analyzeMethodOrder(P, MethodCap, Paths, &Out.MethodSalvage);
-  Out.Method.Header.Fingerprint = Fp;
+  TraceCapture MethodCap;
+  {
+    NIMG_SPAN("profile", "trace.method");
+    MethodCap = RunWith(TraceMode::MethodOrder, Out.MethodRun);
+  }
+  {
+    NIMG_SPAN("profile", "post.method");
+    Out.Method = analyzeMethodOrder(P, MethodCap, Paths, &Out.MethodSalvage);
+    Out.Method.Header.Fingerprint = Fp;
+  }
 
-  TraceCapture HeapCap = RunWith(TraceMode::HeapOrder, Out.HeapRun);
-  std::vector<int32_t> AccessOrder =
-      analyzeHeapAccessOrder(P, HeapCap, Paths, &Out.HeapSalvage);
-  Out.IncrementalId =
-      heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::IncrementalId);
-  Out.StructuralHash =
-      heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::StructuralHash);
-  Out.HeapPath = heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::HeapPath);
-  Out.IncrementalId.Header.Fingerprint = Fp;
-  Out.StructuralHash.Header.Fingerprint = Fp;
-  Out.HeapPath.Header.Fingerprint = Fp;
+  TraceCapture HeapCap;
+  {
+    NIMG_SPAN("profile", "trace.heap");
+    HeapCap = RunWith(TraceMode::HeapOrder, Out.HeapRun);
+  }
+  {
+    NIMG_SPAN("profile", "post.heap");
+    std::vector<int32_t> AccessOrder =
+        analyzeHeapAccessOrder(P, HeapCap, Paths, &Out.HeapSalvage);
+    Out.IncrementalId =
+        heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::IncrementalId);
+    Out.StructuralHash =
+        heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::StructuralHash);
+    Out.HeapPath =
+        heapProfileFor(AccessOrder, Img.Ids, HeapStrategy::HeapPath);
+    Out.IncrementalId.Header.Fingerprint = Fp;
+    Out.StructuralHash.Header.Fingerprint = Fp;
+    Out.HeapPath.Header.Fingerprint = Fp;
+  }
   return Out;
 }

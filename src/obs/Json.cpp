@@ -1,0 +1,411 @@
+//===- Json.cpp - Minimal JSON writer and parser ----------------------------===//
+
+#include "src/obs/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace nimg;
+using namespace nimg::obs;
+
+//===----------------------------------------------------------------------===//
+// Writer.
+//===----------------------------------------------------------------------===//
+
+std::string JsonWriter::escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::beforeValue() {
+  if (!Stack.empty() && !PendingKey) {
+    assert(Stack.back().first == 'a' &&
+           "object members need a key() before each value");
+    if (Stack.back().second)
+      Out += ',';
+    Stack.back().second = true;
+  }
+  PendingKey = false;
+}
+
+void JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back().first == 'o' &&
+         "key() outside an object");
+  assert(!PendingKey && "two keys in a row");
+  if (Stack.back().second)
+    Out += ',';
+  Stack.back().second = true;
+  Out += '"';
+  Out += escape(K);
+  Out += "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::beginObject() {
+  beforeValue();
+  Out += '{';
+  Stack.push_back({'o', false});
+}
+
+void JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back().first == 'o');
+  Stack.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  beforeValue();
+  Out += '[';
+  Stack.push_back({'a', false});
+}
+
+void JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back().first == 'a');
+  Stack.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::value(std::string_view S) {
+  beforeValue();
+  Out += '"';
+  Out += escape(S);
+  Out += '"';
+}
+
+void JsonWriter::value(bool B) {
+  beforeValue();
+  Out += B ? "true" : "false";
+}
+
+void JsonWriter::value(double D) {
+  beforeValue();
+  if (!std::isfinite(D)) {
+    // JSON has no Infinity/NaN; observability data degrades to null rather
+    // than emitting an unloadable document.
+    Out += "null";
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  Out += Buf;
+}
+
+void JsonWriter::value(uint64_t U) {
+  beforeValue();
+  Out += std::to_string(U);
+}
+
+void JsonWriter::value(int64_t I) {
+  beforeValue();
+  Out += std::to_string(I);
+}
+
+void JsonWriter::null() {
+  beforeValue();
+  Out += "null";
+}
+
+void JsonWriter::rawValue(std::string_view Json) {
+  beforeValue();
+  Out += Json;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser.
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::get(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+const JsonValue *JsonValue::at(std::string_view Path) const {
+  const JsonValue *V = this;
+  while (!Path.empty()) {
+    size_t Dot = Path.find('.');
+    std::string_view Head =
+        Dot == std::string_view::npos ? Path : Path.substr(0, Dot);
+    V = V->get(Head);
+    if (!V)
+      return nullptr;
+    Path = Dot == std::string_view::npos ? std::string_view()
+                                         : Path.substr(Dot + 1);
+  }
+  return V;
+}
+
+namespace {
+
+/// Recursive-descent parser with a depth bound (observability artifacts are
+/// shallow; a deeply nested document is corruption, not data).
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out, 0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  bool fail(const char *Msg) {
+    if (Error && Error->empty()) {
+      *Error = Msg;
+      *Error += " at offset " + std::to_string(Pos);
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Lit) {
+    if (Text.substr(Pos, Lit.size()) != Lit)
+      return false;
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!eat('"'))
+      return fail("expected string");
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return fail("bad \\u escape digit");
+        }
+        // Encode the BMP code point as UTF-8 (surrogate pairs are not
+        // produced by our writer; a lone surrogate decodes as-is).
+        if (Code < 0x80) {
+          Out += char(Code);
+        } else if (Code < 0x800) {
+          Out += char(0xc0 | (Code >> 6));
+          Out += char(0x80 | (Code & 0x3f));
+        } else {
+          Out += char(0xe0 | (Code >> 12));
+          Out += char(0x80 | ((Code >> 6) & 0x3f));
+          Out += char(0x80 | (Code & 0x3f));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (eat('-')) {
+    }
+    // Strict JSON: the integer part is "0" or starts with a nonzero digit.
+    if (Pos + 1 < Text.size() && Text[Pos] == '0' &&
+        std::isdigit(static_cast<unsigned char>(Text[Pos + 1])))
+      return fail("leading zero in number");
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected number");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail("malformed number");
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = D;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of document");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.K = JsonValue::Kind::Object;
+      skipWs();
+      if (eat('}'))
+        return true;
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (!eat(':'))
+          return fail("expected ':'");
+        JsonValue V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (eat(','))
+          continue;
+        if (eat('}'))
+          return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = JsonValue::Kind::Array;
+      skipWs();
+      if (eat(']'))
+        return true;
+      while (true) {
+        JsonValue V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipWs();
+        if (eat(','))
+          continue;
+        if (eat(']'))
+          return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (literal("true")) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return true;
+    }
+    if (literal("false")) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return true;
+    }
+    if (literal("null")) {
+      Out.K = JsonValue::Kind::Null;
+      return true;
+    }
+    return parseNumber(Out);
+  }
+
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool nimg::obs::parseJson(std::string_view Text, JsonValue &Out,
+                          std::string *Error) {
+  Out = JsonValue{};
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).parse(Out);
+}

@@ -1,0 +1,113 @@
+//===- Json.h - Minimal JSON writer and parser ------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON support for the observability layer: a streaming writer used by the
+/// span tracer, the startup-report exporter, and the bench emitters, plus a
+/// small strict parser used to validate those artifacts (tests parse every
+/// emitted document back — a trace file that chrome://tracing cannot load
+/// is a bug, not a cosmetic issue).
+///
+/// The writer tracks nesting and comma state so callers cannot emit
+/// structurally invalid documents; strings are escaped per RFC 8259
+/// (quotes, backslashes, and control characters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_OBS_JSON_H
+#define NIMG_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nimg {
+namespace obs {
+
+/// Streaming JSON writer with automatic comma/nesting management.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::string &Out) : Out(Out) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits an object key; the next value/begin* call is its value.
+  void key(std::string_view K);
+
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(bool B);
+  void value(double D);
+  void value(uint64_t U);
+  void value(int64_t I);
+  void value(int I) { value(int64_t(I)); }
+  void value(unsigned U) { value(uint64_t(U)); }
+  void null();
+
+  // Convenience: key + value in one call.
+  template <typename T> void member(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+
+  /// Appends a pre-rendered JSON fragment as one value (caller guarantees
+  /// validity). Used to splice sub-documents without re-parsing.
+  void rawValue(std::string_view Json);
+
+  static std::string escape(std::string_view S);
+
+private:
+  void beforeValue();
+
+  std::string &Out;
+  /// One char per open scope: 'o' object, 'a' array; paired with whether a
+  /// value has been emitted at that level.
+  std::vector<std::pair<char, bool>> Stack;
+  bool PendingKey = false;
+};
+
+/// A parsed JSON value (small DOM; object member order is preserved).
+struct JsonValue {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *get(std::string_view Key) const;
+  /// Nested lookup along a dot-separated path ("run.text_faults").
+  const JsonValue *at(std::string_view Path) const;
+
+  double numberOr(double Default) const {
+    return K == Kind::Number ? Num : Default;
+  }
+};
+
+/// Strict RFC-8259 parse of a complete document (trailing non-whitespace is
+/// an error). Returns false and fills \p Error on malformed input; never
+/// throws — emitted artifacts cross process boundaries and are validated
+/// like any other external input.
+bool parseJson(std::string_view Text, JsonValue &Out,
+               std::string *Error = nullptr);
+
+} // namespace obs
+} // namespace nimg
+
+#endif // NIMG_OBS_JSON_H

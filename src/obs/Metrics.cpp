@@ -1,0 +1,190 @@
+//===- Metrics.cpp - Low-overhead metrics registry ---------------------------===//
+
+#include "src/obs/Metrics.h"
+
+#include "src/obs/Json.h"
+
+#include <bit>
+#include <cstdio>
+
+using namespace nimg;
+using namespace nimg::obs;
+
+uint32_t obs::detail::threadId() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram.
+//===----------------------------------------------------------------------===//
+
+size_t Histogram::bucketOf(uint64_t V) noexcept {
+  return size_t(std::bit_width(V)); // 0 -> 0, [2^(B-1), 2^B) -> B.
+}
+
+uint64_t Histogram::bucketLo(size_t B) noexcept {
+  return B == 0 ? 0 : uint64_t(1) << (B - 1);
+}
+
+uint64_t Histogram::bucketHi(size_t B) noexcept {
+  if (B == 0)
+    return 0;
+  if (B == NumBuckets - 1)
+    return ~uint64_t(0);
+  return (uint64_t(1) << B) - 1;
+}
+
+void Histogram::record(uint64_t V) noexcept {
+  Buckets[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(V, std::memory_order_relaxed);
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (V < Cur &&
+         !Min.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (V > Cur &&
+         !Max.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::min() const noexcept {
+  uint64_t M = Min.load(std::memory_order_relaxed);
+  return M == ~uint64_t(0) && count() == 0 ? 0 : M;
+}
+
+uint64_t Histogram::max() const noexcept {
+  return Max.load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry.
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::global() {
+  // Leaked on purpose: instrumented call sites cache metric references in
+  // function-local statics whose destruction order vs. this singleton is
+  // otherwise unsequenced.
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(std::string(Name), std::make_unique<Histogram>())
+             .first;
+  return *It->second;
+}
+
+bool MetricsRegistry::has(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters.find(Name) != Counters.end() ||
+         Gauges.find(Name) != Gauges.end() ||
+         Histograms.find(Name) != Histograms.end();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters.size() + Gauges.size() + Histograms.size();
+}
+
+std::string MetricsRegistry::toText() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  char Buf[160];
+  for (const auto &[Name, C] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "counter   %-44s %llu\n", Name.c_str(),
+                  (unsigned long long)C->value());
+    Out += Buf;
+  }
+  for (const auto &[Name, G] : Gauges) {
+    std::snprintf(Buf, sizeof(Buf), "gauge     %-44s %lld\n", Name.c_str(),
+                  (long long)G->value());
+    Out += Buf;
+  }
+  for (const auto &[Name, H] : Histograms) {
+    if (H->count() == 0) {
+      std::snprintf(Buf, sizeof(Buf), "histogram %-44s count=0\n",
+                    Name.c_str());
+      Out += Buf;
+      continue;
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "histogram %-44s count=%llu sum=%llu min=%llu max=%llu\n",
+                  Name.c_str(), (unsigned long long)H->count(),
+                  (unsigned long long)H->sum(), (unsigned long long)H->min(),
+                  (unsigned long long)H->max());
+    Out += Buf;
+  }
+  return Out;
+}
+
+void MetricsRegistry::writeJson(JsonWriter &W) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, C] : Counters)
+    W.member(Name, C->value());
+  W.endObject();
+  W.key("gauges");
+  W.beginObject();
+  for (const auto &[Name, G] : Gauges)
+    W.member(Name, int64_t(G->value()));
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &[Name, H] : Histograms) {
+    W.key(Name);
+    W.beginObject();
+    W.member("count", H->count());
+    W.member("sum", H->sum());
+    W.member("min", H->min());
+    W.member("max", H->max());
+    W.key("buckets");
+    W.beginArray();
+    // Sparse encoding: only non-empty buckets, as [lo, hi, count] triples.
+    for (size_t B = 0; B < Histogram::NumBuckets; ++B) {
+      uint64_t N = H->bucketCount(B);
+      if (N == 0)
+        continue;
+      W.beginArray();
+      W.value(Histogram::bucketLo(B));
+      W.value(Histogram::bucketHi(B));
+      W.value(N);
+      W.endArray();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+}
+
+void MetricsRegistry::resetForTest() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+}

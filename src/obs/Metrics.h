@@ -1,0 +1,205 @@
+//===- Metrics.h - Low-overhead metrics registry ----------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement substrate of the pipeline: named Counters (per-thread
+/// sharded, relaxed atomics), Gauges, and log2-bucketed Histograms in a
+/// process-global registry. Layout optimizers live or die by their
+/// measurement loop (BOLT, Meta's function-layout work), so every stage of
+/// this pipeline — paging, salvage, profile ingestion, build, ordering —
+/// reports here, and `nimage_cli --metrics` / the startup report render the
+/// registry.
+///
+/// Hot-path call sites go through the NIMG_COUNTER_ADD / NIMG_HIST_RECORD /
+/// NIMG_GAUGE_SET macros. The macros cache the registry lookup in a
+/// function-local static (one mutex acquisition per call site, ever) and —
+/// when the TU is compiled with NIMG_OBS_DISABLED — expand to an
+/// unevaluated-operand no-op, so instrumented hot loops cost nothing in an
+/// observability-disabled build (-DNIMG_OBS_DISABLED=ON).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_OBS_METRICS_H
+#define NIMG_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nimg {
+namespace obs {
+
+class JsonWriter;
+
+namespace detail {
+/// Small dense id of the calling thread (assigned on first use); shared by
+/// counter sharding and the span tracer's tid field.
+uint32_t threadId();
+} // namespace detail
+
+/// Monotonic counter. add() touches only the calling thread's shard (a
+/// cache-line-padded relaxed atomic), so concurrent increments from worker
+/// threads do not bounce one line; value() merges the shards.
+class Counter {
+public:
+  void add(uint64_t N = 1) noexcept {
+    Shards[detail::threadId() & (NumShards - 1)].V.fetch_add(
+        N, std::memory_order_relaxed);
+  }
+  uint64_t value() const noexcept {
+    uint64_t Sum = 0;
+    for (const Shard &S : Shards)
+      Sum += S.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+private:
+  static constexpr size_t NumShards = 16; // Power of two; see add().
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> V{0};
+  };
+  Shard Shards[NumShards];
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+public:
+  void set(int64_t V) noexcept { Val.store(V, std::memory_order_relaxed); }
+  void add(int64_t N) noexcept { Val.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const noexcept { return Val.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Val{0};
+};
+
+/// Log2-bucketed histogram of uint64 samples. Bucket 0 holds the value 0;
+/// bucket B >= 1 holds [2^(B-1), 2^B - 1] (i.e. bucketOf(V) = bit_width(V)).
+/// Buckets are relaxed atomics; recording is wait-free.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65;
+
+  static size_t bucketOf(uint64_t V) noexcept;
+  /// Inclusive range covered by bucket \p B.
+  static uint64_t bucketLo(size_t B) noexcept;
+  static uint64_t bucketHi(size_t B) noexcept;
+
+  void record(uint64_t V) noexcept;
+
+  uint64_t count() const noexcept {
+    return Count.load(std::memory_order_relaxed);
+  }
+  uint64_t sum() const noexcept { return Sum.load(std::memory_order_relaxed); }
+  uint64_t min() const noexcept;
+  uint64_t max() const noexcept;
+  uint64_t bucketCount(size_t B) const noexcept {
+    return Buckets[B].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{~uint64_t(0)};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// Name -> metric map. Metric references returned by counter()/gauge()/
+/// histogram() are stable for the registry's lifetime, so call sites may
+/// cache them (the macros do).
+class MetricsRegistry {
+public:
+  /// The process-global registry every macro call site reports to.
+  static MetricsRegistry &global();
+
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  bool has(std::string_view Name) const;
+  size_t size() const;
+
+  /// Human-readable dump, one metric per line, sorted by name (the
+  /// `nimage_cli --metrics` output). Zero-count histograms print count only.
+  std::string toText() const;
+
+  /// Renders {"counters":{...},"gauges":{...},"histograms":{...}} as one
+  /// JSON value into \p W (used by the startup report).
+  void writeJson(JsonWriter &W) const;
+
+  /// Drops every metric. Tests only — cached references at macro call sites
+  /// dangle after this, so the instrumented pipeline must not run afterwards
+  /// in the same process. (Test binaries use it in ctest-isolated processes.)
+  void resetForTest();
+
+private:
+  mutable std::mutex Mu;
+  // std::map: stable addresses via unique_ptr, sorted deterministic output.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+};
+
+} // namespace obs
+} // namespace nimg
+
+//===----------------------------------------------------------------------===//
+// Instrumentation macros (compile out under NIMG_OBS_DISABLED).
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_OBS_DISABLED
+#define NIMG_OBS_ENABLED 1
+
+/// Adds N to the counter named by the literal Name. The registry lookup is
+/// cached per call site.
+#define NIMG_COUNTER_ADD(Name, N)                                              \
+  do {                                                                         \
+    static ::nimg::obs::Counter &NimgObsCtr_ =                                 \
+        ::nimg::obs::MetricsRegistry::global().counter(Name);                  \
+    NimgObsCtr_.add(N);                                                        \
+  } while (0)
+
+/// Counter add for a runtime-computed name (no per-site cache; keep off hot
+/// paths — used for per-error-kind rejection counters).
+#define NIMG_COUNTER_ADD_DYN(Name, N)                                          \
+  do {                                                                         \
+    ::nimg::obs::MetricsRegistry::global().counter(Name).add(N);               \
+  } while (0)
+
+#define NIMG_GAUGE_SET(Name, V)                                                \
+  do {                                                                         \
+    static ::nimg::obs::Gauge &NimgObsGa_ =                                    \
+        ::nimg::obs::MetricsRegistry::global().gauge(Name);                    \
+    NimgObsGa_.set(V);                                                         \
+  } while (0)
+
+#define NIMG_HIST_RECORD(Name, V)                                              \
+  do {                                                                         \
+    static ::nimg::obs::Histogram &NimgObsHi_ =                                \
+        ::nimg::obs::MetricsRegistry::global().histogram(Name);                \
+    NimgObsHi_.record(V);                                                      \
+  } while (0)
+
+#else // NIMG_OBS_DISABLED
+#define NIMG_OBS_ENABLED 0
+
+// The operands sit in unevaluated sizeof contexts, so side effects never
+// run, "unused variable" warnings are suppressed, and the optimizer sees
+// nothing at all.
+#define NIMG_COUNTER_ADD(Name, N) ((void)sizeof(Name), (void)sizeof(N))
+#define NIMG_COUNTER_ADD_DYN(Name, N) ((void)sizeof(N))
+#define NIMG_GAUGE_SET(Name, V) ((void)sizeof(Name), (void)sizeof(V))
+#define NIMG_HIST_RECORD(Name, V) ((void)sizeof(Name), (void)sizeof(V))
+
+#endif // NIMG_OBS_DISABLED
+
+#endif // NIMG_OBS_METRICS_H

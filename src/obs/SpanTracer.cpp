@@ -1,0 +1,91 @@
+//===- SpanTracer.cpp - Phase span tracing (Chrome trace events) ------------===//
+
+#include "src/obs/SpanTracer.h"
+
+#include "src/obs/Json.h"
+
+#include <fstream>
+
+using namespace nimg;
+using namespace nimg::obs;
+
+SpanTracer::SpanTracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+SpanTracer &SpanTracer::global() {
+  // Leaked for the same destruction-order reason as MetricsRegistry.
+  static SpanTracer *T = new SpanTracer();
+  return *T;
+}
+
+int64_t SpanTracer::nowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void SpanTracer::record(SpanEvent E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
+void SpanTracer::instant(std::string Name, std::string Cat) {
+  if (!enabled())
+    return;
+  SpanEvent E;
+  E.Name = std::move(Name);
+  E.Cat = std::move(Cat);
+  E.StartUs = nowUs();
+  E.DurUs = 0;
+  E.Tid = detail::threadId();
+  record(std::move(E));
+}
+
+size_t SpanTracer::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.clear();
+}
+
+std::string SpanTracer::toChromeJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("displayTimeUnit", "ms");
+  W.key("traceEvents");
+  W.beginArray();
+  for (const SpanEvent &E : Events) {
+    W.beginObject();
+    W.member("name", E.Name);
+    W.member("cat", E.Cat);
+    W.member("ph", "X");
+    W.member("ts", E.StartUs);
+    W.member("dur", E.DurUs);
+    W.member("pid", uint64_t(1));
+    W.member("tid", uint64_t(E.Tid));
+    if (!E.Args.empty()) {
+      W.key("args");
+      W.beginObject();
+      for (const auto &[K, V] : E.Args)
+        W.member(K, V);
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return Out;
+}
+
+bool SpanTracer::writeFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  std::string Json = toChromeJson();
+  Out.write(Json.data(), std::streamsize(Json.size()));
+  return bool(Out);
+}

@@ -1,0 +1,265 @@
+//===- StartupReport.cpp - Unified startup-report exporter ------------------===//
+
+#include "src/obs/StartupReport.h"
+
+#include "src/obs/Json.h"
+#include "src/obs/Metrics.h"
+
+#include <fstream>
+
+using namespace nimg;
+using namespace nimg::obs;
+
+std::string obs::pageMapString(const std::vector<PageState> &Pages) {
+  std::string Map;
+  Map.reserve(Pages.size());
+  for (PageState S : Pages) {
+    switch (S) {
+    case PageState::Untouched:
+      Map += '.';
+      break;
+    case PageState::Faulted:
+      Map += '#';
+      break;
+    case PageState::Prefetched:
+      Map += '+';
+      break;
+    }
+  }
+  return Map;
+}
+
+void StartupReport::setImage(const NativeImage &Img) {
+  HasImage = true;
+  NumCus = Img.Code.CUs.size();
+  SnapshotObjects = Img.Snapshot.Entries.size();
+  TextSize = Img.Layout.TextSize;
+  HeapSize = Img.Layout.HeapSize;
+  Seed = Img.Seed;
+  Instrumented = Img.Instrumented;
+  BuildFailed = Img.Built.Failed;
+  HasDiag = true;
+  Diag = Img.ProfileDiag;
+}
+
+static void writeSalvage(JsonWriter &W, const SalvageStats &S) {
+  W.beginObject();
+  W.member("words_scanned", uint64_t(S.WordsScanned));
+  W.member("words_kept", uint64_t(S.WordsKept));
+  W.member("words_dropped", uint64_t(S.WordsDropped));
+  W.member("threads_truncated", uint64_t(S.ThreadsTruncated));
+  W.member("threads_dropped", uint64_t(S.ThreadsDropped));
+  W.member("incomplete_tail_records", uint64_t(S.IncompleteTailRecords));
+  W.member("mode_mismatch", S.ModeMismatch);
+  W.member("clean", S.clean());
+  W.endObject();
+}
+
+std::string StartupReport::toJson() const {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("schema", "nimg-startup-report");
+  W.member("version", uint64_t(StartupReportVersion));
+  if (!Target.empty())
+    W.member("target", Target);
+  if (!Command.empty())
+    W.member("command", Command);
+  if (!Variant.empty())
+    W.member("variant", Variant);
+
+  if (HasRun) {
+    W.key("run");
+    W.beginObject();
+    // The acceptance contract: these three mirror PagingSim::faults()
+    // exactly (tests compare them field-for-field).
+    W.member("text_faults", Run.TextFaults);
+    W.member("heap_faults", Run.HeapFaults);
+    W.member("total_faults", Run.totalFaults());
+    W.member("prefetched_pages", Run.PrefetchedPages);
+    W.member("instructions", Run.Instructions);
+    W.member("probe_units", Run.ProbeUnits);
+    W.member("time_ns", Run.TimeNs);
+    W.member("responded", Run.Responded);
+    if (Run.Responded)
+      W.member("time_to_first_response_ns", Run.TimeToFirstResponseNs);
+    W.member("trapped", Run.Trapped);
+    if (Run.Trapped)
+      W.member("trap_message", Run.TrapMessage);
+    W.member("fuel_exhausted", Run.FuelExhausted);
+    W.member("stored_objects_touched", uint64_t(Run.StoredObjectsTouched));
+    W.member("stored_objects_total", uint64_t(Run.StoredObjectsTotal));
+    // Fig. 6 page maps: '#' faulted, '+' prefetched, '.' untouched.
+    W.member("text_page_map", pageMapString(Run.TextPages));
+    W.member("heap_page_map", pageMapString(Run.HeapPages));
+    W.endObject();
+  }
+
+  if (HasImage) {
+    W.key("image");
+    W.beginObject();
+    W.member("num_cus", uint64_t(NumCus));
+    W.member("snapshot_objects", uint64_t(SnapshotObjects));
+    W.member("text_size", TextSize);
+    W.member("heap_size", HeapSize);
+    W.member("seed", Seed);
+    W.member("instrumented", Instrumented);
+    W.member("build_failed", BuildFailed);
+    W.endObject();
+  }
+
+  if (HasDiag) {
+    W.key("profile_diag");
+    W.beginObject();
+    W.member("code_profile_provided", Diag.CodeProfileProvided);
+    W.member("code_profile_applied", Diag.CodeProfileApplied);
+    W.member("heap_profile_provided", Diag.HeapProfileProvided);
+    W.member("heap_profile_applied", Diag.HeapProfileApplied);
+    W.member("degraded", Diag.degraded());
+    W.key("issues");
+    W.beginArray();
+    for (const ProfileIssue &I : Diag.Issues) {
+      W.beginObject();
+      W.member("kind", profileErrorSlug(I.Kind));
+      W.member("row", uint64_t(I.Row));
+      if (!I.Detail.empty())
+        W.member("detail", I.Detail);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+
+  if (!Salvage.empty()) {
+    W.key("salvage");
+    W.beginArray();
+    for (const auto &[Phase, S] : Salvage) {
+      W.beginObject();
+      W.member("phase", Phase);
+      W.key("stats");
+      writeSalvage(W, S);
+      W.endObject();
+    }
+    W.endArray();
+  }
+
+  if (WithMetrics) {
+    W.key("metrics");
+    MetricsRegistry::global().writeJson(W);
+  }
+
+  W.endObject();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// CSV flattening.
+//===----------------------------------------------------------------------===//
+
+static void csvRow(std::string &Out, std::string_view Section,
+                   std::string_view Key, const std::string &Value) {
+  Out += Section;
+  Out += ',';
+  Out += Key;
+  Out += ',';
+  // Values here are numbers, booleans, or identifier-ish strings; quote
+  // only when a comma would break the row.
+  if (Value.find_first_of(",\"\n") != std::string::npos) {
+    Out += '"';
+    for (char C : Value) {
+      if (C == '"')
+        Out += '"';
+      Out += C;
+    }
+    Out += '"';
+  } else {
+    Out += Value;
+  }
+  Out += '\n';
+}
+
+static std::string num(uint64_t V) { return std::to_string(V); }
+static std::string boolStr(bool B) { return B ? "true" : "false"; }
+
+std::string StartupReport::toCsv() const {
+  std::string Out = "section,key,value\n";
+  csvRow(Out, "report", "schema", "nimg-startup-report");
+  csvRow(Out, "report", "version", num(StartupReportVersion));
+  if (!Target.empty())
+    csvRow(Out, "report", "target", Target);
+  if (!Command.empty())
+    csvRow(Out, "report", "command", Command);
+  if (!Variant.empty())
+    csvRow(Out, "report", "variant", Variant);
+
+  if (HasRun) {
+    csvRow(Out, "run", "text_faults", num(Run.TextFaults));
+    csvRow(Out, "run", "heap_faults", num(Run.HeapFaults));
+    csvRow(Out, "run", "total_faults", num(Run.totalFaults()));
+    csvRow(Out, "run", "prefetched_pages", num(Run.PrefetchedPages));
+    csvRow(Out, "run", "instructions", num(Run.Instructions));
+    csvRow(Out, "run", "probe_units", num(Run.ProbeUnits));
+    csvRow(Out, "run", "time_ns", std::to_string(Run.TimeNs));
+    csvRow(Out, "run", "responded", boolStr(Run.Responded));
+    if (Run.Responded)
+      csvRow(Out, "run", "time_to_first_response_ns",
+             std::to_string(Run.TimeToFirstResponseNs));
+    csvRow(Out, "run", "trapped", boolStr(Run.Trapped));
+    csvRow(Out, "run", "fuel_exhausted", boolStr(Run.FuelExhausted));
+    csvRow(Out, "run", "stored_objects_touched",
+           num(Run.StoredObjectsTouched));
+    csvRow(Out, "run", "stored_objects_total", num(Run.StoredObjectsTotal));
+  }
+
+  if (HasImage) {
+    csvRow(Out, "image", "num_cus", num(NumCus));
+    csvRow(Out, "image", "snapshot_objects", num(SnapshotObjects));
+    csvRow(Out, "image", "text_size", num(TextSize));
+    csvRow(Out, "image", "heap_size", num(HeapSize));
+    csvRow(Out, "image", "seed", num(Seed));
+    csvRow(Out, "image", "instrumented", boolStr(Instrumented));
+    csvRow(Out, "image", "build_failed", boolStr(BuildFailed));
+  }
+
+  if (HasDiag) {
+    csvRow(Out, "profile_diag", "code_profile_provided",
+           boolStr(Diag.CodeProfileProvided));
+    csvRow(Out, "profile_diag", "code_profile_applied",
+           boolStr(Diag.CodeProfileApplied));
+    csvRow(Out, "profile_diag", "heap_profile_provided",
+           boolStr(Diag.HeapProfileProvided));
+    csvRow(Out, "profile_diag", "heap_profile_applied",
+           boolStr(Diag.HeapProfileApplied));
+    csvRow(Out, "profile_diag", "degraded", boolStr(Diag.degraded()));
+    csvRow(Out, "profile_diag", "issues", num(Diag.Issues.size()));
+    for (const ProfileIssue &I : Diag.Issues)
+      csvRow(Out, "profile_diag.issue", profileErrorSlug(I.Kind),
+             I.Detail.empty() ? num(I.Row) : I.Detail);
+  }
+
+  for (const auto &[Phase, S] : Salvage) {
+    std::string Section = "salvage." + Phase;
+    csvRow(Out, Section, "words_scanned", num(S.WordsScanned));
+    csvRow(Out, Section, "words_kept", num(S.WordsKept));
+    csvRow(Out, Section, "words_dropped", num(S.WordsDropped));
+    csvRow(Out, Section, "threads_truncated", num(S.ThreadsTruncated));
+    csvRow(Out, Section, "threads_dropped", num(S.ThreadsDropped));
+    csvRow(Out, Section, "incomplete_tail_records",
+           num(S.IncompleteTailRecords));
+    csvRow(Out, Section, "mode_mismatch", boolStr(S.ModeMismatch));
+  }
+
+  return Out;
+}
+
+bool StartupReport::writeFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  std::string Body = Path.size() >= 4 &&
+                             Path.compare(Path.size() - 4, 4, ".csv") == 0
+                         ? toCsv()
+                         : toJson();
+  Out.write(Body.data(), std::streamsize(Body.size()));
+  return bool(Out);
+}

@@ -2,6 +2,9 @@
 
 #include "src/ordering/Orderers.h"
 
+#include "src/obs/Metrics.h"
+#include "src/obs/SpanTracer.h"
+
 #include <algorithm>
 #include <unordered_map>
 
@@ -23,6 +26,11 @@ std::vector<int32_t> nimg::orderCusWithProfile(const Program &P,
                                                const CompiledProgram &CP,
                                                const CodeProfile &Profile,
                                                bool MethodBased) {
+  NIMG_SPAN_NAMED(OrderSpan, "order", "orderCusWithProfile");
+  NIMG_SPAN_ARG(OrderSpan, "based_on", MethodBased ? "method" : "cu");
+  NIMG_COUNTER_ADD("nimg.order.code.runs", 1);
+  NIMG_COUNTER_ADD("nimg.order.code.profile_sigs", Profile.Sigs.size());
+
   std::unordered_map<std::string, size_t> Rank;
   for (size_t I = 0; I < Profile.Sigs.size(); ++I)
     Rank.emplace(Profile.Sigs[I], I);
@@ -63,6 +71,10 @@ std::vector<int32_t> nimg::orderObjectsWithProfile(const HeapSnapshot &Snap,
                                                    HeapStrategy Strategy,
                                                    const HeapProfile &Profile,
                                                    HeapMatchStats *Stats) {
+  NIMG_SPAN_NAMED(OrderSpan, "order", "orderObjectsWithProfile");
+  NIMG_SPAN_ARG(OrderSpan, "strategy", heapStrategyName(Strategy));
+  NIMG_COUNTER_ADD("nimg.order.heap.runs", 1);
+
   const std::vector<uint64_t> &Table = Ids.of(Strategy);
   assert(Table.size() == Snap.Entries.size() &&
          "identity table does not match the snapshot");
@@ -101,5 +113,9 @@ std::vector<int32_t> nimg::orderObjectsWithProfile(const HeapSnapshot &Snap,
     Stats->Matched = Matched;
     Stats->Stored = Snap.numStored();
   }
+  // Match quality drives the whole heap-ordering payoff (Sec. 5), so it is
+  // always surfaced, with or without a Stats out-param.
+  NIMG_COUNTER_ADD("nimg.order.heap.profile_ids", Profile.Ids.size());
+  NIMG_COUNTER_ADD("nimg.order.heap.matched", Matched);
   return Order;
 }

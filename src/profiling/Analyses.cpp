@@ -2,6 +2,7 @@
 
 #include "src/profiling/Analyses.h"
 
+#include "src/obs/Metrics.h"
 #include "src/support/Crc32.h"
 #include "src/support/Csv.h"
 
@@ -171,6 +172,24 @@ bool isBlankRow(const std::vector<std::string> &Row) {
   return Row.empty() || (Row.size() == 1 && Row[0].empty());
 }
 
+/// Surfaces one profile-load outcome ("code"/"heap") through the registry,
+/// including a per-rejection-kind counter (dynamic names; ingestion is not
+/// a hot path).
+void meterProfileLoad(const char *Kind, const ProfileReadReport &R) {
+  std::string Base = std::string("nimg.profile.load.") + Kind;
+  NIMG_COUNTER_ADD_DYN(Base + ".attempts", 1);
+  if (R.usable()) {
+    NIMG_COUNTER_ADD_DYN(Base + ".ok", 1);
+  } else {
+    NIMG_COUNTER_ADD_DYN(Base + ".rejected", 1);
+    NIMG_COUNTER_ADD_DYN(Base + ".rejected." + profileErrorSlug(R.Fatal), 1);
+  }
+  if (R.RowsKept)
+    NIMG_COUNTER_ADD_DYN(Base + ".rows_kept", R.RowsKept);
+  if (R.RowsSkipped)
+    NIMG_COUNTER_ADD_DYN(Base + ".rows_skipped", R.RowsSkipped);
+}
+
 } // namespace
 
 std::string CodeProfile::toCsv() const {
@@ -192,6 +211,7 @@ CodeProfile CodeProfile::fromCsv(const std::string &Text,
   P.Header = R.Header;
   if (!R.usable()) {
     P.LoadError = R.Fatal;
+    meterProfileLoad("code", R);
     return P;
   }
   for (size_t I = Start; I < Doc.Rows.size(); ++I) {
@@ -206,6 +226,7 @@ CodeProfile CodeProfile::fromCsv(const std::string &Text,
     P.Sigs.push_back(Row[0]);
     ++R.RowsKept;
   }
+  meterProfileLoad("code", R);
   return P;
 }
 
@@ -231,6 +252,7 @@ HeapProfile HeapProfile::fromCsv(const std::string &Text,
   P.Header = R.Header;
   if (!R.usable()) {
     P.LoadError = R.Fatal;
+    meterProfileLoad("heap", R);
     return P;
   }
   for (size_t I = Start; I < Doc.Rows.size(); ++I) {
@@ -247,6 +269,7 @@ HeapProfile HeapProfile::fromCsv(const std::string &Text,
     P.Ids.push_back(Id);
     ++R.RowsKept;
   }
+  meterProfileLoad("heap", R);
   return P;
 }
 
@@ -341,6 +364,7 @@ private:
 };
 
 void reportModeMismatch(SalvageStats *Stats) {
+  NIMG_COUNTER_ADD("nimg.salvage.mode_mismatch", 1);
   if (!Stats) {
     return;
   }

@@ -69,6 +69,32 @@ inline const char *profileErrorName(ProfileError E) {
   return "unknown";
 }
 
+/// Stable snake_case identifier for \p E, used in metric names and the
+/// startup report's JSON (profileErrorName() is the human-facing form).
+inline const char *profileErrorSlug(ProfileError E) {
+  switch (E) {
+  case ProfileError::None:
+    return "none";
+  case ProfileError::BadHeader:
+    return "bad_header";
+  case ProfileError::UnsupportedVersion:
+    return "unsupported_version";
+  case ProfileError::ChecksumMismatch:
+    return "checksum_mismatch";
+  case ProfileError::FingerprintMismatch:
+    return "fingerprint_mismatch";
+  case ProfileError::ModeMismatch:
+    return "mode_mismatch";
+  case ProfileError::StrategyMismatch:
+    return "strategy_mismatch";
+  case ProfileError::MalformedCell:
+    return "malformed_cell";
+  case ProfileError::LegacyFormat:
+    return "legacy_format";
+  }
+  return "unknown";
+}
+
 /// One ingestion finding: what went wrong and where.
 struct ProfileIssue {
   ProfileError Kind = ProfileError::None;

@@ -2,6 +2,8 @@
 
 #include "src/profiling/TraceSalvage.h"
 
+#include "src/obs/Metrics.h"
+
 using namespace nimg;
 
 namespace {
@@ -61,6 +63,8 @@ std::vector<size_t> nimg::scanCapture(const Program &P, const TraceCapture &C,
                                       SalvageStats &Stats,
                                       const SalvageOptions &Opts) {
   std::vector<size_t> Prefix(C.Threads.size(), 0);
+  // \p Stats accumulates across calls; meter only this scan's delta.
+  const SalvageStats Before = Stats;
   for (size_t T = 0; T < C.Threads.size(); ++T) {
     const std::vector<uint64_t> &Words = C.Threads[T].Words;
     bool IncompleteTail = false;
@@ -79,6 +83,19 @@ std::vector<size_t> nimg::scanCapture(const Program &P, const TraceCapture &C,
         ++Stats.ThreadsTruncated;
     }
   }
+  NIMG_COUNTER_ADD("nimg.salvage.scans", 1);
+  NIMG_COUNTER_ADD("nimg.salvage.words_scanned",
+                   Stats.WordsScanned - Before.WordsScanned);
+  NIMG_COUNTER_ADD("nimg.salvage.words_kept",
+                   Stats.WordsKept - Before.WordsKept);
+  NIMG_COUNTER_ADD("nimg.salvage.words_dropped",
+                   Stats.WordsDropped - Before.WordsDropped);
+  NIMG_COUNTER_ADD("nimg.salvage.threads_truncated",
+                   Stats.ThreadsTruncated - Before.ThreadsTruncated);
+  NIMG_COUNTER_ADD("nimg.salvage.threads_dropped",
+                   Stats.ThreadsDropped - Before.ThreadsDropped);
+  NIMG_COUNTER_ADD("nimg.salvage.incomplete_tail_records",
+                   Stats.IncompleteTailRecords - Before.IncompleteTailRecords);
   return Prefix;
 }
 

@@ -2,6 +2,8 @@
 
 #include "src/runtime/ExecEngine.h"
 
+#include "src/obs/Metrics.h"
+#include "src/obs/SpanTracer.h"
 #include "src/profiling/PathGraph.h"
 #include "src/support/SplitMix64.h"
 
@@ -210,6 +212,11 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
   Program &P = *Img.P;
   RunStats Stats;
 
+  NIMG_SPAN_NAMED(RunSpan, "pipeline", "runImage");
+  NIMG_SPAN_ARG(RunSpan, "cold_cache", Cfg.ColdCache ? "true" : "false");
+  NIMG_SPAN_ARG(RunSpan, "traced", Cfg.Trace ? "true" : "false");
+  NIMG_COUNTER_ADD("nimg.run.count", 1);
+
   // The run executes on a private copy of the image heap and statics: the
   // mapped image is copy-on-write per process.
   Heap RunHeap(*Img.Built.BuildHeap);
@@ -306,5 +313,16 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
                  double(Stats.Instructions) * Cfg.Cost.InstrNs +
                  double(Stats.ProbeUnits) * Cfg.Cost.ProbeUnitNs +
                  double(Stats.totalFaults()) * Cfg.Cost.FaultNs;
+
+  NIMG_HIST_RECORD("nimg.run.faults.total", Stats.totalFaults());
+  NIMG_HIST_RECORD("nimg.run.instructions", Stats.Instructions);
+  if (Stats.ProbeUnits)
+    NIMG_HIST_RECORD("nimg.run.probe_units", Stats.ProbeUnits);
+  if (Stats.Trapped)
+    NIMG_COUNTER_ADD("nimg.run.trapped", 1);
+  if (Stats.FuelExhausted)
+    NIMG_COUNTER_ADD("nimg.run.fuel_exhausted", 1);
+  if (Stats.Responded)
+    NIMG_COUNTER_ADD("nimg.run.responded", 1);
   return Stats;
 }

@@ -2,6 +2,8 @@
 
 #include "src/runtime/Paging.h"
 
+#include "src/obs/Metrics.h"
+
 #include <cassert>
 
 using namespace nimg;
@@ -32,6 +34,10 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
       continue;
     // Major fault: read an aligned readahead cluster from the device.
     ++Faults[size_t(Section)];
+    if (Section == ImageSection::Text)
+      NIMG_COUNTER_ADD("nimg.paging.faults.text", 1);
+    else
+      NIMG_COUNTER_ADD("nimg.paging.faults.heap", 1);
     S[size_t(Page)] = PageState::Faulted;
     uint64_t ClusterStart =
         Page / Config.ReadaheadPages * Config.ReadaheadPages;
@@ -42,15 +48,28 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
       if (S[size_t(Ahead)] == PageState::Untouched) {
         S[size_t(Ahead)] = PageState::Prefetched;
         ++Prefetched;
+        ++PrefetchEvents;
+        NIMG_COUNTER_ADD("nimg.paging.prefetch_events", 1);
       }
     }
   }
 }
 
 void PagingSim::dropCaches() {
-  for (auto &S : Pages)
-    for (PageState &P : S)
+  for (auto &S : Pages) {
+    for (PageState &P : S) {
+      if (P == PageState::Untouched)
+        continue;
+      // A prefetched page leaves the resident-prefetched population when
+      // evicted; re-faulting it later must count as a fault only (the old
+      // cumulative counter double-counted such pages).
+      if (P == PageState::Prefetched)
+        --Prefetched;
+      ++EvictedPages;
       P = PageState::Untouched;
-  // Fault counters are cumulative per run; callers construct a fresh
-  // PagingSim per measured iteration, so counters are not reset here.
+    }
+  }
+  NIMG_COUNTER_ADD("nimg.paging.drop_caches", 1);
+  // Fault counters are cumulative per run; use counters()/deltaSince() to
+  // attribute faults to a phase without resetting anything.
 }

@@ -44,6 +44,29 @@ struct PagingConfig {
   uint32_t ReadaheadPages = 4;
 };
 
+/// A monotonic snapshot of the simulator's cumulative counters. Take one
+/// before and one after a phase and subtract to attribute faults to that
+/// phase alone — no dropCaches() (and therefore no page-state side effects)
+/// required.
+struct PagingCounters {
+  uint64_t TextFaults = 0;
+  uint64_t HeapFaults = 0;
+  /// Readahead page-ins, cumulative (counts every prefetch event, even for
+  /// pages later evicted — unlike PagingSim::prefetchedPages()).
+  uint64_t PrefetchEvents = 0;
+  /// Pages evicted by dropCaches(), cumulative.
+  uint64_t EvictedPages = 0;
+
+  uint64_t totalFaults() const { return TextFaults + HeapFaults; }
+
+  /// Per-phase delta (this = "after", \p Start = "before").
+  PagingCounters operator-(const PagingCounters &Start) const {
+    return {TextFaults - Start.TextFaults, HeapFaults - Start.HeapFaults,
+            PrefetchEvents - Start.PrefetchEvents,
+            EvictedPages - Start.EvictedPages};
+  }
+};
+
 /// The page-cache simulator for one image file with two sections.
 class PagingSim {
 public:
@@ -60,7 +83,24 @@ public:
     return Faults[size_t(Section)];
   }
   uint64_t totalFaults() const { return Faults[0] + Faults[1]; }
+
+  /// Pages currently resident via readahead that never faulted — the count
+  /// of Fig. 6 red pages. A prefetched page evicted by dropCaches() leaves
+  /// this count; if it later faults it is counted as a fault only, never
+  /// both (historically this was a cumulative counter that double-counted
+  /// such pages). The cumulative event count lives in
+  /// counters().PrefetchEvents.
   uint64_t prefetchedPages() const { return Prefetched; }
+
+  /// Snapshot of the cumulative counters; subtract two snapshots to
+  /// attribute activity to a phase.
+  PagingCounters counters() const {
+    return {Faults[0], Faults[1], PrefetchEvents, EvictedPages};
+  }
+  /// Convenience: activity since \p Start (a prior counters() snapshot).
+  PagingCounters deltaSince(const PagingCounters &Start) const {
+    return counters() - Start;
+  }
 
   const std::vector<PageState> &pageStates(ImageSection Section) const {
     return Pages[size_t(Section)];
@@ -73,6 +113,8 @@ private:
   std::vector<PageState> Pages[2];
   uint64_t Faults[2] = {0, 0};
   uint64_t Prefetched = 0;
+  uint64_t PrefetchEvents = 0;
+  uint64_t EvictedPages = 0;
 };
 
 } // namespace nimg

@@ -12,6 +12,8 @@
 #include "src/core/Builder.h"
 #include "src/image/ImageFile.h"
 #include "src/lang/Compile.h"
+#include "src/obs/Json.h"
+#include "src/obs/StartupReport.h"
 #include "src/support/Crc32.h"
 #include "src/support/FaultInjection.h"
 
@@ -428,6 +430,92 @@ TEST(FaultInjection, EmptyCaptureRunsAreRetriedOnce) {
   EXPECT_LE(Prof.RetriedRuns, 3);
   EXPECT_TRUE(Prof.Method.Sigs.empty());
   EXPECT_TRUE(Prof.HeapPath.Ids.empty());
+}
+
+// The startup report is the post-mortem artifact for exactly these degraded
+// pipelines, so it must remain valid, parseable JSON whatever the faults did.
+TEST(FaultInjection, StartupReportStaysValidJsonWhenPipelineDegrades) {
+  Corpus &C = corpus();
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << Seed);
+
+    // Corrupt a pristine heap-mode capture, salvage it, and corrupt the cu
+    // profile CSV too, so both the code and heap sides can degrade.
+    TraceCapture Cap = C.Caps[size_t(TraceMode::HeapOrder)];
+    FaultInjector Inj(Seed);
+    Inj.applyTraceFault(Cap, Seed % 2 ? TraceFault::BitFlip
+                                      : TraceFault::TruncateMidRecord);
+    SalvageStats Stats;
+    std::vector<int32_t> Order =
+        analyzeHeapAccessOrder(C.P, Cap, C.Paths, &Stats);
+    HeapProfile HeapProf =
+        heapProfileFor(Order, C.InstrImg.Ids, HeapStrategy::HeapPath);
+    HeapProf.Header.Fingerprint = C.Fp;
+
+    std::string CsvText = C.Prof.Cu.toCsv();
+    Inj.bitFlipText(CsvText, 1 + Inj.nextBelow(4));
+    ProfileReadReport CsvReport;
+    CodeProfile CodeProf = CodeProfile::fromCsv(CsvText, &CsvReport);
+
+    BuildConfig Cfg;
+    Cfg.Seed = 40 + Seed;
+    Cfg.CodeOrder = CodeStrategy::CuOrder;
+    Cfg.CodeProf = &CodeProf;
+    Cfg.UseHeapOrder = true;
+    Cfg.HeapOrder = HeapStrategy::HeapPath;
+    Cfg.HeapProf = &HeapProf;
+    NativeImage Img = buildNativeImage(C.P, Cfg);
+    ASSERT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+    RunStats S = runImage(Img, RunConfig());
+    EXPECT_FALSE(S.Trapped) << S.TrapMessage;
+
+    obs::StartupReport Report;
+    Report.Target = "fault-injected";
+    Report.Command = "run";
+    Report.setImage(Img);
+    Report.setRun(S);
+    Report.addSalvage("heap", Stats);
+    Report.includeMetrics(true);
+
+    // Whatever degraded, both export formats stay well-formed.
+    std::string Json = Report.toJson();
+    obs::JsonValue V;
+    std::string Error;
+    ASSERT_TRUE(obs::parseJson(Json, V, &Error)) << Error;
+    const obs::JsonValue *Schema = V.at("schema");
+    ASSERT_NE(Schema, nullptr);
+    EXPECT_EQ(Schema->Str, "nimg-startup-report");
+    const obs::JsonValue *TotalFaults = V.at("run.total_faults");
+    ASSERT_NE(TotalFaults, nullptr);
+    EXPECT_EQ(uint64_t(TotalFaults->Num), S.totalFaults());
+    const obs::JsonValue *Diag = V.get("profile_diag");
+    ASSERT_NE(Diag, nullptr);
+    if (!CsvReport.usable()) {
+      EXPECT_TRUE(Img.ProfileDiag.degraded());
+      const obs::JsonValue *Degraded = Diag->get("degraded");
+      ASSERT_NE(Degraded, nullptr);
+      EXPECT_TRUE(Degraded->B);
+      const obs::JsonValue *Issues = Diag->get("issues");
+      ASSERT_NE(Issues, nullptr);
+      ASSERT_FALSE(Issues->Arr.empty());
+      const obs::JsonValue *Kind = Issues->Arr[0].get("kind");
+      ASSERT_NE(Kind, nullptr);
+      EXPECT_FALSE(Kind->Str.empty());
+    }
+    const obs::JsonValue *Sal = V.get("salvage");
+    ASSERT_NE(Sal, nullptr);
+    ASSERT_EQ(Sal->Arr.size(), 1u);
+    const obs::JsonValue *Phase = Sal->Arr[0].get("phase");
+    ASSERT_NE(Phase, nullptr);
+    EXPECT_EQ(Phase->Str, "heap");
+    const obs::JsonValue *Scanned = Sal->Arr[0].at("stats.words_scanned");
+    ASSERT_NE(Scanned, nullptr);
+    EXPECT_EQ(uint64_t(Scanned->Num), Stats.WordsScanned);
+
+    std::string Csv = Report.toCsv();
+    EXPECT_NE(Csv.find("run,total_faults,"), std::string::npos);
+    EXPECT_NE(Csv.find("image,build_failed,false"), std::string::npos);
+  }
 }
 
 TEST(FaultInjection, CollectedProfilesFromCleanRunsSalvageClean) {

@@ -88,6 +88,52 @@ TEST(Paging, PrefetchCounterCounts) {
   EXPECT_EQ(P.prefetchedPages(), 7u); // 8-page cluster minus the fault
 }
 
+TEST(Paging, PrefetchedNotDoubleCountedAfterEviction) {
+  PagingSim P(16 * 4096, 0, cfg(4));
+  P.touch(ImageSection::Text, 0, 1); // fault page 0, prefetch 1..3
+  EXPECT_EQ(P.prefetchedPages(), 3u);
+  P.dropCaches();
+  // Evicted prefetched pages are gone from the resident-prefetched
+  // population...
+  EXPECT_EQ(P.prefetchedPages(), 0u);
+  // ...and faulting one afterwards counts it as a fault only.
+  P.touch(ImageSection::Text, 4096, 1);
+  EXPECT_EQ(P.faults(ImageSection::Text), 2u);
+  const auto &S = P.pageStates(ImageSection::Text);
+  EXPECT_EQ(S[1], PageState::Faulted);
+  // Pages 0, 2, 3 were re-prefetched by the second fault's cluster.
+  EXPECT_EQ(P.prefetchedPages(), 3u);
+  // The cumulative event counter keeps the full history: 3 + 3.
+  EXPECT_EQ(P.counters().PrefetchEvents, 6u);
+}
+
+TEST(Paging, CountersSnapshotAndDelta) {
+  PagingSim P(32 * 4096, 32 * 4096, cfg(4));
+  P.touch(ImageSection::Text, 0, 4 * 4096);
+  PagingCounters Before = P.counters();
+  EXPECT_EQ(Before.TextFaults, 1u);
+  EXPECT_EQ(Before.HeapFaults, 0u);
+
+  // "Phase 2": more text + first heap activity, plus an eviction cycle.
+  P.touch(ImageSection::Text, 8 * 4096, 1);
+  P.touch(ImageSection::HeapSec, 0, 1);
+  P.dropCaches();
+  P.touch(ImageSection::HeapSec, 0, 1);
+
+  PagingCounters Delta = P.deltaSince(Before);
+  EXPECT_EQ(Delta.TextFaults, 1u);
+  EXPECT_EQ(Delta.HeapFaults, 2u);
+  EXPECT_EQ(Delta.totalFaults(), 3u);
+  EXPECT_EQ(Delta.EvictedPages, 12u); // 2 text clusters + 1 heap cluster
+  // Deltas line up with the absolute counters.
+  PagingCounters After = P.counters();
+  EXPECT_EQ(After.TextFaults - Before.TextFaults, Delta.TextFaults);
+  EXPECT_EQ(After.PrefetchEvents - Before.PrefetchEvents,
+            Delta.PrefetchEvents);
+  // Snapshots are pure reads: the page-state map is untouched by them.
+  EXPECT_EQ(P.pageStates(ImageSection::HeapSec)[0], PageState::Faulted);
+}
+
 class PagingSweepTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(PagingSweepTest, SequentialScanFaultsOncePerCluster) {
