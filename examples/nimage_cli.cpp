@@ -29,6 +29,7 @@
 #include "src/obs/Metrics.h"
 #include "src/obs/SpanTracer.h"
 #include "src/obs/StartupReport.h"
+#include "src/support/ThreadPool.h"
 #include "src/workloads/Workloads.h"
 
 #include <cstdio>
@@ -115,6 +116,12 @@ int usage() {
                "[--profiles DIR] [--code cu|method] [--heap inc|struct|path]\n"
                "  nimage_cli run     <target> [--image F] [--warm]\n"
                "  nimage_cli profile <target> [--dir DIR]\n"
+               "pipeline (any command):\n"
+               "  --jobs N           worker threads for the parallel build/"
+               "post-processing stages\n"
+               "                     (default: NIMG_JOBS env, then hardware "
+               "concurrency; output is\n"
+               "                     byte-identical for any N)\n"
                "observability (any command):\n"
                "  --metrics          print the metrics registry on exit\n"
                "  --trace-out FILE   write Chrome trace-event JSON spans\n"
@@ -152,6 +159,7 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
   obs::StartupReport Report;
   Report.Target = Target;
   Report.Command = "profile";
+  Report.setJobs(currentJobs());
   Report.addSalvage("cu", Prof.CuSalvage);
   Report.addSalvage("method", Prof.MethodSalvage);
   Report.addSalvage("heap", Prof.HeapSalvage);
@@ -253,6 +261,7 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
   obs::StartupReport Report;
   Report.Target = Target;
   Report.Command = "build";
+  Report.setJobs(currentJobs());
   if (const char *Code = flagValue(Argc, Argv, "--code"))
     Report.Variant += std::string("code=") + Code;
   if (const char *HeapFlag = flagValue(Argc, Argv, "--heap"))
@@ -333,6 +342,7 @@ int cmdRun(const std::string &Target, int Argc, char **Argv) {
   obs::StartupReport Report;
   Report.Target = Target;
   Report.Command = "run";
+  Report.setJobs(currentJobs());
   Report.Variant = Run.ColdCache ? "cold-cache" : "warm-cache";
   Report.setRun(S);
   Report.setImage(Img);
@@ -359,6 +369,17 @@ int main(int Argc, char **Argv) {
     return usage();
   std::string Cmd = Argv[1];
   std::string Target = Argv[2];
+
+  if (const char *Jobs = flagValue(Argc, Argv, "--jobs")) {
+    int N = std::atoi(Jobs);
+    if (N <= 0) {
+      std::fprintf(stderr, "error: --jobs expects a positive integer, got "
+                           "'%s'\n",
+                   Jobs);
+      return 2;
+    }
+    setJobs(N);
+  }
 
   const char *TraceOut = flagValue(Argc, Argv, "--trace-out");
   if (TraceOut)

@@ -5,52 +5,75 @@
 #include "src/compiler/CodeSize.h"
 #include "src/support/Murmur3.h"
 #include "src/support/SplitMix64.h"
+#include "src/support/ThreadPool.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 using namespace nimg;
 
 namespace {
 
-class InlinerDriver {
+std::function<bool(MethodId)> &compileFaultHook() {
+  static std::function<bool(MethodId)> Hook;
+  return Hook;
+}
+
+/// Result of one per-root compile task. Decisions made while building a CU
+/// depend only on that CU's own state, so the tasks are independent; the
+/// global InlineFingerprint is the sequential mix64 fold of every CU's
+/// DecisionHashes in root order, which reproduces the sequential driver's
+/// chain exactly (the fold itself happens on the caller, after the join).
+struct CuResult {
+  CompilationUnit CU;
+  std::vector<uint64_t> DecisionHashes;
+  bool Faulted = false;
+  std::string FaultWhat;
+};
+
+/// Compiles one CU: the root method plus greedy size-budgeted inlining.
+class CuCompiler {
 public:
-  InlinerDriver(const Program &P, const ReachabilityResult &Reach,
-                const InlinerConfig &Config, bool Instrumented)
+  CuCompiler(const Program &P, const ReachabilityResult &Reach,
+             const InlinerConfig &Config, bool Instrumented)
       : P(P), Reach(Reach), Config(Config), Instrumented(Instrumented) {}
 
-  CompiledProgram run() {
-    CompiledProgram CP;
-    CP.Instrumented = Instrumented;
-    CP.CuOfMethod.assign(P.numMethods(), -1);
+  CuResult compile(MethodId Root) {
+    CuResult R;
+    R.CU.Root = Root;
+    InlineCopy RootCopy;
+    RootCopy.Method = Root;
+    RootCopy.CodeOffset = 0;
+    RootCopy.CodeSize = methodCodeSize(P, Root, Instrumented);
+    R.CU.CodeSize = RootCopy.CodeSize;
+    R.CU.Copies.push_back(RootCopy);
+    Chain.clear();
+    Chain.push_back(Root);
+    inlineInto(R, 0, 1);
+    return R;
+  }
 
-    std::vector<MethodId> Roots = Reach.compiledMethods(P);
-    // Default .text order: alphabetical by root signature (Sec. 2).
-    std::sort(Roots.begin(), Roots.end(), [&](MethodId A, MethodId B) {
-      return P.method(A).Sig < P.method(B).Sig;
-    });
-
-    for (MethodId Root : Roots) {
-      CompilationUnit CU;
-      CU.Root = Root;
-      InlineCopy RootCopy;
-      RootCopy.Method = Root;
-      RootCopy.CodeOffset = 0;
-      RootCopy.CodeSize = methodCodeSize(P, Root, Instrumented);
-      CU.CodeSize = RootCopy.CodeSize;
-      CU.Copies.push_back(RootCopy);
-      Chain.clear();
-      Chain.push_back(Root);
-      inlineInto(CU, 0, 1);
-      CP.CuOfMethod[size_t(Root)] = int32_t(CP.CUs.size());
-      CP.CUs.push_back(std::move(CU));
-    }
-    CP.InlineFingerprint = Fingerprint;
-    return CP;
+  /// The degraded CU used when the compile task for \p Root threw: just the
+  /// root body, no inlining, no fingerprint contribution. Deterministic by
+  /// construction (depends only on the root's code size).
+  static CuResult rootOnly(const Program &P, MethodId Root, bool Instrumented,
+                           std::string What) {
+    CuResult R;
+    R.CU.Root = Root;
+    InlineCopy RootCopy;
+    RootCopy.Method = Root;
+    RootCopy.CodeOffset = 0;
+    RootCopy.CodeSize = methodCodeSize(P, Root, Instrumented);
+    R.CU.CodeSize = RootCopy.CodeSize;
+    R.CU.Copies.push_back(RootCopy);
+    R.Faulted = true;
+    R.FaultWhat = std::move(What);
+    return R;
   }
 
 private:
-  /// Resolves the statically known target of a call site, or -1: static
-  /// calls resolve directly; virtual calls only when monomorphic.
   MethodId resolveTarget(const Instr &In) const {
     if (In.Op == Opcode::CallStatic)
       return In.Aux;
@@ -77,7 +100,8 @@ private:
     return Size <= Config.SmallSize && Depth < Config.MaxDepth;
   }
 
-  void inlineInto(CompilationUnit &CU, int32_t CopyIdx, int Depth) {
+  void inlineInto(CuResult &R, int32_t CopyIdx, int Depth) {
+    CompilationUnit &CU = R.CU;
     // Note: CU.Copies may reallocate during recursion; index, don't hold
     // references.
     MethodId M = CU.Copies[size_t(CopyIdx)].Method;
@@ -91,12 +115,12 @@ private:
         uint32_t Site = makeSiteId(BlockId(B), I);
         MethodId Target = resolveTarget(In);
         if (Target == -1) {
-          noteDecision(CU.Root, CopyIdx, Site, -1);
+          noteDecision(R, CU.Root, CopyIdx, Site, -1);
           continue;
         }
         uint32_t Size = methodCodeSize(P, Target, Instrumented);
         if (!shouldInline(Target, Size, CU, Depth)) {
-          noteDecision(CU.Root, CopyIdx, Site, -1);
+          noteDecision(R, CU.Root, CopyIdx, Site, -1);
           continue;
         }
         InlineCopy Copy;
@@ -109,19 +133,19 @@ private:
         int32_t NewIdx = int32_t(CU.Copies.size());
         CU.Copies.push_back(Copy);
         CU.InlineMap.emplace(CompilationUnit::siteKey(CopyIdx, Site), NewIdx);
-        noteDecision(CU.Root, CopyIdx, Site, Target);
+        noteDecision(R, CU.Root, CopyIdx, Site, Target);
         Chain.push_back(Target);
-        inlineInto(CU, NewIdx, Depth + 1);
+        inlineInto(R, NewIdx, Depth + 1);
         Chain.pop_back();
       }
     }
   }
 
-  void noteDecision(MethodId Root, int32_t Copy, uint32_t Site,
+  void noteDecision(CuResult &R, MethodId Root, int32_t Copy, uint32_t Site,
                     MethodId Inlined) {
     uint64_t Key = (uint64_t(uint32_t(Root)) << 40) ^
                    (uint64_t(uint32_t(Copy)) << 32) ^ Site;
-    Fingerprint = mix64(Fingerprint, mix64(Key, uint64_t(Inlined + 2)));
+    R.DecisionHashes.push_back(mix64(Key, uint64_t(Inlined + 2)));
   }
 
   const Program &P;
@@ -129,14 +153,56 @@ private:
   const InlinerConfig &Config;
   bool Instrumented;
   std::vector<MethodId> Chain;
-  uint64_t Fingerprint = 0x9e3779b97f4a7c15ULL;
 };
 
 } // namespace
+
+void nimg::setCompileFaultHookForTest(std::function<bool(MethodId)> Hook) {
+  compileFaultHook() = std::move(Hook);
+}
 
 CompiledProgram nimg::buildCompilationUnits(const Program &P,
                                             const ReachabilityResult &Reach,
                                             const InlinerConfig &Config,
                                             bool Instrumented) {
-  return InlinerDriver(P, Reach, Config, Instrumented).run();
+  CompiledProgram CP;
+  CP.Instrumented = Instrumented;
+  CP.CuOfMethod.assign(P.numMethods(), -1);
+
+  std::vector<MethodId> Roots = Reach.compiledMethods(P);
+  // Default .text order: alphabetical by root signature (Sec. 2).
+  std::sort(Roots.begin(), Roots.end(), [&](MethodId A, MethodId B) {
+    return P.method(A).Sig < P.method(B).Sig;
+  });
+
+  // Each task compiles one CU; a task that throws degrades to a root-only
+  // CU so one bad unit cannot wedge or fail the whole build (the Builder
+  // records the fault as a ProfileDiag issue).
+  std::vector<CuResult> Results =
+      parallelMap(Roots.size(), 8, "compile", [&](size_t I) {
+        MethodId Root = Roots[I];
+        try {
+          if (compileFaultHook() && compileFaultHook()(Root))
+            throw std::runtime_error("injected compile fault");
+          return CuCompiler(P, Reach, Config, Instrumented).compile(Root);
+        } catch (const std::exception &E) {
+          return CuCompiler::rootOnly(P, Root, Instrumented, E.what());
+        }
+      });
+
+  // Ordered splice: root order is fixed above, so the CU vector, the
+  // CU-of-method table, and the fingerprint fold are identical for any
+  // worker count.
+  CP.CUs.reserve(Results.size());
+  uint64_t Fp = 0x9e3779b97f4a7c15ULL;
+  for (CuResult &R : Results) {
+    if (R.Faulted)
+      CP.CompileFaults.emplace_back(R.CU.Root, std::move(R.FaultWhat));
+    for (uint64_t H : R.DecisionHashes)
+      Fp = mix64(Fp, H);
+    CP.CuOfMethod[size_t(R.CU.Root)] = int32_t(CP.CUs.size());
+    CP.CUs.push_back(std::move(R.CU));
+  }
+  CP.InlineFingerprint = Fp;
+  return CP;
 }

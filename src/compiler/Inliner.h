@@ -26,6 +26,7 @@
 #include "src/compiler/Reachability.h"
 #include "src/ir/Program.h"
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -80,6 +81,10 @@ struct CompiledProgram {
   /// Hash over all inlining decisions; PEA-style snapshot elision keys off
   /// it so snapshot contents follow inlining divergence (Sec. 2).
   uint64_t InlineFingerprint = 0;
+  /// Roots whose compile task threw: each degraded to a root-only CU (no
+  /// inlining, no fingerprint contribution) instead of failing the build.
+  /// The Builder surfaces these through the image's ProfileDiag.
+  std::vector<std::pair<MethodId, std::string>> CompileFaults;
 
   const CompilationUnit &cuOf(MethodId M) const {
     return CUs[size_t(CuOfMethod[size_t(M)])];
@@ -92,11 +97,20 @@ struct CompiledProgram {
   }
 };
 
-/// Builds compilation units for every compiled reachable method.
+/// Builds compilation units for every compiled reachable method. CUs are
+/// compiled in parallel on the shared pool (sharedPool(); `--jobs` /
+/// NIMG_JOBS) and spliced in stable root order, so the CU set, .text
+/// order, and inline fingerprint are byte-identical for any worker count.
 CompiledProgram buildCompilationUnits(const Program &P,
                                       const ReachabilityResult &Reach,
                                       const InlinerConfig &Config,
                                       bool Instrumented);
+
+/// Test-only fault injection: when set, a compile task whose root makes
+/// the hook return true throws mid-build (exercising the pool's exception
+/// path and the Builder's degradation policy). Install/clear only while no
+/// build is running; pass nullptr to clear.
+void setCompileFaultHookForTest(std::function<bool(MethodId Root)> Hook);
 
 } // namespace nimg
 

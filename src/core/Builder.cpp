@@ -140,6 +140,15 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
     Img.Code =
         buildCompilationUnits(P, Img.Reach, Cfg.Inliner, Cfg.Instrumented);
   }
+  // A compile task that threw degraded its unit to a root-only CU; the
+  // build carries on with the degraded unit rather than failing, and the
+  // fault is recorded on the image like a rejected profile would be.
+  for (const auto &[Root, What] : Img.Code.CompileFaults) {
+    addDiag(Img.ProfileDiag, ProfileError::WorkerFault,
+            "compile task for " + P.method(Root).Sig +
+                " failed; unit degraded to root only: " + What);
+    NIMG_COUNTER_ADD("nimg.build.degraded.cu_compile", 1);
+  }
 
   // 3. Code ordering (Sec. 4) — determines .text placement and, through
   //    it, the default object traversal order.

@@ -51,6 +51,8 @@ public:
     Run = Stats;
     HasRun = true;
   }
+  /// Worker count the pipeline ran with (`--jobs` / NIMG_JOBS); 0 = unset.
+  void setJobs(int N) { Jobs = N; }
   /// Image summary + its profile-ingestion diagnostics.
   void setImage(const NativeImage &Img);
   void addSalvage(std::string Phase, const SalvageStats &Stats) {
@@ -70,6 +72,7 @@ public:
 private:
   bool HasRun = false;
   RunStats Run;
+  int Jobs = 0;
 
   bool HasImage = false;
   size_t NumCus = 0;

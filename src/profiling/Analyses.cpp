@@ -5,6 +5,7 @@
 #include "src/obs/Metrics.h"
 #include "src/support/Crc32.h"
 #include "src/support/Csv.h"
+#include "src/support/ThreadPool.h"
 
 #include <charconv>
 #include <cinttypes>
@@ -194,6 +195,7 @@ void meterProfileLoad(const char *Kind, const ProfileReadReport &R) {
 
 std::string CodeProfile::toCsv() const {
   CsvDocument Doc;
+  Doc.Rows.reserve(Sigs.size());
   for (const std::string &S : Sigs)
     Doc.Rows.push_back({S});
   std::string Body = writeCsv(Doc);
@@ -214,6 +216,7 @@ CodeProfile CodeProfile::fromCsv(const std::string &Text,
     meterProfileLoad("code", R);
     return P;
   }
+  P.Sigs.reserve(Doc.Rows.size() - Start);
   for (size_t I = Start; I < Doc.Rows.size(); ++I) {
     const std::vector<std::string> &Row = Doc.Rows[I];
     if (isBlankRow(Row))
@@ -232,6 +235,7 @@ CodeProfile CodeProfile::fromCsv(const std::string &Text,
 
 std::string HeapProfile::toCsv() const {
   CsvDocument Doc;
+  Doc.Rows.reserve(Ids.size());
   char Buf[32];
   for (uint64_t Id : Ids) {
     std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, Id);
@@ -255,6 +259,7 @@ HeapProfile HeapProfile::fromCsv(const std::string &Text,
     meterProfileLoad("heap", R);
     return P;
   }
+  P.Ids.reserve(Doc.Rows.size() - Start);
   for (size_t I = Start; I < Doc.Rows.size(); ++I) {
     const std::vector<std::string> &Row = Doc.Rows[I];
     if (isBlankRow(Row))
@@ -277,91 +282,148 @@ HeapProfile HeapProfile::fromCsv(const std::string &Text,
 // Replay and analyses.
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Replays the salvaged prefix of one thread's trace, dispatching events
+/// to \p Analyses in that thread's execution order. The building block of
+/// both the sequential replayTrace() and the parallel analyses: the
+/// sequential semantics ("threads concatenated in creation order") equal
+/// per-thread replays merged in thread order.
+void replayThreadPrefix(const Program &P, TraceMode Mode,
+                        const std::vector<uint64_t> &Words, size_t End,
+                        LocalPathCache &Paths,
+                        const std::vector<OrderingAnalysis *> &Analyses) {
+  bool HasOperands = Mode == TraceMode::HeapOrder;
+  size_t I = 0;
+  while (I < End) {
+    uint64_t W = Words[I++];
+    if (tracerec::isCuEnter(W)) {
+      for (OrderingAnalysis *A : Analyses)
+        A->onCuEnter(tracerec::cuRoot(W));
+      continue;
+    }
+    if (!tracerec::isPath(W))
+      continue; // Unreachable inside a salvaged prefix; defensive.
+    MethodId M = tracerec::pathMethod(W);
+    if (M < 0 || size_t(M) >= P.numMethods())
+      continue;
+    PathEvents Events = Paths.of(M).decode(tracerec::pathId(W));
+    if (Events.MethodEntry)
+      for (OrderingAnalysis *A : Analyses)
+        A->onMethodEnter(M);
+    if (!HasOperands)
+      continue;
+    // A record cut mid-operands at the thread's end (mode-1 SIGKILL)
+    // keeps its surviving operands; consume what is there.
+    for (uint32_t K = 0; K < Events.OperandCount && I < End; ++K) {
+      uint64_t Op = Words[I++];
+      if (Op == 0)
+        continue;
+      for (OrderingAnalysis *A : Analyses)
+        A->onObjectAccess(int32_t(Op - 1));
+    }
+  }
+}
+
+} // namespace
+
 void nimg::replayTrace(const Program &P, const TraceCapture &Capture,
                        PathGraphCache &Paths,
                        const std::vector<OrderingAnalysis *> &Analyses,
                        SalvageStats *StatsOut) {
   SalvageStats Stats;
   std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Stats);
-  bool HasOperands = Capture.Options.Mode == TraceMode::HeapOrder;
-  for (size_t T = 0; T < Capture.Threads.size(); ++T) {
-    const std::vector<uint64_t> &Words = Capture.Threads[T].Words;
-    size_t End = Prefix[T];
-    size_t I = 0;
-    while (I < End) {
-      uint64_t W = Words[I++];
-      if (tracerec::isCuEnter(W)) {
-        for (OrderingAnalysis *A : Analyses)
-          A->onCuEnter(tracerec::cuRoot(W));
-        continue;
-      }
-      if (!tracerec::isPath(W))
-        continue; // Unreachable inside a salvaged prefix; defensive.
-      MethodId M = tracerec::pathMethod(W);
-      if (M < 0 || size_t(M) >= P.numMethods())
-        continue;
-      PathEvents Events = Paths.of(M).decode(tracerec::pathId(W));
-      if (Events.MethodEntry)
-        for (OrderingAnalysis *A : Analyses)
-          A->onMethodEnter(M);
-      if (!HasOperands)
-        continue;
-      // A record cut mid-operands at the thread's end (mode-1 SIGKILL)
-      // keeps its surviving operands; consume what is there.
-      for (uint32_t K = 0; K < Events.OperandCount && I < End; ++K) {
-        uint64_t Op = Words[I++];
-        if (Op == 0)
-          continue;
-        for (OrderingAnalysis *A : Analyses)
-          A->onObjectAccess(int32_t(Op - 1));
-      }
-    }
-  }
+  LocalPathCache Local(Paths);
+  for (size_t T = 0; T < Capture.Threads.size(); ++T)
+    replayThreadPrefix(P, Capture.Options.Mode, Capture.Threads[T].Words,
+                       Prefix[T], Local, Analyses);
   if (StatsOut)
     *StatsOut = Stats;
 }
 
 namespace {
 
-class CuOrderAnalysis : public OrderingAnalysis {
+/// First-seen id collector, generic over the three event kinds. One lives
+/// per (worker, thread-trace) in the parallel analyses; the per-thread
+/// orders are then merged front-to-back in thread creation order, which
+/// reproduces the sequential "threads concatenated" first-seen order
+/// exactly — so profiles are byte-identical for any worker count.
+template <typename Id> class FirstSeen {
 public:
-  explicit CuOrderAnalysis(const Program &P) : P(P) {}
-  void onCuEnter(MethodId Root) override {
-    if (Seen.insert(Root).second)
-      Sigs.push_back(P.method(Root).Sig);
+  void note(Id V) {
+    if (Seen.insert(V).second)
+      Order.push_back(V);
   }
+  std::vector<Id> Order;
+
+private:
+  std::unordered_set<Id> Seen;
+};
+
+class CuFirstSeen : public OrderingAnalysis {
+public:
+  void onCuEnter(MethodId Root) override { Ids.note(Root); }
+  FirstSeen<MethodId> Ids;
+};
+
+class MethodFirstSeen : public OrderingAnalysis {
+public:
+  void onMethodEnter(MethodId M) override { Ids.note(M); }
+  FirstSeen<MethodId> Ids;
+};
+
+class EntryFirstSeen : public OrderingAnalysis {
+public:
+  void onObjectAccess(int32_t Entry) override { Ids.note(Entry); }
+  FirstSeen<int32_t> Ids;
+};
+
+/// Runs \p Analysis over every thread of \p Capture in parallel (one task
+/// per thread trace) and merges the per-thread first-seen orders in thread
+/// order. \p Analysis must be one of the FirstSeen visitors above.
+template <typename Analysis, typename Id>
+std::vector<Id> analyzeFirstSeen(const Program &P, const TraceCapture &Capture,
+                                 PathGraphCache &Paths, const char *Stage,
+                                 SalvageStats *StatsOut) {
+  SalvageStats Stats;
+  std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Stats);
+
+  std::vector<std::vector<Id>> PerThread = parallelMap(
+      Capture.Threads.size(), 1, Stage, [&](size_t T) {
+        Analysis A;
+        LocalPathCache Local(Paths);
+        replayThreadPrefix(P, Capture.Options.Mode, Capture.Threads[T].Words,
+                           Prefix[T], Local, {&A});
+        return std::move(A.Ids.Order);
+      });
+
+  // Ordered merge: earlier threads win ties, exactly as if the threads had
+  // been replayed back to back sequentially.
+  size_t Total = 0;
+  for (const std::vector<Id> &O : PerThread)
+    Total += O.size();
+  std::vector<Id> Merged;
+  Merged.reserve(Total);
+  std::unordered_set<Id> Seen;
+  Seen.reserve(Total);
+  for (const std::vector<Id> &O : PerThread)
+    for (Id V : O)
+      if (Seen.insert(V).second)
+        Merged.push_back(V);
+
+  if (StatsOut)
+    *StatsOut = Stats;
+  return Merged;
+}
+
+std::vector<std::string> sigsOf(const Program &P,
+                                const std::vector<MethodId> &Ids) {
   std::vector<std::string> Sigs;
-
-private:
-  const Program &P;
-  std::unordered_set<MethodId> Seen;
-};
-
-class MethodOrderAnalysis : public OrderingAnalysis {
-public:
-  explicit MethodOrderAnalysis(const Program &P) : P(P) {}
-  void onMethodEnter(MethodId M) override {
-    if (Seen.insert(M).second)
-      Sigs.push_back(P.method(M).Sig);
-  }
-  std::vector<std::string> Sigs;
-
-private:
-  const Program &P;
-  std::unordered_set<MethodId> Seen;
-};
-
-class HeapOrderAnalysis : public OrderingAnalysis {
-public:
-  void onObjectAccess(int32_t Entry) override {
-    if (Seen.insert(Entry).second)
-      Order.push_back(Entry);
-  }
-  std::vector<int32_t> Order;
-
-private:
-  std::unordered_set<int32_t> Seen;
-};
+  Sigs.reserve(Ids.size());
+  for (MethodId M : Ids)
+    Sigs.push_back(P.method(M).Sig);
+  return Sigs;
+}
 
 void reportModeMismatch(SalvageStats *Stats) {
   NIMG_COUNTER_ADD("nimg.salvage.mode_mismatch", 1);
@@ -382,10 +444,9 @@ CodeProfile nimg::analyzeCuOrder(const Program &P, const TraceCapture &Capture,
     reportModeMismatch(Stats);
     return Out;
   }
-  CuOrderAnalysis A(P);
   PathGraphCache Paths(P); // Unused for cu records but required by replay.
-  replayTrace(P, Capture, Paths, {&A}, Stats);
-  Out.Sigs = std::move(A.Sigs);
+  Out.Sigs = sigsOf(P, analyzeFirstSeen<CuFirstSeen, MethodId>(
+                           P, Capture, Paths, "replay_cu", Stats));
   return Out;
 }
 
@@ -399,9 +460,8 @@ CodeProfile nimg::analyzeMethodOrder(const Program &P,
     reportModeMismatch(Stats);
     return Out;
   }
-  MethodOrderAnalysis A(P);
-  replayTrace(P, Capture, Paths, {&A}, Stats);
-  Out.Sigs = std::move(A.Sigs);
+  Out.Sigs = sigsOf(P, analyzeFirstSeen<MethodFirstSeen, MethodId>(
+                           P, Capture, Paths, "replay_method", Stats));
   return Out;
 }
 
@@ -413,9 +473,8 @@ std::vector<int32_t> nimg::analyzeHeapAccessOrder(const Program &P,
     reportModeMismatch(Stats);
     return {};
   }
-  HeapOrderAnalysis A;
-  replayTrace(P, Capture, Paths, {&A}, Stats);
-  return std::move(A.Order);
+  return analyzeFirstSeen<EntryFirstSeen, int32_t>(P, Capture, Paths,
+                                                   "replay_heap", Stats);
 }
 
 HeapProfile nimg::heapProfileFor(const std::vector<int32_t> &EntryOrder,
@@ -425,6 +484,7 @@ HeapProfile nimg::heapProfileFor(const std::vector<int32_t> &EntryOrder,
   P.Header.HasStrategy = true;
   P.Header.Strategy = Strategy;
   const std::vector<uint64_t> &Table = Ids.of(Strategy);
+  P.Ids.reserve(EntryOrder.size());
   for (int32_t Entry : EntryOrder) {
     if (Entry < 0 || size_t(Entry) >= Table.size())
       continue;

@@ -33,6 +33,7 @@
 #include "src/ir/Program.h"
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -114,12 +115,16 @@ private:
   friend class PathGraphBuilder;
 };
 
-/// Lazily built, shared per-program cache of path graphs.
+/// Lazily built, shared per-program cache of path graphs. of() is
+/// thread-safe — parallel trace post-processing shares one cache across
+/// workers — and the returned reference stays valid for the cache's
+/// lifetime (graphs are heap-allocated; the map only moves pointers).
 class PathGraphCache {
 public:
   explicit PathGraphCache(const Program &P) : P(P) {}
 
   const PathGraph &of(MethodId M) {
+    std::lock_guard<std::mutex> G(Mu);
     auto It = Cache.find(M);
     if (It == Cache.end())
       It = Cache.emplace(M, PathGraph::build(P, M)).first;
@@ -128,7 +133,29 @@ public:
 
 private:
   const Program &P;
+  std::mutex Mu;
   std::unordered_map<MethodId, std::unique_ptr<PathGraph>> Cache;
+};
+
+/// Per-worker lock-free front of a shared PathGraphCache: repeat lookups
+/// of the same method (the common case while replaying one thread's trace)
+/// hit the local pointer map and never touch the shared mutex.
+class LocalPathCache {
+public:
+  explicit LocalPathCache(PathGraphCache &Shared) : Shared(Shared) {}
+
+  const PathGraph &of(MethodId M) {
+    auto It = Local.find(M);
+    if (It != Local.end())
+      return *It->second;
+    const PathGraph &G = Shared.of(M);
+    Local.emplace(M, &G);
+    return G;
+  }
+
+private:
+  PathGraphCache &Shared;
+  std::unordered_map<MethodId, const PathGraph *> Local;
 };
 
 } // namespace nimg

@@ -43,6 +43,7 @@ enum class ProfileError : uint8_t {
   StrategyMismatch,    ///< Heap profile computed for a different strategy.
   MalformedCell,       ///< A payload cell failed to parse (row skipped).
   LegacyFormat,        ///< Informational: headerless pre-v1 file.
+  WorkerFault,         ///< A parallel build task threw; its unit degraded.
 };
 
 inline const char *profileErrorName(ProfileError E) {
@@ -65,6 +66,8 @@ inline const char *profileErrorName(ProfileError E) {
     return "malformed cell";
   case ProfileError::LegacyFormat:
     return "legacy headerless format";
+  case ProfileError::WorkerFault:
+    return "worker task fault";
   }
   return "unknown";
 }
@@ -91,6 +94,8 @@ inline const char *profileErrorSlug(ProfileError E) {
     return "malformed_cell";
   case ProfileError::LegacyFormat:
     return "legacy_format";
+  case ProfileError::WorkerFault:
+    return "worker_fault";
   }
   return "unknown";
 }

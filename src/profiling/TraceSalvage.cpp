@@ -3,6 +3,7 @@
 #include "src/profiling/TraceSalvage.h"
 
 #include "src/obs/Metrics.h"
+#include "src/support/ThreadPool.h"
 
 using namespace nimg;
 
@@ -11,7 +12,7 @@ namespace {
 /// Longest valid prefix (in words) of one thread's trace. Sets
 /// \p IncompleteTail when the thread ends inside a record's operand run.
 size_t scanThread(const Program &P, TraceMode Mode,
-                  const std::vector<uint64_t> &Words, PathGraphCache &Paths,
+                  const std::vector<uint64_t> &Words, LocalPathCache &Paths,
                   const SalvageOptions &Opts, bool &IncompleteTail) {
   size_t I = 0;
   while (I < Words.size()) {
@@ -58,44 +59,78 @@ size_t scanThread(const Program &P, TraceMode Mode,
 
 } // namespace
 
+size_t nimg::scanThreadWords(const Program &P, TraceMode Mode,
+                             const std::vector<uint64_t> &Words,
+                             PathGraphCache &Paths, SalvageStats &Stats,
+                             const SalvageOptions &Opts) {
+  LocalPathCache Local(Paths);
+  bool IncompleteTail = false;
+  size_t Valid = scanThread(P, Mode, Words, Local, Opts, IncompleteTail);
+  Stats.WordsScanned += Words.size();
+  Stats.WordsKept += Valid;
+  Stats.WordsDropped += Words.size() - Valid;
+  if (IncompleteTail)
+    ++Stats.IncompleteTailRecords;
+  if (Valid < Words.size()) {
+    if (Valid == 0)
+      ++Stats.ThreadsDropped;
+    else
+      ++Stats.ThreadsTruncated;
+  }
+  return Valid;
+}
+
+void nimg::meterSalvageScan(const SalvageStats &Delta) {
+  NIMG_COUNTER_ADD("nimg.salvage.scans", 1);
+  NIMG_COUNTER_ADD("nimg.salvage.words_scanned", Delta.WordsScanned);
+  NIMG_COUNTER_ADD("nimg.salvage.words_kept", Delta.WordsKept);
+  NIMG_COUNTER_ADD("nimg.salvage.words_dropped", Delta.WordsDropped);
+  NIMG_COUNTER_ADD("nimg.salvage.threads_truncated", Delta.ThreadsTruncated);
+  NIMG_COUNTER_ADD("nimg.salvage.threads_dropped", Delta.ThreadsDropped);
+  NIMG_COUNTER_ADD("nimg.salvage.incomplete_tail_records",
+                   Delta.IncompleteTailRecords);
+#ifdef NIMG_OBS_DISABLED
+  (void)Delta;
+#endif
+}
+
 std::vector<size_t> nimg::scanCapture(const Program &P, const TraceCapture &C,
                                       PathGraphCache &Paths,
                                       SalvageStats &Stats,
                                       const SalvageOptions &Opts) {
+  // Each thread's scan is independent; scan them in parallel and merge
+  // stats in thread order (the merged totals are order-insensitive sums,
+  // so this is deterministic by construction).
+  struct ThreadScan {
+    size_t Valid = 0;
+    SalvageStats Stats;
+  };
+  std::vector<ThreadScan> Scans =
+      parallelMap(C.Threads.size(), 1, "salvage_scan", [&](size_t T) {
+        ThreadScan S;
+        S.Valid = scanThreadWords(P, C.Options.Mode, C.Threads[T].Words,
+                                  Paths, S.Stats, Opts);
+        return S;
+      });
+
   std::vector<size_t> Prefix(C.Threads.size(), 0);
-  // \p Stats accumulates across calls; meter only this scan's delta.
-  const SalvageStats Before = Stats;
-  for (size_t T = 0; T < C.Threads.size(); ++T) {
-    const std::vector<uint64_t> &Words = C.Threads[T].Words;
-    bool IncompleteTail = false;
-    size_t Valid = scanThread(P, C.Options.Mode, Words, Paths, Opts,
-                              IncompleteTail);
-    Prefix[T] = Valid;
-    Stats.WordsScanned += Words.size();
-    Stats.WordsKept += Valid;
-    Stats.WordsDropped += Words.size() - Valid;
-    if (IncompleteTail)
-      ++Stats.IncompleteTailRecords;
-    if (Valid < Words.size()) {
-      if (Valid == 0)
-        ++Stats.ThreadsDropped;
-      else
-        ++Stats.ThreadsTruncated;
-    }
+  SalvageStats Delta;
+  for (size_t T = 0; T < Scans.size(); ++T) {
+    Prefix[T] = Scans[T].Valid;
+    Delta.WordsScanned += Scans[T].Stats.WordsScanned;
+    Delta.WordsKept += Scans[T].Stats.WordsKept;
+    Delta.WordsDropped += Scans[T].Stats.WordsDropped;
+    Delta.ThreadsTruncated += Scans[T].Stats.ThreadsTruncated;
+    Delta.ThreadsDropped += Scans[T].Stats.ThreadsDropped;
+    Delta.IncompleteTailRecords += Scans[T].Stats.IncompleteTailRecords;
   }
-  NIMG_COUNTER_ADD("nimg.salvage.scans", 1);
-  NIMG_COUNTER_ADD("nimg.salvage.words_scanned",
-                   Stats.WordsScanned - Before.WordsScanned);
-  NIMG_COUNTER_ADD("nimg.salvage.words_kept",
-                   Stats.WordsKept - Before.WordsKept);
-  NIMG_COUNTER_ADD("nimg.salvage.words_dropped",
-                   Stats.WordsDropped - Before.WordsDropped);
-  NIMG_COUNTER_ADD("nimg.salvage.threads_truncated",
-                   Stats.ThreadsTruncated - Before.ThreadsTruncated);
-  NIMG_COUNTER_ADD("nimg.salvage.threads_dropped",
-                   Stats.ThreadsDropped - Before.ThreadsDropped);
-  NIMG_COUNTER_ADD("nimg.salvage.incomplete_tail_records",
-                   Stats.IncompleteTailRecords - Before.IncompleteTailRecords);
+  Stats.WordsScanned += Delta.WordsScanned;
+  Stats.WordsKept += Delta.WordsKept;
+  Stats.WordsDropped += Delta.WordsDropped;
+  Stats.ThreadsTruncated += Delta.ThreadsTruncated;
+  Stats.ThreadsDropped += Delta.ThreadsDropped;
+  Stats.IncompleteTailRecords += Delta.IncompleteTailRecords;
+  meterSalvageScan(Delta);
   return Prefix;
 }
 

@@ -56,8 +56,23 @@ struct SalvageStats {
   bool clean() const { return WordsDropped == 0 && !ModeMismatch; }
 };
 
+/// Validates one thread's trace words. Returns the valid prefix length in
+/// words and accumulates this thread's contribution into \p Stats (which
+/// is not metered — callers batching several threads meter the merged
+/// delta once via meterSalvageScan()). Safe to call concurrently on
+/// distinct threads' words sharing \p Paths.
+size_t scanThreadWords(const Program &P, TraceMode Mode,
+                       const std::vector<uint64_t> &Words,
+                       PathGraphCache &Paths, SalvageStats &Stats,
+                       const SalvageOptions &Opts = {});
+
+/// Pushes one scan's accumulated stats \p Delta into the nimg.salvage.*
+/// counters (scanCapture does this internally).
+void meterSalvageScan(const SalvageStats &Delta);
+
 /// Validates \p C without copying it. Returns the valid prefix length (in
-/// words) of each thread and accumulates \p Stats.
+/// words) of each thread and accumulates \p Stats. Threads are scanned in
+/// parallel on the shared pool and their stats merged in thread order.
 std::vector<size_t> scanCapture(const Program &P, const TraceCapture &C,
                                 PathGraphCache &Paths, SalvageStats &Stats,
                                 const SalvageOptions &Opts = {});

@@ -65,6 +65,11 @@ public:
     Bytes.insert(Bytes.end(), Other.Bytes.begin(), Other.Bytes.end());
   }
 
+  /// Appends raw bytes (a memoized sub-encoding, e.g.).
+  void appendBytes(const std::vector<uint8_t> &B) {
+    Bytes.insert(Bytes.end(), B.begin(), B.end());
+  }
+
   const std::vector<uint8_t> &bytes() const { return Bytes; }
   size_t size() const { return Bytes.size(); }
   bool empty() const { return Bytes.empty(); }

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "src/compiler/Inliner.h"
 #include "src/core/Builder.h"
 #include "src/image/ImageFile.h"
 #include "src/lang/Compile.h"
@@ -16,6 +17,7 @@
 #include "src/obs/StartupReport.h"
 #include "src/support/Crc32.h"
 #include "src/support/FaultInjection.h"
+#include "src/support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -524,4 +526,57 @@ TEST(FaultInjection, CollectedProfilesFromCleanRunsSalvageClean) {
   EXPECT_TRUE(C.Prof.MethodSalvage.clean());
   EXPECT_TRUE(C.Prof.HeapSalvage.clean());
   EXPECT_EQ(C.Prof.RetriedRuns, 0);
+}
+
+// A compile worker throwing mid-build must not deadlock or fail the build:
+// the victim unit degrades to root-only with a recorded WorkerFault issue,
+// the run still produces the baseline output, and degradation stays
+// deterministic across worker counts.
+TEST(FaultInjection, WorkerFaultDegradesBuildDeterministically) {
+  Corpus &C = corpus();
+  MethodId Victim = C.P.MainMethod;
+  setCompileFaultHookForTest(
+      [Victim](MethodId Root) { return Root == Victim; });
+
+  auto BuildFaulted = [&](int Jobs) {
+    setJobs(Jobs);
+    BuildConfig Cfg;
+    Cfg.Seed = 2;
+    return buildNativeImage(C.P, Cfg);
+  };
+
+  NativeImage Img = BuildFaulted(4);
+  ASSERT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+  ASSERT_EQ(Img.Code.CompileFaults.size(), 1u);
+  EXPECT_EQ(Img.Code.CompileFaults[0].first, Victim);
+  // The degraded unit holds only its root: every inlining decision of the
+  // faulted task was discarded.
+  EXPECT_EQ(Img.Code.cuOf(Victim).Copies.size(), 1u);
+
+  bool SawWorkerFault = false;
+  for (const ProfileIssue &I : Img.ProfileDiag.Issues)
+    SawWorkerFault |= I.Kind == ProfileError::WorkerFault;
+  EXPECT_TRUE(SawWorkerFault);
+
+  // The image still runs the workload to completion with correct output.
+  RunStats S = runImage(Img, RunConfig());
+  EXPECT_FALSE(S.Trapped) << S.TrapMessage;
+  EXPECT_EQ(S.Output, C.BaselineOutput);
+
+  // Degradation itself is deterministic: 1 worker and 8 workers produce
+  // byte-identical images under the same injected fault.
+  NativeImage One = BuildFaulted(1);
+  NativeImage Eight = BuildFaulted(8);
+  ASSERT_FALSE(One.Built.Failed);
+  ASSERT_FALSE(Eight.Built.Failed);
+  EXPECT_EQ(serializeImage(C.P, One), serializeImage(C.P, Eight));
+
+  setCompileFaultHookForTest(nullptr);
+  setJobs(0);
+
+  // With the hook cleared the same config builds clean again.
+  BuildConfig CleanCfg;
+  CleanCfg.Seed = 2;
+  NativeImage Clean = buildNativeImage(C.P, CleanCfg);
+  EXPECT_TRUE(Clean.Code.CompileFaults.empty());
 }

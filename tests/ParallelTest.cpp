@@ -1,0 +1,290 @@
+//===- ParallelTest.cpp - Thread pool and pipeline determinism --------------===//
+//
+// Unit tests for the deterministic thread pool (chunking, exception
+// propagation, nested-use rejection) and the contract the parallel
+// pipeline stages rely on: the full profile-and-build pipeline must emit
+// byte-identical ordering profiles, identity tables, and image bytes
+// whether it runs on one worker or eight. This binary carries the "tsan"
+// ctest label so a -DNIMG_SANITIZE=thread build can run it alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Builder.h"
+#include "src/image/ImageFile.h"
+#include "src/lang/Compile.h"
+#include "src/support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+using namespace nimg;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Pool unit tests.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(103);
+  Pool.parallelFor(Hits.size(), 1, "cover",
+                   [&](size_t Begin, size_t End, size_t) {
+                     for (size_t I = Begin; I < End; ++I)
+                       Hits[I].fetch_add(1);
+                   });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(0, 1, "empty",
+                   [&](size_t, size_t, size_t) { Calls.fetch_add(1); });
+  EXPECT_EQ(Calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleJobRunsInlineInsideParallelRegion) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.jobs(), 1);
+  EXPECT_FALSE(ThreadPool::inParallelRegion());
+  bool SawRegion = false;
+  Pool.parallelFor(4, 1, "inline", [&](size_t, size_t, size_t) {
+    SawRegion = ThreadPool::inParallelRegion();
+  });
+  EXPECT_TRUE(SawRegion);
+  EXPECT_FALSE(ThreadPool::inParallelRegion());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromInlineExecution) {
+  ThreadPool Pool(1);
+  EXPECT_THROW(Pool.parallelFor(8, 1, "throwing",
+                                [](size_t, size_t, size_t) {
+                                  throw std::runtime_error("task failed");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromWorkers) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(64, 1, "throwing",
+                                [](size_t, size_t, size_t Chunk) {
+                                  if (Chunk % 2 == 1)
+                                    throw std::runtime_error("task failed");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestChunkIndexExceptionWins) {
+  // Several chunks throw; which worker ran which chunk is scheduling
+  // noise, but the rethrown error must always come from the lowest chunk.
+  ThreadPool Pool(4);
+  for (int Round = 0; Round < 8; ++Round) {
+    try {
+      Pool.parallelFor(32, 1, "throwing",
+                       [](size_t, size_t, size_t Chunk) {
+                         if (Chunk >= 3)
+                           throw std::runtime_error("chunk " +
+                                                    std::to_string(Chunk));
+                       });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "chunk 3");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedUseIsRejected) {
+  ThreadPool Pool(2);
+  EXPECT_THROW(Pool.parallelFor(8, 1, "outer",
+                                [&](size_t, size_t, size_t) {
+                                  Pool.parallelFor(
+                                      2, 1, "inner",
+                                      [](size_t, size_t, size_t) {});
+                                }),
+               std::logic_error);
+  // And on the inline path too: a 1-job pool still flags the region.
+  ThreadPool Inline(1);
+  EXPECT_THROW(Inline.parallelFor(2, 1, "outer",
+                                  [&](size_t, size_t, size_t) {
+                                    Inline.parallelFor(
+                                        2, 1, "inner",
+                                        [](size_t, size_t, size_t) {});
+                                  }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, MinChunkBoundsChunkGranularity) {
+  ThreadPool Pool(4);
+  std::mutex Mu;
+  std::vector<std::pair<size_t, size_t>> Ranges;
+  Pool.parallelFor(100, 40, "coarse", [&](size_t Begin, size_t End, size_t) {
+    std::lock_guard<std::mutex> G(Mu);
+    Ranges.emplace_back(Begin, End);
+  });
+  // ceil(100/40) = 3 chunks; all but the last span exactly MinChunk.
+  EXPECT_EQ(Ranges.size(), 3u);
+  size_t Total = 0;
+  for (auto [Begin, End] : Ranges) {
+    EXPECT_LT(Begin, End);
+    Total += End - Begin;
+  }
+  EXPECT_EQ(Total, 100u);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  setJobs(4);
+  std::vector<size_t> Out = parallelMap(
+      257, 8, "map", [](size_t I) { return I * I; });
+  ASSERT_EQ(Out.size(), 257u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], I * I);
+  setJobs(0);
+}
+
+TEST(ThreadPoolTest, JobsConfigurationResolvesOverrides) {
+  setJobs(3);
+  EXPECT_EQ(currentJobs(), 3);
+  setJobs(0);
+  EXPECT_GE(currentJobs(), 1);
+  EXPECT_GE(hardwareJobs(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline determinism: jobs=1 vs jobs=8.
+//===----------------------------------------------------------------------===//
+
+/// A workload that spawns real threads so trace captures carry several
+/// per-thread buffers — the case where the parallel trace post-processing
+/// actually fans out and the thread-order merge is load-bearing.
+const char *kSpawnWorkload = R"(
+class State {
+  static int ready = 0;
+  static int done = 0;
+  static int sum = 0;
+}
+class ArrayWorker {
+  static void run() {
+    while (State.ready == 0) { Sys.yield(); }
+    int[] xs = new int[32];
+    for (int i = 0; i < xs.length; i = i + 1) { xs[i] = i * 3; }
+    int t = 0;
+    for (int i = 0; i < xs.length; i = i + 1) { t = t + xs[i]; }
+    State.sum = State.sum + t;
+    State.done = State.done + 1;
+  }
+}
+class StringWorker {
+  static String label = "worker";
+  static void run() {
+    while (State.ready == 0) { Sys.yield(); }
+    String s = label;
+    for (int i = 0; i < 6; i = i + 1) { s = s + i; }
+    State.sum = State.sum + 7;
+    State.done = State.done + 1;
+  }
+}
+class Main {
+  static int main() {
+    Sys.spawn("ArrayWorker.run");
+    Sys.spawn("StringWorker.run");
+    Sys.spawn("ArrayWorker.run");
+    State.ready = 1;
+    while (State.done < 3) { Sys.yield(); }
+    Sys.print("sum: " + State.sum);
+    return State.sum;
+  }
+}
+)";
+
+/// Everything the pipeline emits that must not depend on the worker count.
+struct PipelineArtifacts {
+  std::string CuCsv, MethodCsv, HeapIncCsv, HeapStructCsv, HeapPathCsv;
+  std::vector<uint64_t> IncIds, StructIds, PathIds;
+  uint64_t InlineFingerprint = 0;
+  std::vector<uint8_t> ImageBytes;
+  size_t TraceThreads = 0;
+};
+
+PipelineArtifacts runPipeline(int Jobs) {
+  setJobs(Jobs);
+  PipelineArtifacts Art;
+
+  Program P;
+  std::vector<std::string> Errors;
+  if (!compileSources({kSpawnWorkload}, P, Errors)) {
+    for (const std::string &E : Errors)
+      ADD_FAILURE() << E;
+    return Art;
+  }
+
+  BuildConfig ProfCfg;
+  ProfCfg.Seed = 1001;
+  CollectedProfiles Prof = collectProfiles(P, ProfCfg, RunConfig());
+  Art.CuCsv = Prof.Cu.toCsv();
+  Art.MethodCsv = Prof.Method.toCsv();
+  Art.HeapIncCsv = Prof.IncrementalId.toCsv();
+  Art.HeapStructCsv = Prof.StructuralHash.toCsv();
+  Art.HeapPathCsv = Prof.HeapPath.toCsv();
+
+  BuildConfig Opt;
+  Opt.Seed = 7;
+  Opt.CodeOrder = CodeStrategy::CuOrder;
+  Opt.CodeProf = &Prof.Cu;
+  Opt.UseHeapOrder = true;
+  Opt.HeapOrder = HeapStrategy::HeapPath;
+  Opt.HeapProf = &Prof.HeapPath;
+  NativeImage Img = buildNativeImage(P, Opt);
+  EXPECT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+  EXPECT_TRUE(Img.ProfileDiag.CodeProfileApplied);
+  EXPECT_TRUE(Img.ProfileDiag.HeapProfileApplied);
+
+  Art.IncIds = Img.Ids.IncrementalIds;
+  Art.StructIds = Img.Ids.StructuralHashes;
+  Art.PathIds = Img.Ids.HeapPathHashes;
+  Art.InlineFingerprint = Img.Code.InlineFingerprint;
+  Art.ImageBytes = serializeImage(P, Img);
+
+  // Sanity: the profiling runs actually produced multi-thread traces and
+  // nonempty profiles, otherwise this test exercises nothing.
+  EXPECT_GT(Prof.Cu.Sigs.size(), 0u);
+  EXPECT_GT(Prof.Method.Sigs.size(), 0u);
+  EXPECT_GT(Prof.HeapPath.Ids.size(), 0u);
+  return Art;
+}
+
+TEST(ParallelPipelineTest, JobsOneAndEightAreByteIdentical) {
+  PipelineArtifacts One = runPipeline(1);
+  PipelineArtifacts Eight = runPipeline(8);
+  setJobs(0);
+
+  EXPECT_EQ(One.CuCsv, Eight.CuCsv);
+  EXPECT_EQ(One.MethodCsv, Eight.MethodCsv);
+  EXPECT_EQ(One.HeapIncCsv, Eight.HeapIncCsv);
+  EXPECT_EQ(One.HeapStructCsv, Eight.HeapStructCsv);
+  EXPECT_EQ(One.HeapPathCsv, Eight.HeapPathCsv);
+  EXPECT_EQ(One.IncIds, Eight.IncIds);
+  EXPECT_EQ(One.StructIds, Eight.StructIds);
+  EXPECT_EQ(One.PathIds, Eight.PathIds);
+  EXPECT_EQ(One.InlineFingerprint, Eight.InlineFingerprint);
+  EXPECT_EQ(One.ImageBytes, Eight.ImageBytes);
+}
+
+TEST(ParallelPipelineTest, IntermediateJobCountsMatchToo) {
+  // 1 vs 8 is the headline contract; 2 and 5 cover uneven chunk shapes
+  // (5 workers over small ranges produce ragged final chunks).
+  PipelineArtifacts One = runPipeline(1);
+  for (int Jobs : {2, 5}) {
+    PipelineArtifacts J = runPipeline(Jobs);
+    EXPECT_EQ(One.ImageBytes, J.ImageBytes) << "jobs=" << Jobs;
+    EXPECT_EQ(One.CuCsv, J.CuCsv) << "jobs=" << Jobs;
+    EXPECT_EQ(One.HeapPathCsv, J.HeapPathCsv) << "jobs=" << Jobs;
+  }
+  setJobs(0);
+}
+
+} // namespace
