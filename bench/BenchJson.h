@@ -46,13 +46,17 @@ inline std::string benchJsonPath(const std::string &FileName) {
 /// Writes one bench artifact. \p Body receives a writer positioned inside
 /// the top-level object, after the schema/version/figure members, and adds
 /// the figure-specific members. Returns false on I/O failure (reported on
-/// stderr; bench harnesses keep their table output regardless).
+/// stderr; bench harnesses keep their table output regardless). An
+/// existing file is replaced, with a one-line note on stderr so repeated
+/// bench runs do not silently clobber earlier artifacts.
 template <typename BodyFn>
 inline bool writeBenchJson(const std::string &FileName,
                            const std::string &Figure, BodyFn Body) {
   std::string Path = benchJsonPath(FileName);
   if (Path.empty())
     return true;
+  if (std::ifstream(Path).good())
+    std::fprintf(stderr, "  note: overwriting existing %s\n", Path.c_str());
   std::string Out;
   obs::JsonWriter W(Out);
   W.beginObject();

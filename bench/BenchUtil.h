@@ -27,7 +27,7 @@ namespace benchutil {
 
 inline const std::vector<std::string> &strategyNames() {
   static const std::vector<std::string> Names = {
-      "cu",        "method",      "incremental id",
+      "cu",        "method",      "cluster",      "incremental id",
       "structural hash", "heap path", "cu+heap path"};
   return Names;
 }
@@ -36,7 +36,7 @@ inline const std::vector<std::string> &strategyNames() {
 /// faults, heap strategies on .svm_heap faults, the combined strategy on
 /// both (Sec. 7.1).
 inline double faultFactorOf(const VariantEval &V) {
-  if (V.Name == "cu" || V.Name == "method")
+  if (V.Name == "cu" || V.Name == "method" || V.Name == "cluster")
     return V.TextFaultFactor;
   if (V.Name == "cu+heap path")
     return V.TotalFaultFactor;

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 using namespace nimg;
@@ -31,5 +32,36 @@ int main() {
     std::printf("  %-12s %8.2f ms  [%.2f, %.2f]\n", E.Benchmark.c_str(),
                 E.Baseline.TimeNs.Mean / 1e6, E.Baseline.TimeNs.Lo / 1e6,
                 E.Baseline.TimeNs.Hi / 1e6);
+
+  benchjson::writeBenchJson("BENCH_fig5.json", "fig5", [&](obs::JsonWriter &W) {
+    W.member("seeds", uint64_t(Opts.Seeds));
+    W.key("benchmarks");
+    W.beginArray();
+    for (const BenchmarkEval &E : Evals) {
+      W.beginObject();
+      W.member("name", E.Benchmark);
+      W.member("baseline_time_ms", E.Baseline.TimeNs.Mean / 1e6);
+      W.key("speedups");
+      W.beginObject();
+      for (const std::string &S : strategyNames()) {
+        const VariantEval *V = E.variant(S);
+        W.member(S, V ? V->Speedup : 1.0);
+      }
+      W.endObject();
+      W.endObject();
+    }
+    W.endArray();
+    W.key("geomean_speedups");
+    W.beginObject();
+    for (const std::string &S : strategyNames()) {
+      std::vector<double> Fs;
+      for (const BenchmarkEval &E : Evals) {
+        const VariantEval *V = E.variant(S);
+        Fs.push_back(V ? V->Speedup : 1.0);
+      }
+      W.member(S, geomean(Fs));
+    }
+    W.endObject();
+  });
   return 0;
 }

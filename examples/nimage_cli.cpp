@@ -6,9 +6,9 @@
 // A small CLI over the public API:
 //
 //   nimage_cli build  <bench|file.mj> [--out image.nimg] [--seed N]
-//                     [--code cu|method] [--heap inc|struct|path]
+//                     [--code cu|method|cluster] [--heap inc|struct|path]
 //   nimage_cli run    <bench|file.mj> [--image image.nimg] [--warm]
-//   nimage_cli profile <bench|file.mj> [--dir profiles/]
+//   nimage_cli profile <bench|file.mj> [--dir profiles/] [--cluster-budget B]
 //
 // <bench> is an AWFY benchmark name (e.g. Richards), a microservice name
 // (micronaut/quarkus/spring), or a path to a MiniJava source file (which
@@ -113,9 +113,11 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  nimage_cli build   <target> [--out F] [--seed N] "
-               "[--profiles DIR] [--code cu|method] [--heap inc|struct|path]\n"
+               "[--profiles DIR] [--code cu|method|cluster] "
+               "[--heap inc|struct|path]\n"
                "  nimage_cli run     <target> [--image F] [--warm]\n"
-               "  nimage_cli profile <target> [--dir DIR]\n"
+               "  nimage_cli profile <target> [--dir DIR] "
+               "[--cluster-budget BYTES]\n"
                "pipeline (any command):\n"
                "  --jobs N           worker threads for the parallel build/"
                "post-processing stages\n"
@@ -154,7 +156,20 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
   RunConfig Run;
   BuildConfig Cfg;
   Cfg.Seed = 1001;
+  if (const char *Budget = flagValue(Argc, Argv, "--cluster-budget")) {
+    long long B = std::atoll(Budget);
+    if (B < 0) {
+      std::fprintf(stderr, "error: --cluster-budget expects a byte count "
+                           ">= 0 (0 = unlimited), got '%s'\n",
+                   Budget);
+      return 2;
+    }
+    Cfg.ClusterPageBudget = uint32_t(B);
+  }
   CollectedProfiles Prof = collectProfiles(*P, Cfg, Run);
+  for (const ProfileIssue &I : Prof.ClusterIssues)
+    std::fprintf(stderr, "note: cluster profile: %s (%s)\n", I.Detail.c_str(),
+                 profileErrorSlug(I.Kind));
 
   obs::StartupReport Report;
   Report.Target = Target;
@@ -168,6 +183,7 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
 
   bool Ok = writeFile(Dir + "/cu.csv", Prof.Cu.toCsv()) &&
             writeFile(Dir + "/method.csv", Prof.Method.toCsv()) &&
+            writeFile(Dir + "/cluster.csv", Prof.Cluster.toCsv()) &&
             writeFile(Dir + "/heap_inc.csv", Prof.IncrementalId.toCsv()) &&
             writeFile(Dir + "/heap_struct.csv", Prof.StructuralHash.toCsv()) &&
             writeFile(Dir + "/heap_path.csv", Prof.HeapPath.toCsv());
@@ -175,12 +191,17 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
     std::fprintf(stderr, "error: cannot write profiles to %s\n", Dir.c_str());
     return 1;
   }
-  std::printf("wrote ordering profiles to %s/{cu,method,heap_inc,"
+  std::printf("wrote ordering profiles to %s/{cu,method,cluster,heap_inc,"
               "heap_struct,heap_path}.csv\n",
               Dir.c_str());
   std::printf("  cu entries: %zu, methods: %zu, heap objects: %zu\n",
               Prof.Cu.Sigs.size(), Prof.Method.Sigs.size(),
               Prof.HeapPath.Ids.size());
+  std::printf("  cluster: %zu clusters over %zu CUs (%zu merges, %zu "
+              "budget rejections)\n",
+              Prof.ClusterLayoutStats.Clusters, Prof.ClusterLayoutStats.Nodes,
+              Prof.ClusterLayoutStats.Merges,
+              Prof.ClusterLayoutStats.BudgetRejections);
   return 0;
 }
 
@@ -201,7 +222,9 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
     std::string Csv;
     std::string File = Dir + (std::strcmp(Code, "method") == 0
                                   ? "/method.csv"
-                                  : "/cu.csv");
+                                  : std::strcmp(Code, "cluster") == 0
+                                        ? "/cluster.csv"
+                                        : "/cu.csv");
     if (!readFile(File, Csv)) {
       std::fprintf(stderr, "error: missing profile %s (run 'profile' "
                            "first)\n",
@@ -220,7 +243,9 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
                    File.c_str(), Report.RowsSkipped);
     Cfg.CodeOrder = std::strcmp(Code, "method") == 0
                         ? CodeStrategy::MethodOrder
-                        : CodeStrategy::CuOrder;
+                        : std::strcmp(Code, "cluster") == 0
+                              ? CodeStrategy::Cluster
+                              : CodeStrategy::CuOrder;
     Cfg.CodeProf = &CodeProf;
   }
   if (const char *HeapFlag = flagValue(Argc, Argv, "--heap")) {

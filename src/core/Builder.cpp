@@ -155,8 +155,7 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
   std::vector<int32_t> CuOrder;
   if (Cfg.CodeOrder != CodeStrategy::None && CodeProf) {
     NIMG_SPAN("build", "code_order");
-    CuOrder = orderCusWithProfile(P, Img.Code, *CodeProf,
-                                  Cfg.CodeOrder == CodeStrategy::MethodOrder);
+    CuOrder = orderCusWithProfile(P, Img.Code, *CodeProf, Cfg.CodeOrder);
   }
 
   // 4. Build-time initialization (permuted) and heap snapshotting.
@@ -264,6 +263,18 @@ CollectedProfiles nimg::collectProfiles(Program &P,
     NIMG_SPAN("profile", "post.cu");
     Out.Cu = analyzeCuOrder(P, CuCap, &Out.CuSalvage);
     Out.Cu.Header.Fingerprint = Fp;
+  }
+  {
+    // The cluster profile reuses the cu-mode capture: CU transitions are
+    // already in it, so clustering costs one more post-processing pass,
+    // not another instrumented run.
+    NIMG_SPAN("profile", "post.cluster");
+    ClusterOptions COpts;
+    COpts.PageBudgetBytes = Cfg.ClusterPageBudget;
+    Out.Cluster =
+        analyzeClusterOrder(P, CuCap, Img.Code, COpts, nullptr,
+                            &Out.ClusterIssues, &Out.ClusterLayoutStats);
+    Out.Cluster.Header.Fingerprint = Fp;
   }
 
   TraceCapture MethodCap;

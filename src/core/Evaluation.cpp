@@ -104,6 +104,8 @@ BenchmarkEval nimg::evaluateBenchmark(const BenchmarkSpec &Spec,
         Cfg.CodeProf = &Prof.Cu;
       else if (Code == CodeStrategy::MethodOrder)
         Cfg.CodeProf = &Prof.Method;
+      else if (Code == CodeStrategy::Cluster)
+        Cfg.CodeProf = &Prof.Cluster;
       Cfg.UseHeapOrder = UseHeap;
       if (UseHeap) {
         Cfg.HeapOrder = Heap;
@@ -140,6 +142,7 @@ BenchmarkEval nimg::evaluateBenchmark(const BenchmarkSpec &Spec,
   const VariantSpec Specs[] = {
       {"cu", CodeStrategy::CuOrder, false, HeapStrategy::HeapPath},
       {"method", CodeStrategy::MethodOrder, false, HeapStrategy::HeapPath},
+      {"cluster", CodeStrategy::Cluster, false, HeapStrategy::HeapPath},
       {"incremental id", CodeStrategy::None, true,
        HeapStrategy::IncrementalId},
       {"structural hash", CodeStrategy::None, true,

@@ -65,7 +65,8 @@ struct BenchmarkEval {
   std::string Benchmark;
   bool Microservice = false;
   VariantEval Baseline;
-  /// cu, method, incremental id, structural hash, heap path, cu+heap path.
+  /// cu, method, cluster, incremental id, structural hash, heap path,
+  /// cu+heap path.
   std::vector<VariantEval> Variants;
 
   /// Fraction of stored snapshot objects the baseline run touches

@@ -18,6 +18,8 @@ const char *nimg::codeStrategyName(CodeStrategy S) {
     return "cu";
   case CodeStrategy::MethodOrder:
     return "method";
+  case CodeStrategy::Cluster:
+    return "cluster";
   }
   return "?";
 }
@@ -25,9 +27,10 @@ const char *nimg::codeStrategyName(CodeStrategy S) {
 std::vector<int32_t> nimg::orderCusWithProfile(const Program &P,
                                                const CompiledProgram &CP,
                                                const CodeProfile &Profile,
-                                               bool MethodBased) {
+                                               CodeStrategy Strategy) {
+  bool MethodBased = Strategy == CodeStrategy::MethodOrder;
   NIMG_SPAN_NAMED(OrderSpan, "order", "orderCusWithProfile");
-  NIMG_SPAN_ARG(OrderSpan, "based_on", MethodBased ? "method" : "cu");
+  NIMG_SPAN_ARG(OrderSpan, "based_on", codeStrategyName(Strategy));
   NIMG_COUNTER_ADD("nimg.order.code.runs", 1);
   NIMG_COUNTER_ADD("nimg.order.code.profile_sigs", Profile.Sigs.size());
 

@@ -282,17 +282,10 @@ HeapProfile HeapProfile::fromCsv(const std::string &Text,
 // Replay and analyses.
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Replays the salvaged prefix of one thread's trace, dispatching events
-/// to \p Analyses in that thread's execution order. The building block of
-/// both the sequential replayTrace() and the parallel analyses: the
-/// sequential semantics ("threads concatenated in creation order") equal
-/// per-thread replays merged in thread order.
-void replayThreadPrefix(const Program &P, TraceMode Mode,
-                        const std::vector<uint64_t> &Words, size_t End,
-                        LocalPathCache &Paths,
-                        const std::vector<OrderingAnalysis *> &Analyses) {
+void nimg::replayThreadPrefix(const Program &P, TraceMode Mode,
+                              const std::vector<uint64_t> &Words, size_t End,
+                              LocalPathCache &Paths,
+                              const std::vector<OrderingAnalysis *> &Analyses) {
   bool HasOperands = Mode == TraceMode::HeapOrder;
   size_t I = 0;
   while (I < End) {
@@ -324,8 +317,6 @@ void replayThreadPrefix(const Program &P, TraceMode Mode,
     }
   }
 }
-
-} // namespace
 
 void nimg::replayTrace(const Program &P, const TraceCapture &Capture,
                        PathGraphCache &Paths,

@@ -81,6 +81,17 @@ void replayTrace(const Program &P, const TraceCapture &Capture,
                  const std::vector<OrderingAnalysis *> &Analyses,
                  SalvageStats *Stats = nullptr);
 
+/// Replays the already-salvaged prefix (\p End words) of one thread's
+/// trace, dispatching events to \p Analyses in that thread's execution
+/// order. The building block of the parallel analyses: the sequential
+/// semantics ("threads concatenated in creation order") equal per-thread
+/// replays merged in thread order. Callers obtain \p End from
+/// scanCapture().
+void replayThreadPrefix(const Program &P, TraceMode Mode,
+                        const std::vector<uint64_t> &Words, size_t End,
+                        LocalPathCache &Paths,
+                        const std::vector<OrderingAnalysis *> &Analyses);
+
 /// The cu-ordering profile (Sec. 4.1) from a CuOrder-mode capture. A
 /// capture in the wrong mode yields an empty profile (and sets
 /// Stats->ModeMismatch) instead of asserting — trace files are external

@@ -1,0 +1,90 @@
+//===- CallGraph.cpp - Dynamic CU transition graph from traces --------------===//
+
+#include "src/profiling/CallGraph.h"
+
+#include "src/obs/Metrics.h"
+#include "src/support/ThreadPool.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace nimg;
+
+void CallGraphAnalysis::onCuEnter(MethodId Root) {
+  if (Seen.insert(Root).second)
+    FirstSeen.push_back(Root);
+  // Self-transitions (a CU re-entered directly after itself) carry no
+  // layout signal — the unit already shares its own pages — and would
+  // otherwise dominate the weights on loop-heavy workloads.
+  if (Prev != -1 && Prev != Root)
+    ++Weights[edgeKey(Prev, Root)];
+  Prev = Root;
+}
+
+CuTransitionGraph nimg::analyzeCuTransitions(const Program &P,
+                                             const TraceCapture &Capture,
+                                             SalvageStats *StatsOut) {
+  CuTransitionGraph G;
+  if (Capture.Options.Mode != TraceMode::CuOrder) {
+    NIMG_COUNTER_ADD("nimg.salvage.mode_mismatch", 1);
+    if (StatsOut) {
+      *StatsOut = SalvageStats{};
+      StatsOut->ModeMismatch = true;
+    }
+    return G;
+  }
+
+  SalvageStats Stats;
+  PathGraphCache Paths(P); // Unused for cu records but required by replay.
+  std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Stats);
+
+  // One task per traced thread; edges never cross a thread boundary (a
+  // temporal adjacency only exists within one thread's execution), so the
+  // per-thread graphs are independent.
+  std::vector<CallGraphAnalysis> PerThread(Capture.Threads.size());
+  parallelMap(Capture.Threads.size(), 1, "replay_cluster", [&](size_t T) {
+    LocalPathCache Local(Paths);
+    replayThreadPrefix(P, Capture.Options.Mode, Capture.Threads[T].Words,
+                       Prefix[T], Local, {&PerThread[T]});
+    return 0;
+  });
+
+  // Thread-order merge: first-seen orders concatenate with a global seen
+  // set (earlier threads win ties, exactly as a sequential replay of the
+  // concatenated threads would), and edge weights sum — both independent
+  // of which worker ran which thread, so the graph is byte-identical for
+  // any --jobs value.
+  std::unordered_set<MethodId> Seen;
+  std::unordered_map<uint64_t, uint64_t> Weights;
+  for (const CallGraphAnalysis &A : PerThread) {
+    for (MethodId M : A.FirstSeen)
+      if (Seen.insert(M).second)
+        G.FirstSeen.push_back(M);
+    for (const auto &[Key, W] : A.Weights)
+      Weights[Key] += W;
+  }
+
+  G.Edges.reserve(Weights.size());
+  for (const auto &[Key, W] : Weights) {
+    CuTransitionGraph::Edge E;
+    E.From = MethodId(int32_t(Key >> 32));
+    E.To = MethodId(int32_t(Key & 0xffffffffu));
+    E.Weight = W;
+    G.Edges.push_back(E);
+  }
+  // The map's iteration order is unspecified; fix a deterministic edge
+  // order here so every consumer sees the same graph.
+  std::sort(G.Edges.begin(), G.Edges.end(),
+            [](const CuTransitionGraph::Edge &A,
+               const CuTransitionGraph::Edge &B) {
+              if (A.From != B.From)
+                return A.From < B.From;
+              return A.To < B.To;
+            });
+
+  NIMG_COUNTER_ADD("nimg.order.cluster.graph_nodes", G.FirstSeen.size());
+  NIMG_COUNTER_ADD("nimg.order.cluster.graph_edges", G.Edges.size());
+  if (StatsOut)
+    *StatsOut = Stats;
+  return G;
+}

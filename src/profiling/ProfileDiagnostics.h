@@ -44,6 +44,8 @@ enum class ProfileError : uint8_t {
   MalformedCell,       ///< A payload cell failed to parse (row skipped).
   LegacyFormat,        ///< Informational: headerless pre-v1 file.
   WorkerFault,         ///< A parallel build task threw; its unit degraded.
+  EmptyTransitionGraph, ///< Cluster analysis saw no CU transitions; the
+                        ///< profile degraded to plain cu ordering.
 };
 
 inline const char *profileErrorName(ProfileError E) {
@@ -68,6 +70,8 @@ inline const char *profileErrorName(ProfileError E) {
     return "legacy headerless format";
   case ProfileError::WorkerFault:
     return "worker task fault";
+  case ProfileError::EmptyTransitionGraph:
+    return "empty transition graph";
   }
   return "unknown";
 }
@@ -96,6 +100,8 @@ inline const char *profileErrorSlug(ProfileError E) {
     return "legacy_format";
   case ProfileError::WorkerFault:
     return "worker_fault";
+  case ProfileError::EmptyTransitionGraph:
+    return "empty_transition_graph";
   }
   return "unknown";
 }

@@ -55,7 +55,7 @@ TEST(CodeOrdering, ProfiledCusComeFirstInProfileOrder) {
   CodeFixture F({"aa", "bb", "cc", "dd"});
   CodeProfile Profile;
   Profile.Sigs = {"T.cc()", "T.aa()"};
-  auto Order = orderCusWithProfile(F.P, F.CP, Profile, false);
+  auto Order = orderCusWithProfile(F.P, F.CP, Profile, CodeStrategy::CuOrder);
   auto Roots = F.orderedRoots(Order);
   ASSERT_GE(Roots.size(), 4u);
   EXPECT_EQ(Roots[0], "cc");
@@ -66,7 +66,7 @@ TEST(CodeOrdering, UnprofiledCusKeepAlphabeticalOrder) {
   CodeFixture F({"aa", "bb", "cc", "dd"});
   CodeProfile Profile;
   Profile.Sigs = {"T.dd()"};
-  auto Roots = F.orderedRoots(orderCusWithProfile(F.P, F.CP, Profile, false));
+  auto Roots = F.orderedRoots(orderCusWithProfile(F.P, F.CP, Profile, CodeStrategy::CuOrder));
   std::vector<std::string> Tail(Roots.begin() + 1, Roots.end());
   // dd first; the rest stays alphabetical (and includes mainX at its
   // alphabetical position among the unprofiled CUs).
@@ -77,7 +77,7 @@ TEST(CodeOrdering, UnprofiledCusKeepAlphabeticalOrder) {
 TEST(CodeOrdering, EmptyProfileIsIdentity) {
   CodeFixture F({"aa", "bb", "cc"});
   CodeProfile Profile;
-  auto Order = orderCusWithProfile(F.P, F.CP, Profile, false);
+  auto Order = orderCusWithProfile(F.P, F.CP, Profile, CodeStrategy::CuOrder);
   for (size_t I = 0; I < Order.size(); ++I)
     EXPECT_EQ(Order[I], int32_t(I));
 }
@@ -105,8 +105,8 @@ TEST(CodeOrdering, MethodBasedUsesInlinedMembers) {
 
   CodeProfile Profile;
   Profile.Sigs = {"T.zcallee()"}; // only the callee observed
-  auto CuOrder = orderCusWithProfile(P, CP, Profile, /*MethodBased=*/false);
-  auto MethodOrder = orderCusWithProfile(P, CP, Profile, /*MethodBased=*/true);
+  auto CuOrder = orderCusWithProfile(P, CP, Profile, CodeStrategy::CuOrder);
+  auto MethodOrder = orderCusWithProfile(P, CP, Profile, CodeStrategy::MethodOrder);
   // cu ordering: no CU root matches -> alphabetical (acaller first anyway).
   // method ordering: both the callee CU and the caller CU (contains an
   // inlined copy) rank at position 0; stable sort keeps default order.

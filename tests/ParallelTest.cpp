@@ -203,7 +203,8 @@ class Main {
 
 /// Everything the pipeline emits that must not depend on the worker count.
 struct PipelineArtifacts {
-  std::string CuCsv, MethodCsv, HeapIncCsv, HeapStructCsv, HeapPathCsv;
+  std::string CuCsv, MethodCsv, ClusterCsv, HeapIncCsv, HeapStructCsv,
+      HeapPathCsv;
   std::vector<uint64_t> IncIds, StructIds, PathIds;
   uint64_t InlineFingerprint = 0;
   std::vector<uint8_t> ImageBytes;
@@ -227,6 +228,7 @@ PipelineArtifacts runPipeline(int Jobs) {
   CollectedProfiles Prof = collectProfiles(P, ProfCfg, RunConfig());
   Art.CuCsv = Prof.Cu.toCsv();
   Art.MethodCsv = Prof.Method.toCsv();
+  Art.ClusterCsv = Prof.Cluster.toCsv();
   Art.HeapIncCsv = Prof.IncrementalId.toCsv();
   Art.HeapStructCsv = Prof.StructuralHash.toCsv();
   Art.HeapPathCsv = Prof.HeapPath.toCsv();
@@ -264,6 +266,7 @@ TEST(ParallelPipelineTest, JobsOneAndEightAreByteIdentical) {
 
   EXPECT_EQ(One.CuCsv, Eight.CuCsv);
   EXPECT_EQ(One.MethodCsv, Eight.MethodCsv);
+  EXPECT_EQ(One.ClusterCsv, Eight.ClusterCsv);
   EXPECT_EQ(One.HeapIncCsv, Eight.HeapIncCsv);
   EXPECT_EQ(One.HeapStructCsv, Eight.HeapStructCsv);
   EXPECT_EQ(One.HeapPathCsv, Eight.HeapPathCsv);
@@ -282,6 +285,7 @@ TEST(ParallelPipelineTest, IntermediateJobCountsMatchToo) {
     PipelineArtifacts J = runPipeline(Jobs);
     EXPECT_EQ(One.ImageBytes, J.ImageBytes) << "jobs=" << Jobs;
     EXPECT_EQ(One.CuCsv, J.CuCsv) << "jobs=" << Jobs;
+    EXPECT_EQ(One.ClusterCsv, J.ClusterCsv) << "jobs=" << Jobs;
     EXPECT_EQ(One.HeapPathCsv, J.HeapPathCsv) << "jobs=" << Jobs;
   }
   setJobs(0);
