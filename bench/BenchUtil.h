@@ -19,11 +19,33 @@
 #include "src/core/Evaluation.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace nimg {
 namespace benchutil {
+
+/// True when the driver was invoked with `--smoke`: the bench-smoke ctest
+/// label runs every driver this way — a tiny configuration that exercises
+/// the full code path and the BENCH_*.json emission, not a measurement.
+inline bool smokeMode(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      return true;
+  return false;
+}
+
+/// Shrinks a suite run to smoke size: the first \p Keep workloads, one
+/// seed per strategy.
+inline void applySmoke(bool Smoke, std::vector<std::string> &Names,
+                       EvalOptions &Opts, size_t Keep = 2) {
+  if (!Smoke)
+    return;
+  if (Names.size() > Keep)
+    Names.resize(Keep);
+  Opts.Seeds = 1;
+}
 
 inline const std::vector<std::string> &strategyNames() {
   static const std::vector<std::string> Names = {

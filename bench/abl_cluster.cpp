@@ -20,6 +20,7 @@
 #include "src/workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace nimg;
 
@@ -49,7 +50,10 @@ uint64_t textFaultsOf(Program &P, CodeStrategy Code, const CodeProfile *Prof,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // --smoke: two budgets, two benchmarks — harness + JSON sanity for the
+  // bench-smoke ctest label.
+  bool Smoke = Argc > 1 && std::strcmp(Argv[1], "--smoke") == 0;
   RunConfig Run;
 
   //===--------------------------------------------------------------------===//
@@ -96,7 +100,10 @@ int main() {
     uint64_t TextFaults;
   };
   std::vector<SweepPoint> Sweep;
-  for (uint32_t Budget : {4096u, 8192u, 16384u, 32768u, 65536u, 0u}) {
+  std::vector<uint32_t> Budgets = {4096u, 8192u, 16384u, 32768u, 65536u, 0u};
+  if (Smoke)
+    Budgets = {4096u, 0u};
+  for (uint32_t Budget : Budgets) {
     ClusterOptions Opts;
     Opts.PageBudgetBytes = Budget;
     ClusterStats Stats;
@@ -124,7 +131,10 @@ int main() {
 
   std::vector<BenchResult> Results;
   size_t ClusterNoWorse = 0;
-  for (const std::string &Name : awfyBenchmarkNames()) {
+  std::vector<std::string> Names = awfyBenchmarkNames();
+  if (Smoke && Names.size() > 2)
+    Names.resize(2);
+  for (const std::string &Name : Names) {
     Errors.clear();
     std::unique_ptr<Program> P = compileBenchmark(awfyBenchmark(Name), Errors);
     if (!P)
@@ -152,7 +162,7 @@ int main() {
   std::printf("cluster <= cu on %zu of %zu benchmarks\n", ClusterNoWorse,
               Results.size());
 
-  benchjson::writeBenchJson(
+  bool Ok = benchjson::writeBenchJson(
       "BENCH_cluster.json", "abl_cluster", [&](obs::JsonWriter &W) {
         W.member("sweep_benchmark", std::string(SweepBench));
         W.key("budget_sweep");
@@ -186,5 +196,5 @@ int main() {
         W.member("cluster_le_cu_count", uint64_t(ClusterNoWorse));
         W.member("benchmark_count", uint64_t(Results.size()));
       });
-  return 0;
+  return Ok ? 0 : 1;
 }

@@ -21,6 +21,8 @@
 using namespace nimg;
 
 int main() {
+  // (--smoke is accepted implicitly: one workload, two runs — already
+  // smoke-sized for the bench-smoke ctest label.)
   BenchmarkSpec Spec = microserviceBenchmark("micronaut");
   std::vector<std::string> Errors;
   std::unique_ptr<Program> P = compileBenchmark(Spec, Errors);

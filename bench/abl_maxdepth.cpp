@@ -17,11 +17,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <unordered_map>
 
 using namespace nimg;
 
-int main() {
+int main(int Argc, char **Argv) {
+  // --smoke: sweep depths 0..2 only (bench-smoke ctest label).
+  bool Smoke = Argc > 1 && std::strcmp(Argv[1], "--smoke") == 0;
   BenchmarkSpec Spec = awfyBenchmark("Bounce");
   std::vector<std::string> Errors;
   std::unique_ptr<Program> P = compileBenchmark(Spec, Errors);
@@ -33,7 +36,7 @@ int main() {
   std::printf("%8s %12s %12s %14s %12s\n", "depth", "computeMs",
               "collisions", "crossBuild", "heapFaultF");
 
-  for (int Depth = 0; Depth <= 4; ++Depth) {
+  for (int Depth = 0; Depth <= (Smoke ? 2 : 4); ++Depth) {
     BuildConfig InstrCfg;
     InstrCfg.Seed = 1001;
     InstrCfg.Instrumented = true;

@@ -15,10 +15,13 @@
 #include "src/workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace nimg;
 
-int main() {
+int main(int Argc, char **Argv) {
+  // --smoke: two readahead windows only (bench-smoke ctest label).
+  bool Smoke = Argc > 1 && std::strcmp(Argv[1], "--smoke") == 0;
   BenchmarkSpec Spec = awfyBenchmark("Havlak");
   std::vector<std::string> Errors;
   std::unique_ptr<Program> P = compileBenchmark(Spec, Errors);
@@ -46,7 +49,10 @@ int main() {
               "cu+heap path)\n");
   std::printf("%10s %14s %14s %14s %10s\n", "pages", "baseFaults",
               "optFaults", "totalFactor", "speedup");
-  for (uint32_t Window : {1u, 2u, 4u, 8u, 16u, 32u}) {
+  std::vector<uint32_t> Windows = {1u, 2u, 4u, 8u, 16u, 32u};
+  if (Smoke)
+    Windows = {1u, 4u};
+  for (uint32_t Window : Windows) {
     RunConfig RC = Run;
     RC.Paging.ReadaheadPages = Window;
     RunStats B = runImage(Baseline, RC);

@@ -19,16 +19,35 @@
 using namespace nimg;
 using namespace nimg::benchutil;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Smoke = smokeMode(Argc, Argv);
   EvalOptions Opts = defaultOptions();
+  std::vector<std::string> Names = awfyBenchmarkNames();
+  applySmoke(Smoke, Names, Opts);
   std::vector<BenchmarkEval> Evals =
-      evaluateSuite(awfyBenchmarkNames(), /*Microservices=*/false, Opts);
+      evaluateSuite(Names, /*Microservices=*/false, Opts);
 
   printHeader("Figure 2 — AWFY page-fault reduction",
               ".text faults for cu/method, .svm_heap faults for heap "
               "strategies, both for cu+heap path",
               Opts.Seeds);
   printFactorTable(Evals, faultFactorOf);
+
+  // The same evaluation with hot/cold splitting enabled everywhere —
+  // baseline and variants alike — so the factors isolate what ordering
+  // adds on top of split images (the split-vs-unsplit axis itself is
+  // abl_split's job).
+  EvalOptions SplitOpts = Opts;
+  SplitOpts.Build.Split = SplitMode::HotCold;
+  std::vector<BenchmarkEval> SplitEvals =
+      evaluateSuite(Names, /*Microservices=*/false, SplitOpts);
+  std::printf("\nwith --split hotcold (all images split, same factor "
+              "convention):\n\n");
+  std::printf("%-12s", "benchmark");
+  for (const std::string &S : strategyNames())
+    std::printf(" %15s", S.c_str());
+  std::printf("\n");
+  printFactorTable(SplitEvals, faultFactorOf);
 
   std::printf("\nSec. 7.2 — accessed heap-snapshot objects (paper: ~4%% "
               "average on AWFY):\n");
@@ -45,36 +64,51 @@ int main() {
   std::printf("  %-12s %5.1f%%\n", "average",
               Pcts.empty() ? 0.0 : Sum / double(Pcts.size()));
 
-  benchjson::writeBenchJson("BENCH_fig2.json", "fig2", [&](obs::JsonWriter &W) {
-    W.member("seeds", uint64_t(Opts.Seeds));
-    W.key("benchmarks");
-    W.beginArray();
-    for (const BenchmarkEval &E : Evals) {
-      W.beginObject();
-      W.member("name", E.Benchmark);
-      W.key("fault_factors");
-      W.beginObject();
-      for (const std::string &S : strategyNames()) {
-        const VariantEval *V = E.variant(S);
-        W.member(S, V ? faultFactorOf(*V) : 1.0);
-      }
-      W.endObject();
-      W.member("pct_stored_objects_touched", E.PctStoredObjectsTouched);
-      W.member("snapshot_objects", uint64_t(E.SnapshotObjects));
-      W.endObject();
-    }
-    W.endArray();
-    W.key("geomean_fault_factors");
-    W.beginObject();
-    for (const std::string &S : strategyNames()) {
-      std::vector<double> Fs;
-      for (const BenchmarkEval &E : Evals) {
-        const VariantEval *V = E.variant(S);
-        Fs.push_back(V ? faultFactorOf(*V) : 1.0);
-      }
-      W.member(S, geomean(Fs));
-    }
-    W.endObject();
-  });
-  return 0;
+  bool Ok = benchjson::writeBenchJson(
+      "BENCH_fig2.json", "fig2", [&](obs::JsonWriter &W) {
+        W.member("seeds", uint64_t(Opts.Seeds));
+        W.member("smoke", Smoke);
+        W.key("benchmarks");
+        W.beginArray();
+        for (size_t I = 0; I < Evals.size(); ++I) {
+          const BenchmarkEval &E = Evals[I];
+          W.beginObject();
+          W.member("name", E.Benchmark);
+          W.key("fault_factors");
+          W.beginObject();
+          for (const std::string &S : strategyNames()) {
+            const VariantEval *V = E.variant(S);
+            W.member(S, V ? faultFactorOf(*V) : 1.0);
+          }
+          W.endObject();
+          W.key("fault_factors_split");
+          W.beginObject();
+          for (const std::string &S : strategyNames()) {
+            const VariantEval *V = SplitEvals[I].variant(S);
+            W.member(S, V ? faultFactorOf(*V) : 1.0);
+          }
+          W.endObject();
+          W.member("pct_stored_objects_touched", E.PctStoredObjectsTouched);
+          W.member("snapshot_objects", uint64_t(E.SnapshotObjects));
+          W.endObject();
+        }
+        W.endArray();
+        auto Geomeans = [&](const char *Key,
+                            const std::vector<BenchmarkEval> &Es) {
+          W.key(Key);
+          W.beginObject();
+          for (const std::string &S : strategyNames()) {
+            std::vector<double> Fs;
+            for (const BenchmarkEval &E : Es) {
+              const VariantEval *V = E.variant(S);
+              Fs.push_back(V ? faultFactorOf(*V) : 1.0);
+            }
+            W.member(S, geomean(Fs));
+          }
+          W.endObject();
+        };
+        Geomeans("geomean_fault_factors", Evals);
+        Geomeans("geomean_fault_factors_split", SplitEvals);
+      });
+  return Ok ? 0 : 1;
 }

@@ -17,10 +17,12 @@
 using namespace nimg;
 using namespace nimg::benchutil;
 
-int main() {
+int main(int Argc, char **Argv) {
   EvalOptions Opts = defaultOptions();
+  std::vector<std::string> Names = microserviceNames();
+  applySmoke(smokeMode(Argc, Argv), Names, Opts, /*Keep=*/1);
   std::vector<BenchmarkEval> Evals =
-      evaluateSuite(microserviceNames(), /*Microservices=*/true, Opts);
+      evaluateSuite(Names, /*Microservices=*/true, Opts);
 
   printHeader("Figure 3 — microservice page-fault reduction",
               ".text faults for cu/method, .svm_heap faults for heap "

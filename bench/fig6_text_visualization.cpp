@@ -10,29 +10,48 @@
 //   '.' black  — page never mapped.
 // The regular binary's faults are scattered across the whole section; the
 // cu-ordered binary compacts the executed code at the front, leaving the
-// unprofiled native tail at the end (the paper's future-work note).
+// unprofiled native tail at the end (the paper's future-work note). Panel
+// (c) adds hot/cold splitting on top: the cold tail (marked '|' at its
+// first page) collects the never-executed block bytes and stays unmapped
+// on the first run.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "src/core/Builder.h"
 #include "src/workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace nimg;
 
-static void printPages(const std::vector<PageState> &Pages) {
+namespace {
+
+struct MapSummary {
+  size_t Faults = 0;
+  size_t Prefetched = 0;
+  uint64_t ColdFaults = 0;
+};
+
+/// Prints the page map; \p BoundaryPage (if >= 0) draws a '|' before that
+/// page to mark where the cold tail begins.
+MapSummary printPages(const std::vector<PageState> &Pages,
+                      int64_t BoundaryPage = -1) {
   const int Columns = 64;
   int Col = 0;
-  size_t Faults = 0, Prefetched = 0;
-  for (PageState S : Pages) {
+  MapSummary Sum;
+  for (size_t I = 0; I < Pages.size(); ++I) {
+    if (int64_t(I) == BoundaryPage)
+      std::putchar('|');
+    PageState S = Pages[I];
     char C = '.';
     if (S == PageState::Faulted) {
       C = '#';
-      ++Faults;
+      ++Sum.Faults;
     } else if (S == PageState::Prefetched) {
       C = '+';
-      ++Prefetched;
+      ++Sum.Prefetched;
     }
     std::putchar(C);
     if (++Col == Columns) {
@@ -42,22 +61,45 @@ static void printPages(const std::vector<PageState> &Pages) {
   }
   if (Col)
     std::putchar('\n');
-  std::printf("faults=%zu, readahead-mapped=%zu\n", Faults, Prefetched);
+  std::printf("faults=%zu, readahead-mapped=%zu\n", Sum.Faults,
+              Sum.Prefetched);
+  return Sum;
 }
 
-static void printPageMap(const char *Title, const RunStats &Stats) {
+MapSummary printPageMap(const char *Title, const RunStats &Stats,
+                        const NativeImage *Split = nullptr) {
   std::printf("%s\n", Title);
-  std::printf(".text (%zu pages; # fault, + readahead, . unmapped):\n",
-              Stats.TextPages.size());
-  printPages(Stats.TextPages);
+  int64_t Boundary = -1;
+  if (Split && Split->Layout.ColdTailSize > 0)
+    Boundary = int64_t(Split->Layout.ColdTailOffset /
+                       Split->Layout.PageSize);
+  std::printf(".text (%zu pages; # fault, + readahead, . unmapped%s):\n",
+              Stats.TextPages.size(),
+              Boundary >= 0 ? ", | cold-tail start" : "");
+  MapSummary Sum = printPages(Stats.TextPages, Boundary);
+  if (Split) {
+    Sum.ColdFaults = Stats.TextColdFaults;
+    std::printf("cold tail: %llu bytes at offset %llu (pages %lld+), "
+                "first-run faults inside it: %llu\n",
+                (unsigned long long)Split->Layout.ColdTailSize,
+                (unsigned long long)Split->Layout.ColdTailOffset,
+                (long long)Boundary, (unsigned long long)Sum.ColdFaults);
+  }
   // The paper's appendix plans "a similar visualization for the
   // heap-snapshot section" as future work; here it is.
   std::printf(".svm_heap (%zu pages):\n", Stats.HeapPages.size());
   printPages(Stats.HeapPages);
   std::printf("\n");
+  return Sum;
 }
 
-int main() {
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // --smoke is accepted for the bench-smoke ctest label; a single
+  // workload's three builds are already smoke-sized, so it only tags the
+  // JSON artifact.
+  bool Smoke = Argc > 1 && std::strcmp(Argv[1], "--smoke") == 0;
   BenchmarkSpec Spec = awfyBenchmark("Bounce");
   std::vector<std::string> Errors;
   std::unique_ptr<Program> P = compileBenchmark(Spec, Errors);
@@ -78,7 +120,7 @@ int main() {
   Base.Seed = 7;
   NativeImage Regular = buildNativeImage(*P, Base);
   RunStats RegularStats = runImage(Regular, Run);
-  printPageMap("(a) regular binary", RegularStats);
+  MapSummary RegularSum = printPageMap("(a) regular binary", RegularStats);
 
   BuildConfig CuCfg = Base;
   CuCfg.CodeOrder = CodeStrategy::CuOrder;
@@ -88,7 +130,39 @@ int main() {
   CuCfg.HeapProf = &Prof.HeapPath;
   NativeImage Optimized = buildNativeImage(*P, CuCfg);
   RunStats OptimizedStats = runImage(Optimized, Run);
-  printPageMap("(b) binary optimized with the cu + heap-path strategies",
-               OptimizedStats);
-  return 0;
+  MapSummary OptimizedSum = printPageMap(
+      "(b) binary optimized with the cu + heap-path strategies",
+      OptimizedStats);
+
+  BuildConfig SplitCfg = CuCfg;
+  SplitCfg.Split = SplitMode::HotCold;
+  SplitCfg.BlockProf = &Prof.Blocks;
+  NativeImage SplitImg = buildNativeImage(*P, SplitCfg);
+  RunStats SplitStats = runImage(SplitImg, Run);
+  MapSummary SplitSum = printPageMap(
+      "(c) same, plus --split hotcold (cold tail after '|')", SplitStats,
+      &SplitImg);
+
+  bool Ok = benchjson::writeBenchJson(
+      "BENCH_fig6.json", "fig6", [&](obs::JsonWriter &W) {
+        W.member("benchmark", std::string(Spec.Name));
+        W.member("smoke", Smoke);
+        auto Panel = [&](const char *Key, const MapSummary &S,
+                         const RunStats &Stats) {
+          W.key(Key);
+          W.beginObject();
+          W.member("text_pages", uint64_t(Stats.TextPages.size()));
+          W.member("text_faults", uint64_t(S.Faults));
+          W.member("text_readahead_pages", uint64_t(S.Prefetched));
+          W.endObject();
+        };
+        Panel("regular", RegularSum, RegularStats);
+        Panel("cu_heap_path", OptimizedSum, OptimizedStats);
+        Panel("cu_heap_path_split", SplitSum, SplitStats);
+        W.member("cold_tail_offset", SplitImg.Layout.ColdTailOffset);
+        W.member("cold_tail_size", SplitImg.Layout.ColdTailSize);
+        W.member("cold_tail_first_run_faults", SplitStats.TextColdFaults);
+        W.member("cus_split", uint64_t(SplitImg.Split.SplitCus));
+      });
+  return Ok ? 0 : 1;
 }

@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 using namespace nimg;
 
 static void BM_Murmur3(benchmark::State &State) {
@@ -89,4 +91,17 @@ static void BM_IncrementalIdTable(benchmark::State &State) {
 }
 BENCHMARK(BM_IncrementalIdTable);
 
-BENCHMARK_MAIN();
+// Custom main: accept the bench-smoke label's --smoke by rewriting it
+// into a tiny min-time (see micro_pipeline.cpp).
+int main(int Argc, char **Argv) {
+  static char MinTime[] = "--benchmark_min_time=0.01";
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Argv[I] = MinTime;
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

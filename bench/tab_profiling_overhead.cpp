@@ -14,9 +14,65 @@
 
 #include "BenchJson.h"
 #include "BenchUtil.h"
+#include "src/core/Builder.h"
 
 using namespace nimg;
 using namespace nimg::benchutil;
+
+namespace {
+
+/// Space cost of the trace itself, per recorded event, for both stream
+/// encodings (src/profiling/Trace.h): fixed 8-byte words vs. the
+/// LEB128/zigzag delta coding. Sec. 7.4 discusses time overhead only; the
+/// space axis decides whether traces from long startup windows fit their
+/// buffers, and the delta coding is what makes the memory-mapped dump
+/// mode affordable.
+struct EncodingCost {
+  std::string Mode;
+  double RawBytesPerEvent = 0;
+  double VarintBytesPerEvent = 0;
+};
+
+std::vector<EncodingCost> measureEncodingCosts(Program &P,
+                                               const RunConfig &Run) {
+  std::vector<EncodingCost> Out;
+  BuildConfig Cfg;
+  Cfg.Seed = 404;
+  Cfg.Instrumented = true;
+  NativeImage Img = buildNativeImage(P, Cfg);
+  if (Img.Built.Failed)
+    return Out;
+  const struct {
+    TraceMode Mode;
+    const char *Name;
+  } Modes[] = {{TraceMode::CuOrder, "cu"},
+               {TraceMode::MethodOrder, "method"},
+               {TraceMode::HeapOrder, "heap"}};
+  for (const auto &M : Modes) {
+    EncodingCost C;
+    C.Mode = M.Name;
+    for (TraceEncoding Enc :
+         {TraceEncoding::Raw, TraceEncoding::VarintDelta}) {
+      TraceOptions TOpts;
+      TOpts.Mode = M.Mode;
+      TOpts.Encoding = Enc;
+      RunConfig RC = Run;
+      RC.Trace = &TOpts;
+      TraceCapture Capture;
+      runImage(Img, RC, &Capture);
+      double PerEvent =
+          Capture.totalWords() == 0
+              ? 0.0
+              : double(Capture.totalBytes()) / double(Capture.totalWords());
+      (Enc == TraceEncoding::Raw ? C.RawBytesPerEvent
+                                 : C.VarintBytesPerEvent) = PerEvent;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+} // namespace
 
 static void writeSuiteJson(obs::JsonWriter &W,
                            const std::vector<BenchmarkEval> &Evals) {
@@ -59,24 +115,54 @@ static void printSuite(const char *Title,
               geomean(Method), geomean(Heap));
 }
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Smoke = smokeMode(Argc, Argv);
   EvalOptions Opts = defaultOptions();
   std::printf("Sec. 7.4 — tracing-profiler execution-time overhead "
               "(instrumented / baseline)\n\n");
 
+  std::vector<std::string> AwfyNames = awfyBenchmarkNames();
+  std::vector<std::string> MicroNames = microserviceNames();
+  applySmoke(Smoke, AwfyNames, Opts);
+  applySmoke(Smoke, MicroNames, Opts, /*Keep=*/1);
+
   std::vector<BenchmarkEval> Awfy =
-      evaluateSuite(awfyBenchmarkNames(), /*Microservices=*/false, Opts);
+      evaluateSuite(AwfyNames, /*Microservices=*/false, Opts);
   printSuite("AWFY (buffer dump mode: flush on full / at termination)",
              Awfy);
 
   std::vector<BenchmarkEval> Micro =
-      evaluateSuite(microserviceNames(), /*Microservices=*/true, Opts);
+      evaluateSuite(MicroNames, /*Microservices=*/true, Opts);
   printSuite("microservices (buffer dump mode: memory-mapped trace files)",
              Micro);
 
-  benchjson::writeBenchJson(
+  // Space overhead of the trace stream itself, per recorded event.
+  const char *CostBench = Smoke ? "Bounce" : "Richards";
+  std::vector<std::string> Errors;
+  std::unique_ptr<Program> CostP =
+      compileBenchmark(awfyBenchmark(CostBench), Errors);
+  std::vector<EncodingCost> Costs;
+  if (CostP) {
+    RunConfig Run;
+    Costs = measureEncodingCosts(*CostP, Run);
+    std::printf("trace bytes per event (AWFY %s; raw = fixed 8-byte "
+                "words, varint = LEB128 zigzag deltas)\n",
+                CostBench);
+    std::printf("%-12s %10s %10s %10s\n", "tracing", "raw", "varint",
+                "ratio");
+    for (const EncodingCost &C : Costs)
+      std::printf("%-12s %10.2f %10.2f %9.1fx\n", C.Mode.c_str(),
+                  C.RawBytesPerEvent, C.VarintBytesPerEvent,
+                  C.VarintBytesPerEvent == 0
+                      ? 1.0
+                      : C.RawBytesPerEvent / C.VarintBytesPerEvent);
+    std::printf("\n");
+  }
+
+  bool Ok = benchjson::writeBenchJson(
       "BENCH_overhead.json", "tab_overhead", [&](obs::JsonWriter &W) {
         W.member("seeds", uint64_t(Opts.Seeds));
+        W.member("smoke", Smoke);
         W.key("awfy");
         W.beginObject();
         writeSuiteJson(W, Awfy);
@@ -85,6 +171,16 @@ int main() {
         W.beginObject();
         writeSuiteJson(W, Micro);
         W.endObject();
+        W.key("trace_bytes_per_event");
+        W.beginArray();
+        for (const EncodingCost &C : Costs) {
+          W.beginObject();
+          W.member("tracing", C.Mode);
+          W.member("raw", C.RawBytesPerEvent);
+          W.member("varint_delta", C.VarintBytesPerEvent);
+          W.endObject();
+        }
+        W.endArray();
       });
-  return 0;
+  return Ok ? 0 : 1;
 }

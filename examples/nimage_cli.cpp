@@ -7,6 +7,7 @@
 //
 //   nimage_cli build  <bench|file.mj> [--out image.nimg] [--seed N]
 //                     [--code cu|method|cluster] [--heap inc|struct|path]
+//                     [--split none|hotcold]
 //   nimage_cli run    <bench|file.mj> [--image image.nimg] [--warm]
 //   nimage_cli profile <bench|file.mj> [--dir profiles/] [--cluster-budget B]
 //
@@ -114,7 +115,7 @@ int usage() {
                "usage:\n"
                "  nimage_cli build   <target> [--out F] [--seed N] "
                "[--profiles DIR] [--code cu|method|cluster] "
-               "[--heap inc|struct|path]\n"
+               "[--heap inc|struct|path] [--split none|hotcold]\n"
                "  nimage_cli run     <target> [--image F] [--warm]\n"
                "  nimage_cli profile <target> [--dir DIR] "
                "[--cluster-budget BYTES]\n"
@@ -184,6 +185,7 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
   bool Ok = writeFile(Dir + "/cu.csv", Prof.Cu.toCsv()) &&
             writeFile(Dir + "/method.csv", Prof.Method.toCsv()) &&
             writeFile(Dir + "/cluster.csv", Prof.Cluster.toCsv()) &&
+            writeFile(Dir + "/blocks.csv", Prof.Blocks.toCsv()) &&
             writeFile(Dir + "/heap_inc.csv", Prof.IncrementalId.toCsv()) &&
             writeFile(Dir + "/heap_struct.csv", Prof.StructuralHash.toCsv()) &&
             writeFile(Dir + "/heap_path.csv", Prof.HeapPath.toCsv());
@@ -191,8 +193,8 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
     std::fprintf(stderr, "error: cannot write profiles to %s\n", Dir.c_str());
     return 1;
   }
-  std::printf("wrote ordering profiles to %s/{cu,method,cluster,heap_inc,"
-              "heap_struct,heap_path}.csv\n",
+  std::printf("wrote ordering profiles to %s/{cu,method,cluster,blocks,"
+              "heap_inc,heap_struct,heap_path}.csv\n",
               Dir.c_str());
   std::printf("  cu entries: %zu, methods: %zu, heap objects: %zu\n",
               Prof.Cu.Sigs.size(), Prof.Method.Sigs.size(),
@@ -280,6 +282,33 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
     Cfg.UseHeapOrder = true;
     Cfg.HeapProf = &HeapProf;
   }
+  BlockProfile BlockProf;
+  if (const char *Split = flagValue(Argc, Argv, "--split")) {
+    if (std::strcmp(Split, "hotcold") == 0) {
+      Cfg.Split = SplitMode::HotCold;
+      std::string File = Dir + "/blocks.csv";
+      std::string Csv;
+      if (readFile(File, Csv)) {
+        ProfileReadReport Report;
+        BlockProf = BlockProfile::fromCsv(Csv, &Report);
+        Cfg.BlockProf = &BlockProf;
+        if (Report.RowsSkipped > 0)
+          std::fprintf(stderr, "warning: %s: skipped %zu malformed row(s)\n",
+                       File.c_str(), Report.RowsSkipped);
+      } else {
+        // A missing block profile is not fatal: the split pass degrades
+        // every CU to unsplit and records insufficient_block_profile.
+        std::fprintf(stderr,
+                     "warning: missing profile %s; building unsplit "
+                     "(run 'profile' first)\n",
+                     File.c_str());
+      }
+    } else if (std::strcmp(Split, "none") != 0) {
+      std::fprintf(stderr, "error: --split expects none|hotcold, got '%s'\n",
+                   Split);
+      return 2;
+    }
+  }
 
   NativeImage Img = buildNativeImage(*P, Cfg);
 
@@ -292,6 +321,9 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
   if (const char *HeapFlag = flagValue(Argc, Argv, "--heap"))
     Report.Variant +=
         (Report.Variant.empty() ? "" : " ") + std::string("heap=") + HeapFlag;
+  if (Cfg.Split == SplitMode::HotCold)
+    Report.Variant += (Report.Variant.empty() ? "" : " ") +
+                      std::string("split=hotcold");
   Report.setImage(Img);
 
   if (Img.Built.Failed) {
@@ -310,6 +342,12 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
               (unsigned long long)(Img.imageBytes() / 1024),
               (unsigned long long)(Img.Layout.TextSize / 1024),
               (unsigned long long)(Img.Layout.HeapSize / 1024));
+  if (Img.Split.active())
+    std::printf("  split: %u CU(s) split, %u degraded, cold tail %llu "
+                "bytes (+%llu stub bytes)\n",
+                Img.Split.SplitCus, Img.Split.DegradedCus,
+                (unsigned long long)Img.Layout.ColdTailSize,
+                (unsigned long long)Img.Split.StubBytes);
   if (Img.ProfileDiag.degraded()) {
     std::fprintf(stderr,
                  "warning: build degraded to default layout(s) — code "

@@ -46,6 +46,31 @@ bool codeProfileUsable(const CodeProfile &CP, CodeStrategy Strategy,
   return true;
 }
 
+/// Whether the offered block profile may drive hot/cold splitting. The
+/// salvage-coverage threshold is checked by the splitter itself (it owns
+/// the degradation accounting); this vets provenance only.
+bool blockProfileUsable(const BlockProfile &BP, uint64_t BuildFp,
+                        ProfileDiagnostics &Diag) {
+  if (BP.LoadError != ProfileError::None) {
+    addDiag(Diag, BP.LoadError, "block profile rejected at load");
+    return false;
+  }
+  if (BP.Header.Version == 0)
+    return true;
+  if (BP.Header.Mode != TraceMode::MethodOrder) {
+    addDiag(Diag, ProfileError::ModeMismatch,
+            "block counts must come from a method-order path trace");
+    return false;
+  }
+  if (BP.Header.Fingerprint != 0 && BuildFp != 0 &&
+      BP.Header.Fingerprint != BuildFp) {
+    addDiag(Diag, ProfileError::FingerprintMismatch,
+            "block profile came from a different program");
+    return false;
+  }
+  return true;
+}
+
 bool heapProfileUsable(const HeapProfile &HP, HeapStrategy Strategy,
                        uint64_t BuildFp, ProfileDiagnostics &Diag) {
   if (HP.LoadError != ProfileError::None) {
@@ -107,6 +132,17 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
       NIMG_COUNTER_ADD("nimg.build.degraded.code", 1);
     }
   }
+  const BlockProfile *BlockProf = Cfg.BlockProf;
+  bool SplitRequested = Cfg.Split == SplitMode::HotCold && !Cfg.Instrumented;
+  if (SplitRequested && BlockProf) {
+    Img.ProfileDiag.BlockProfileProvided = true;
+    if (blockProfileUsable(*BlockProf, BuildFp, Img.ProfileDiag)) {
+      Img.ProfileDiag.BlockProfileApplied = true;
+    } else {
+      BlockProf = nullptr;
+      NIMG_COUNTER_ADD("nimg.build.degraded.split", 1);
+    }
+  }
   const HeapProfile *HeapProf = Cfg.HeapProf;
   if (Cfg.UseHeapOrder && HeapProf) {
     Img.ProfileDiag.HeapProfileProvided = true;
@@ -150,6 +186,25 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
     NIMG_COUNTER_ADD("nimg.build.degraded.cu_compile", 1);
   }
 
+  // 2b. Hot/cold CU splitting (--split hotcold): a pure function of the
+  //     compiled CUs and the merged block profile, so its decisions — and
+  //     the fingerprint folded below — are byte-identical at any --jobs.
+  if (SplitRequested) {
+    NIMG_SPAN("build", "split");
+    Img.Split = splitCompiledProgram(P, Img.Code, BlockProf, Cfg.SplitOpts);
+    for (const ProfileIssue &I : Img.Split.Issues) {
+      Img.ProfileDiag.Issues.push_back(I);
+      NIMG_COUNTER_ADD_DYN(std::string("nimg.build.profile_rejected.") +
+                               profileErrorSlug(I.Kind),
+                           1);
+    }
+    // A wholesale degrade (no profile, bad coverage) means nothing was
+    // actually applied even when the header vetted clean.
+    if (Img.Split.SplitCus == 0 &&
+        Img.Split.DegradedCus == uint32_t(Img.Code.CUs.size()))
+      Img.ProfileDiag.BlockProfileApplied = false;
+  }
+
   // 3. Code ordering (Sec. 4) — determines .text placement and, through
   //    it, the default object traversal order.
   std::vector<int32_t> CuOrder;
@@ -171,7 +226,10 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
   SnapshotConfig SnapCfg;
   SnapCfg.EnablePea = Cfg.EnablePea;
   SnapCfg.PeaRate = Cfg.PeaRate;
-  SnapCfg.PeaFingerprint = mix64(Img.Code.InlineFingerprint, Cfg.Seed);
+  uint64_t InlineFp = Img.Code.InlineFingerprint;
+  if (Img.Split.active())
+    InlineFp = mix64(InlineFp, Img.Split.DecisionFingerprint);
+  SnapCfg.PeaFingerprint = mix64(InlineFp, Cfg.Seed);
   SnapCfg.CuOrder = CuOrder;
   {
     NIMG_SPAN("build", "snapshot");
@@ -202,7 +260,7 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
     NIMG_SPAN("build", "layout");
     Img.Layout =
         computeImageLayout(P, Img.Code, Img.Snapshot, CuOrder, ObjOrder,
-                           Cfg.Image);
+                           Cfg.Image, &Img.Split);
   }
   NIMG_GAUGE_SET("nimg.build.last_text_size", int64_t(Img.Layout.TextSize));
   NIMG_GAUGE_SET("nimg.build.last_heap_size", int64_t(Img.Layout.HeapSize));
@@ -236,6 +294,10 @@ CollectedProfiles nimg::collectProfiles(Program &P,
     // (Sec. 6.1); AWFY-style runs terminate normally and flush.
     TOpts.Dump = RunCfg.StopAtFirstResponse ? DumpMode::MemoryMapped
                                             : DumpMode::FlushOnFull;
+    // Varint-delta dumps cut the persisted bytes (and the modeled mmap
+    // probe cost) to a fraction of the raw 8 bytes/word; salvage and the
+    // analyses decode both encodings transparently.
+    TOpts.Encoding = TraceEncoding::VarintDelta;
     RunConfig RC = RunCfg;
     RC.Trace = &TOpts;
     TraceCapture Capture;
@@ -286,6 +348,14 @@ CollectedProfiles nimg::collectProfiles(Program &P,
     NIMG_SPAN("profile", "post.method");
     Out.Method = analyzeMethodOrder(P, MethodCap, Paths, &Out.MethodSalvage);
     Out.Method.Header.Fingerprint = Fp;
+  }
+  {
+    // Block counts reuse the method-order capture: every path record
+    // already names the blocks it visits, so splitting evidence costs one
+    // more post-processing pass, not another instrumented run.
+    NIMG_SPAN("profile", "post.blocks");
+    Out.Blocks = analyzeBlockCounts(P, MethodCap, Paths, nullptr);
+    Out.Blocks.Header.Fingerprint = Fp;
   }
 
   TraceCapture HeapCap;

@@ -59,6 +59,15 @@ struct BuildConfig {
   bool UseHeapOrder = false;
   const CodeProfile *CodeProf = nullptr;
   const HeapProfile *HeapProf = nullptr;
+
+  /// Hot/cold CU splitting (--split hotcold), orthogonal to the code
+  /// strategy. Ignored for instrumented builds (the profiling build must
+  /// keep the geometry the traces describe). Missing/unusable block
+  /// profiles degrade every CU to unsplit with an
+  /// insufficient_block_profile diagnostic; the build still succeeds.
+  SplitMode Split = SplitMode::None;
+  const BlockProfile *BlockProf = nullptr;
+  SplitOptions SplitOpts;
 };
 
 /// Runs the full pipeline over \p P. Asserts the program has a main
@@ -81,6 +90,9 @@ struct CollectedProfiles {
   /// Call-graph cluster ordering, derived from the same cu-mode trace as
   /// Cu (no extra instrumented run); a permutation of Cu's CU set.
   CodeProfile Cluster;
+  /// Per-block execution counts, derived from the same method-order trace
+  /// as Method (no extra instrumented run); feeds --split hotcold.
+  BlockProfile Blocks;
   HeapProfile IncrementalId;
   HeapProfile StructuralHash;
   HeapProfile HeapPath;

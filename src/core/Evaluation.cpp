@@ -111,6 +111,10 @@ BenchmarkEval nimg::evaluateBenchmark(const BenchmarkSpec &Spec,
         Cfg.HeapOrder = Heap;
         Cfg.HeapProf = &Prof.forStrategy(Heap);
       }
+      // --split hotcold rides along on any code strategy: wire the block
+      // profile whenever the caller's build config asks for splitting.
+      if (Cfg.Split != SplitMode::None)
+        Cfg.BlockProf = &Prof.Blocks;
       NativeImage Img = buildNativeImage(*P, Cfg);
       assert(!Img.Built.Failed && "image build failed");
       RunStats Stats = runImage(Img, Run);

@@ -274,6 +274,40 @@ std::vector<uint8_t> nimg::serializeImage(const Program &P,
   putU64s(B, Img.Layout.ObjectOffsets);
   B.appendU64(Img.Layout.HeapSize);
 
+  // Hot/cold split geometry. A deserialized split image must still know
+  // its fragment placement to run; build-time Issues are diagnostics and
+  // stay out of the binary.
+  B.appendU8(uint8_t(Img.Split.Mode));
+  B.appendU64(Img.Split.DecisionFingerprint);
+  B.appendU32(Img.Split.SplitCus);
+  B.appendU32(Img.Split.DegradedCus);
+  B.appendU64(Img.Split.HotBytes);
+  B.appendU64(Img.Split.ColdBytes);
+  B.appendU64(Img.Split.StubBytes);
+  B.appendU32(uint32_t(Img.Split.PerCu.size()));
+  for (const CuSplit &S : Img.Split.PerCu) {
+    B.appendU8(S.Split ? 1 : 0);
+    B.appendU32(S.HotSize);
+    B.appendU32(S.ColdSize);
+    B.appendU32(S.StubBytes);
+    B.appendU32(uint32_t(S.Copies.size()));
+    for (const CopySplit &CS : S.Copies) {
+      B.appendU32(CS.HotOffset);
+      B.appendU32(CS.HotSize);
+      B.appendU32(CS.ColdOffset);
+      B.appendU32(CS.ColdSize);
+      B.appendU32(uint32_t(CS.Blocks.size()));
+      for (const BlockPlace &BP : CS.Blocks) {
+        B.appendU32(BP.Offset);
+        B.appendU32(BP.Size);
+        B.appendU8(BP.Cold ? 1 : 0);
+      }
+    }
+  }
+  putU64s(B, Img.Layout.CuColdOffsets);
+  B.appendU64(Img.Layout.ColdTailOffset);
+  B.appendU64(Img.Layout.ColdTailSize);
+
   return B.bytes();
 }
 
@@ -426,10 +460,51 @@ bool nimg::deserializeImage(Program &P, const std::vector<uint8_t> &Bytes,
   Out.Layout.ObjectOffsets = C.u64s();
   Out.Layout.HeapSize = C.u64();
 
+  Out.Split.Mode = SplitMode(C.u8());
+  Out.Split.DecisionFingerprint = C.u64();
+  Out.Split.SplitCus = C.u32();
+  Out.Split.DegradedCus = C.u32();
+  Out.Split.HotBytes = C.u64();
+  Out.Split.ColdBytes = C.u64();
+  Out.Split.StubBytes = C.u64();
+  uint32_t NumSplitCus = C.u32();
+  Out.Split.PerCu.clear();
+  for (uint32_t I = 0; I < NumSplitCus && C.ok(); ++I) {
+    CuSplit S;
+    S.Split = C.u8() != 0;
+    S.HotSize = C.u32();
+    S.ColdSize = C.u32();
+    S.StubBytes = C.u32();
+    uint32_t NumCopies = C.u32();
+    for (uint32_t K = 0; K < NumCopies && C.ok(); ++K) {
+      CopySplit CS;
+      CS.HotOffset = C.u32();
+      CS.HotSize = C.u32();
+      CS.ColdOffset = C.u32();
+      CS.ColdSize = C.u32();
+      uint32_t NumBlocks = C.u32();
+      for (uint32_t J = 0; J < NumBlocks && C.ok(); ++J) {
+        BlockPlace BP;
+        BP.Offset = C.u32();
+        BP.Size = C.u32();
+        BP.Cold = C.u8() != 0;
+        CS.Blocks.push_back(BP);
+      }
+      S.Copies.push_back(std::move(CS));
+    }
+    Out.Split.PerCu.push_back(std::move(S));
+  }
+  Out.Layout.CuColdOffsets = C.u64s();
+  Out.Layout.ColdTailOffset = C.u64();
+  Out.Layout.ColdTailSize = C.u64();
+
   if (!C.ok())
     return false;
   if (Out.Layout.CuOffsets.size() != Out.Code.CUs.size() ||
-      Out.Ids.IncrementalIds.size() != Out.Snapshot.Entries.size()) {
+      Out.Ids.IncrementalIds.size() != Out.Snapshot.Entries.size() ||
+      (Out.Split.active() &&
+       (Out.Split.PerCu.size() != Out.Code.CUs.size() ||
+        Out.Layout.CuColdOffsets.size() != Out.Code.CUs.size()))) {
     Error = "inconsistent image file";
     return false;
   }

@@ -13,9 +13,13 @@ ImageLayout nimg::computeImageLayout(const Program &P,
                                      const HeapSnapshot &Snap,
                                      const std::vector<int32_t> &CuOrder,
                                      const std::vector<int32_t> &ObjectOrder,
-                                     const ImageOptions &Opts) {
+                                     const ImageOptions &Opts,
+                                     const SplitResult *Split) {
   ImageLayout L;
   L.PageSize = Opts.PageSize;
+  bool Splitting = Split && Split->active();
+  assert((!Splitting || Split->PerCu.size() == CP.CUs.size()) &&
+         "split result must cover every CU");
 
   // --- .text ---------------------------------------------------------------
   L.CuOrder = CuOrder;
@@ -24,12 +28,33 @@ ImageLayout nimg::computeImageLayout(const Program &P,
       L.CuOrder.push_back(int32_t(I));
   assert(L.CuOrder.size() == CP.CUs.size() && "CU order must be a permutation");
 
+  // Hot fragments (or whole CUs) go wherever the active code strategy puts
+  // them — splitting composes with cu/method/cluster ordering.
   L.CuOffsets.assign(CP.CUs.size(), 0);
   uint64_t Off = 0;
   for (int32_t CuIdx : L.CuOrder) {
     Off = alignUp(Off, Opts.CuAlignment);
     L.CuOffsets[size_t(CuIdx)] = Off;
-    Off += CP.CUs[size_t(CuIdx)].CodeSize;
+    Off += Splitting ? Split->PerCu[size_t(CuIdx)].HotSize
+                     : CP.CUs[size_t(CuIdx)].CodeSize;
+  }
+  if (Splitting) {
+    // Cold fragments pack after the last page the hot code can touch, in
+    // the same placement order (a pure function of the split decisions and
+    // the CU order — byte-identical at any --jobs).
+    L.ColdTailOffset = alignUp(Off, Opts.PageSize);
+    L.CuColdOffsets.assign(CP.CUs.size(), ImageLayout::NotStored);
+    uint64_t ColdOff = L.ColdTailOffset;
+    for (int32_t CuIdx : L.CuOrder) {
+      const CuSplit &S = Split->PerCu[size_t(CuIdx)];
+      if (!S.Split)
+        continue;
+      ColdOff = alignUp(ColdOff, Opts.CuAlignment);
+      L.CuColdOffsets[size_t(CuIdx)] = ColdOff;
+      ColdOff += S.ColdSize;
+    }
+    L.ColdTailSize = ColdOff - L.ColdTailOffset;
+    Off = ColdOff;
   }
   L.NativeTailOffset = alignUp(Off, Opts.PageSize);
   L.NativeTailSize = Opts.NativeTailSize;

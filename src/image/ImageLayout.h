@@ -22,6 +22,7 @@
 #define NIMG_IMAGE_IMAGELAYOUT_H
 
 #include "src/compiler/Inliner.h"
+#include "src/compiler/Splitter.h"
 #include "src/heap/Snapshot.h"
 
 #include <vector>
@@ -41,7 +42,15 @@ struct ImageLayout {
 
   // .text ------------------------------------------------------------------
   std::vector<int32_t> CuOrder;    ///< CU indices in placement order.
-  std::vector<uint64_t> CuOffsets; ///< Indexed by CU index.
+  std::vector<uint64_t> CuOffsets; ///< Indexed by CU index; a split CU's
+                                   ///< offset addresses its hot fragment.
+  /// Cold-fragment offset per CU index; NotStored for unsplit CUs. Cold
+  /// fragments pack into [ColdTailOffset, ColdTailOffset + ColdTailSize),
+  /// after the last page the startup-hot fragments can touch and before
+  /// the native tail (hot/cold splitting, --split hotcold).
+  std::vector<uint64_t> CuColdOffsets;
+  uint64_t ColdTailOffset = 0;
+  uint64_t ColdTailSize = 0;
   uint64_t NativeTailOffset = 0;
   uint64_t NativeTailSize = 0;
   uint64_t TextSize = 0;
@@ -64,12 +73,17 @@ struct ImageLayout {
 
 /// Computes the layout. \p CuOrder and \p ObjectOrder are the ordering
 /// steps' outputs: empty means default order (CUs as compiled, objects in
-/// traversal order).
+/// traversal order). \p Split (optional) is the hot/cold splitting pass's
+/// result: hot fragments are placed by the active strategy exactly like
+/// whole CUs, cold fragments pack onto the cold tail in placement order.
+/// An inactive or null \p Split yields a byte-identical layout to before
+/// the splitter existed.
 ImageLayout computeImageLayout(const Program &P, const CompiledProgram &CP,
                                const HeapSnapshot &Snap,
                                const std::vector<int32_t> &CuOrder,
                                const std::vector<int32_t> &ObjectOrder,
-                               const ImageOptions &Opts = {});
+                               const ImageOptions &Opts = {},
+                               const SplitResult *Split = nullptr);
 
 } // namespace nimg
 

@@ -21,6 +21,7 @@
 
 #include "src/compiler/Inliner.h"
 #include "src/compiler/Reachability.h"
+#include "src/compiler/Splitter.h"
 #include "src/heap/BuildHeap.h"
 #include "src/heap/Snapshot.h"
 #include "src/image/ImageLayout.h"
@@ -33,6 +34,11 @@ struct NativeImage {
   Program *P = nullptr; ///< Not owned.
   ReachabilityResult Reach;
   CompiledProgram Code;
+  /// Hot/cold splitting decisions (--split hotcold); Mode == None and an
+  /// empty PerCu for unsplit builds. Serialized with the image — a
+  /// deserialized split image must still know its fragment geometry to
+  /// run.
+  SplitResult Split;
   BuildHeapResult Built;
   HeapSnapshot Snapshot;
   ImageLayout Layout;

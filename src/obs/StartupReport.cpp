@@ -40,6 +40,16 @@ void StartupReport::setImage(const NativeImage &Img) {
   BuildFailed = Img.Built.Failed;
   HasDiag = true;
   Diag = Img.ProfileDiag;
+  HasSplit = Img.Split.active();
+  if (HasSplit) {
+    SplitCus = Img.Split.SplitCus;
+    SplitDegradedCus = Img.Split.DegradedCus;
+    SplitHotBytes = Img.Split.HotBytes;
+    SplitColdBytes = Img.Split.ColdBytes;
+    SplitStubBytes = Img.Split.StubBytes;
+    ColdTailOffset = Img.Layout.ColdTailOffset;
+    ColdTailSize = Img.Layout.ColdTailSize;
+  }
 }
 
 static void writeSalvage(JsonWriter &W, const SalvageStats &S) {
@@ -77,6 +87,7 @@ std::string StartupReport::toJson() const {
     // exactly (tests compare them field-for-field).
     W.member("text_faults", Run.TextFaults);
     W.member("heap_faults", Run.HeapFaults);
+    W.member("text_cold_faults", Run.TextColdFaults);
     W.member("total_faults", Run.totalFaults());
     W.member("prefetched_pages", Run.PrefetchedPages);
     W.member("instructions", Run.Instructions);
@@ -107,6 +118,24 @@ std::string StartupReport::toJson() const {
     W.member("seed", Seed);
     W.member("instrumented", Instrumented);
     W.member("build_failed", BuildFailed);
+    W.endObject();
+  }
+
+  if (HasSplit) {
+    W.key("split");
+    W.beginObject();
+    W.member("mode", "hotcold");
+    W.member("cus_split", uint64_t(SplitCus));
+    W.member("cus_degraded", uint64_t(SplitDegradedCus));
+    W.member("hot_bytes", SplitHotBytes);
+    W.member("cold_bytes", SplitColdBytes);
+    W.member("stub_bytes", SplitStubBytes);
+    W.member("cold_tail_offset", ColdTailOffset);
+    W.member("cold_tail_size", ColdTailSize);
+    if (HasRun) {
+      W.member("text_cold_faults", Run.TextColdFaults);
+      W.member("text_hot_faults", Run.TextFaults - Run.TextColdFaults);
+    }
     W.endObject();
   }
 
@@ -199,6 +228,7 @@ std::string StartupReport::toCsv() const {
   if (HasRun) {
     csvRow(Out, "run", "text_faults", num(Run.TextFaults));
     csvRow(Out, "run", "heap_faults", num(Run.HeapFaults));
+    csvRow(Out, "run", "text_cold_faults", num(Run.TextColdFaults));
     csvRow(Out, "run", "total_faults", num(Run.totalFaults()));
     csvRow(Out, "run", "prefetched_pages", num(Run.PrefetchedPages));
     csvRow(Out, "run", "instructions", num(Run.Instructions));
@@ -223,6 +253,22 @@ std::string StartupReport::toCsv() const {
     csvRow(Out, "image", "seed", num(Seed));
     csvRow(Out, "image", "instrumented", boolStr(Instrumented));
     csvRow(Out, "image", "build_failed", boolStr(BuildFailed));
+  }
+
+  if (HasSplit) {
+    csvRow(Out, "split", "mode", "hotcold");
+    csvRow(Out, "split", "cus_split", num(SplitCus));
+    csvRow(Out, "split", "cus_degraded", num(SplitDegradedCus));
+    csvRow(Out, "split", "hot_bytes", num(SplitHotBytes));
+    csvRow(Out, "split", "cold_bytes", num(SplitColdBytes));
+    csvRow(Out, "split", "stub_bytes", num(SplitStubBytes));
+    csvRow(Out, "split", "cold_tail_offset", num(ColdTailOffset));
+    csvRow(Out, "split", "cold_tail_size", num(ColdTailSize));
+    if (HasRun) {
+      csvRow(Out, "split", "text_cold_faults", num(Run.TextColdFaults));
+      csvRow(Out, "split", "text_hot_faults",
+             num(Run.TextFaults - Run.TextColdFaults));
+    }
   }
 
   if (HasDiag) {

@@ -83,6 +83,17 @@ private:
   bool Instrumented = false;
   bool BuildFailed = false;
 
+  /// Hot/cold splitting summary (present when the image was built with
+  /// --split hotcold, even if every CU degraded to unsplit).
+  bool HasSplit = false;
+  uint32_t SplitCus = 0;
+  uint32_t SplitDegradedCus = 0;
+  uint64_t SplitHotBytes = 0;
+  uint64_t SplitColdBytes = 0;
+  uint64_t SplitStubBytes = 0;
+  uint64_t ColdTailOffset = 0;
+  uint64_t ColdTailSize = 0;
+
   bool HasDiag = false;
   ProfileDiagnostics Diag;
 

@@ -14,14 +14,18 @@ namespace {
 
 /// Union-find over graph nodes with the per-cluster state the greedy pass
 /// needs: the member sequence (in placement order) and the byte size.
-/// Sequences live only on representatives; a merge splices the absorbed
-/// cluster's sequence behind the absorbing one's.
+/// Sequences are intrusive singly-linked chains through NextNode — a merge
+/// is one O(1) pointer splice with no per-merge allocation or element
+/// copying (the old per-rep vectors re-copied every absorbed member).
 struct ClusterSet {
+  static constexpr size_t Npos = size_t(-1);
+
   explicit ClusterSet(size_t N)
-      : Parent(N), Bytes(N, 0), Sequence(N), MinRank(N) {
+      : Parent(N), Bytes(N, 0), NextNode(N, Npos), Head(N), Tail(N),
+        MinRank(N) {
     for (size_t I = 0; I < N; ++I) {
       Parent[I] = I;
-      Sequence[I] = {I};
+      Head[I] = Tail[I] = I;
       MinRank[I] = I;
     }
   }
@@ -38,16 +42,15 @@ struct ClusterSet {
   void merge(size_t Caller, size_t Callee) {
     Parent[Callee] = Caller;
     Bytes[Caller] += Bytes[Callee];
-    Sequence[Caller].insert(Sequence[Caller].end(),
-                            Sequence[Callee].begin(), Sequence[Callee].end());
-    Sequence[Callee].clear();
-    Sequence[Callee].shrink_to_fit();
+    NextNode[Tail[Caller]] = Head[Callee];
+    Tail[Caller] = Tail[Callee];
     MinRank[Caller] = std::min(MinRank[Caller], MinRank[Callee]);
   }
 
   std::vector<size_t> Parent;
   std::vector<uint64_t> Bytes;
-  std::vector<std::vector<size_t>> Sequence; ///< Node ranks, placement order.
+  std::vector<size_t> NextNode; ///< Chain link; Npos terminates.
+  std::vector<size_t> Head, Tail; ///< Chain ends, valid on reps only.
   std::vector<size_t> MinRank; ///< Earliest first-seen rank of any member.
 };
 
@@ -129,7 +132,8 @@ std::vector<MethodId> nimg::clusterLayout(const CuTransitionGraph &G,
   std::vector<MethodId> Order;
   Order.reserve(G.FirstSeen.size());
   for (size_t Rep : Reps)
-    for (size_t Node : Set.Sequence[Rep])
+    for (size_t Node = Set.Head[Rep]; Node != ClusterSet::Npos;
+         Node = Set.NextNode[Node])
       Order.push_back(G.FirstSeen[Node]);
 
   NIMG_COUNTER_ADD("nimg.order.cluster.merges", Stats.Merges);

@@ -7,9 +7,11 @@
 #include "src/support/Csv.h"
 #include "src/support/ThreadPool.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cinttypes>
 #include <cstdio>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace nimg;
@@ -90,6 +92,14 @@ bool parseHexU64(const std::string &Cell, uint64_t &Out) {
 
 bool parseDecU32(const std::string &Cell, uint32_t &Out) {
   if (Cell.empty() || Cell.size() > 9)
+    return false;
+  auto [Ptr, Ec] =
+      std::from_chars(Cell.data(), Cell.data() + Cell.size(), Out, 10);
+  return Ec == std::errc() && Ptr == Cell.data() + Cell.size();
+}
+
+bool parseDecU64(const std::string &Cell, uint64_t &Out) {
+  if (Cell.empty() || Cell.size() > 20)
     return false;
   auto [Ptr, Ec] =
       std::from_chars(Cell.data(), Cell.data() + Cell.size(), Out, 10);
@@ -304,6 +314,9 @@ void nimg::replayThreadPrefix(const Program &P, TraceMode Mode,
     if (Events.MethodEntry)
       for (OrderingAnalysis *A : Analyses)
         A->onMethodEnter(M);
+    for (BlockId B : Events.Blocks)
+      for (OrderingAnalysis *A : Analyses)
+        A->onBlockVisit(M, B);
     if (!HasOperands)
       continue;
     // A record cut mid-operands at the thread's end (mode-1 SIGKILL)
@@ -322,6 +335,14 @@ void nimg::replayTrace(const Program &P, const TraceCapture &Capture,
                        PathGraphCache &Paths,
                        const std::vector<OrderingAnalysis *> &Analyses,
                        SalvageStats *StatsOut) {
+  if (captureEncoded(Capture)) {
+    size_t Cut = 0;
+    TraceCapture Decoded = decodeCapture(Capture, &Cut);
+    replayTrace(P, Decoded, Paths, Analyses, StatsOut);
+    if (StatsOut)
+      StatsOut->IncompleteTailRecords += Cut;
+    return;
+  }
   SalvageStats Stats;
   std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Stats);
   LocalPathCache Local(Paths);
@@ -376,6 +397,15 @@ template <typename Analysis, typename Id>
 std::vector<Id> analyzeFirstSeen(const Program &P, const TraceCapture &Capture,
                                  PathGraphCache &Paths, const char *Stage,
                                  SalvageStats *StatsOut) {
+  if (captureEncoded(Capture)) {
+    size_t Cut = 0;
+    TraceCapture Decoded = decodeCapture(Capture, &Cut);
+    std::vector<Id> Out =
+        analyzeFirstSeen<Analysis, Id>(P, Decoded, Paths, Stage, StatsOut);
+    if (StatsOut)
+      StatsOut->IncompleteTailRecords += Cut;
+    return Out;
+  }
   SalvageStats Stats;
   std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Stats);
 
@@ -466,6 +496,154 @@ std::vector<int32_t> nimg::analyzeHeapAccessOrder(const Program &P,
   }
   return analyzeFirstSeen<EntryFirstSeen, int32_t>(P, Capture, Paths,
                                                    "replay_heap", Stats);
+}
+
+//===----------------------------------------------------------------------===//
+// Block execution counts (hot/cold splitting evidence).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// First payload cell of the coverage row. '@' cannot start a method
+/// signature, so the row is unambiguous in the payload.
+constexpr const char *CoverageRowTag = "@coverage";
+
+class BlockCountAnalysis : public OrderingAnalysis {
+public:
+  void onBlockVisit(MethodId M, BlockId B) override {
+    ++Counts[(uint64_t(uint32_t(M)) << 32) | uint32_t(B)];
+  }
+  std::unordered_map<uint64_t, uint64_t> Counts;
+};
+
+} // namespace
+
+std::string BlockProfile::toCsv() const {
+  CsvDocument Doc;
+  Doc.Rows.reserve(Rows.size() + 1);
+  Doc.Rows.push_back({CoverageRowTag, std::to_string(CoveragePermille)});
+  for (const Row &R : Rows)
+    Doc.Rows.push_back(
+        {R.Sig, std::to_string(R.Block), std::to_string(R.Count)});
+  std::string Body = writeCsv(Doc);
+  return headerRowCsv(Header, crc32(Body)) + Body;
+}
+
+BlockProfile BlockProfile::fromCsv(const std::string &Text,
+                                   ProfileReadReport *Report) {
+  ProfileReadReport Local;
+  ProfileReadReport &R = Report ? *Report : Local;
+  R = ProfileReadReport{};
+  BlockProfile P;
+  P.CoveragePermille = 0; // Only an explicit coverage row vouches for one.
+  CsvDocument Doc = parseCsv(Text);
+  size_t Start = readProfileHeader(Text, Doc, R);
+  P.Header = R.Header;
+  if (!R.usable()) {
+    P.LoadError = R.Fatal;
+    meterProfileLoad("block", R);
+    return P;
+  }
+  P.Rows.reserve(Doc.Rows.size() - Start);
+  for (size_t I = Start; I < Doc.Rows.size(); ++I) {
+    const std::vector<std::string> &Row = Doc.Rows[I];
+    if (isBlankRow(Row))
+      continue;
+    if (Row[0] == CoverageRowTag) {
+      uint32_t Permille = 0;
+      if (Row.size() < 2 || !parseDecU32(Row[1], Permille) ||
+          Permille > 1000) {
+        ++R.RowsSkipped;
+        addIssue(R, ProfileError::MalformedCell, I + 1, "bad coverage row");
+        continue;
+      }
+      P.CoveragePermille = Permille;
+      ++R.RowsKept;
+      continue;
+    }
+    BlockProfile::Row Parsed;
+    if (Row.size() < 3 || Row[0].empty() || Row[0].size() > MaxSigBytes ||
+        !parseDecU32(Row[1], Parsed.Block) ||
+        !parseDecU64(Row[2], Parsed.Count)) {
+      ++R.RowsSkipped;
+      addIssue(R, ProfileError::MalformedCell, I + 1, "bad block-count row");
+      continue;
+    }
+    Parsed.Sig = Row[0];
+    P.Rows.push_back(std::move(Parsed));
+    ++R.RowsKept;
+  }
+  meterProfileLoad("block", R);
+  return P;
+}
+
+BlockProfile nimg::analyzeBlockCounts(const Program &P,
+                                      const TraceCapture &Capture,
+                                      PathGraphCache &Paths,
+                                      SalvageStats *StatsOut) {
+  BlockProfile Out;
+  Out.Header.Mode = TraceMode::MethodOrder;
+  if (Capture.Options.Mode != TraceMode::MethodOrder) {
+    reportModeMismatch(StatsOut);
+    Out.CoveragePermille = 0;
+    return Out;
+  }
+  if (captureEncoded(Capture)) {
+    size_t Cut = 0;
+    TraceCapture Decoded = decodeCapture(Capture, &Cut);
+    Out = analyzeBlockCounts(P, Decoded, Paths, StatsOut);
+    if (StatsOut)
+      StatsOut->IncompleteTailRecords += Cut;
+    return Out;
+  }
+
+  SalvageStats Stats;
+  std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Stats);
+  std::vector<std::unordered_map<uint64_t, uint64_t>> PerThread = parallelMap(
+      Capture.Threads.size(), 1, "replay_blocks", [&](size_t T) {
+        BlockCountAnalysis A;
+        A.Counts.reserve(Prefix[T] < 4096 ? Prefix[T] : 4096);
+        LocalPathCache Local(Paths);
+        replayThreadPrefix(P, Capture.Options.Mode, Capture.Threads[T].Words,
+                           Prefix[T], Local, {&A});
+        return std::move(A.Counts);
+      });
+
+  // Counts merge by summation — order-insensitive, so the merged map is
+  // identical for any worker count; the sorted rows below fix the output
+  // byte order.
+  std::unordered_map<uint64_t, uint64_t> Merged;
+  size_t Hint = 0;
+  for (const auto &M : PerThread)
+    Hint += M.size();
+  Merged.reserve(Hint);
+  for (const auto &M : PerThread)
+    for (const auto &[Key, N] : M)
+      Merged[Key] += N;
+
+  Out.Rows.reserve(Merged.size());
+  for (const auto &[Key, N] : Merged) {
+    BlockProfile::Row R;
+    R.Sig = P.method(MethodId(int32_t(Key >> 32))).Sig;
+    R.Block = uint32_t(Key & 0xffffffffu);
+    R.Count = N;
+    Out.Rows.push_back(std::move(R));
+  }
+  std::sort(Out.Rows.begin(), Out.Rows.end(),
+            [](const BlockProfile::Row &A, const BlockProfile::Row &B) {
+              if (A.Sig != B.Sig)
+                return A.Sig < B.Sig;
+              return A.Block < B.Block;
+            });
+
+  Out.CoveragePermille =
+      Stats.WordsScanned
+          ? uint32_t(Stats.WordsKept * 1000 / Stats.WordsScanned)
+          : 0;
+  NIMG_COUNTER_ADD("nimg.split.block_rows", Out.Rows.size());
+  if (StatsOut)
+    *StatsOut = Stats;
+  return Out;
 }
 
 HeapProfile nimg::heapProfileFor(const std::vector<int32_t> &EntryOrder,

@@ -69,6 +69,12 @@ public:
   virtual ~OrderingAnalysis() = default;
   virtual void onCuEnter(MethodId Root) { (void)Root; }
   virtual void onMethodEnter(MethodId M) { (void)M; }
+  /// One basic-block visit decoded from a path record (method/heap modes;
+  /// consecutive duplicates within one path are collapsed).
+  virtual void onBlockVisit(MethodId M, BlockId B) {
+    (void)M;
+    (void)B;
+  }
   /// \p SnapshotEntry is the traced image-object index (already >= 0).
   virtual void onObjectAccess(int32_t SnapshotEntry) { (void)SnapshotEntry; }
 };
@@ -114,6 +120,45 @@ std::vector<int32_t> analyzeHeapAccessOrder(const Program &P,
 /// the profiling build's identity table.
 HeapProfile heapProfileFor(const std::vector<int32_t> &EntryOrder,
                            const IdTable &Ids, HeapStrategy Strategy);
+
+/// Per-basic-block execution counts derived by replaying a MethodOrder
+/// path capture — the evidence the hot/cold CU splitter consumes. Counts
+/// are keyed by (method signature, block index) so they apply to every
+/// inline copy of a method. CoveragePermille records how much of the raw
+/// trace survived salvage when the counts were derived; the splitter
+/// degrades to unsplit below its threshold (the counts of a heavily
+/// truncated trace under-report executed blocks, and a block wrongly
+/// believed cold would fault on the cold tail every startup).
+struct BlockProfile {
+  ProfileHeader Header;
+  ProfileError LoadError = ProfileError::None;
+  /// WordsKept * 1000 / WordsScanned of the deriving salvage scan; 1000
+  /// for a clean trace, 0 when nothing was scanned.
+  uint32_t CoveragePermille = 1000;
+
+  struct Row {
+    std::string Sig;
+    uint32_t Block = 0;
+    uint64_t Count = 0;
+  };
+  /// Sorted by Sig then Block — a deterministic function of the merged
+  /// profile, independent of --jobs.
+  std::vector<Row> Rows;
+
+  bool usable() const { return LoadError == ProfileError::None; }
+
+  std::string toCsv() const;
+  static BlockProfile fromCsv(const std::string &Text,
+                              ProfileReadReport *Report = nullptr);
+};
+
+/// Derives per-block execution counts from a MethodOrder-mode capture.
+/// Per-thread counts merge by summation, so the result is byte-identical
+/// for any worker count. A capture in the wrong mode yields an empty
+/// profile (and sets Stats->ModeMismatch).
+BlockProfile analyzeBlockCounts(const Program &P, const TraceCapture &Capture,
+                                PathGraphCache &Paths,
+                                SalvageStats *Stats = nullptr);
 
 } // namespace nimg
 

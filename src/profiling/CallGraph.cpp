@@ -34,6 +34,15 @@ CuTransitionGraph nimg::analyzeCuTransitions(const Program &P,
     return G;
   }
 
+  if (captureEncoded(Capture)) {
+    size_t Cut = 0;
+    TraceCapture Decoded = decodeCapture(Capture, &Cut);
+    G = analyzeCuTransitions(P, Decoded, StatsOut);
+    if (StatsOut)
+      StatsOut->IncompleteTailRecords += Cut;
+    return G;
+  }
+
   SalvageStats Stats;
   PathGraphCache Paths(P); // Unused for cu records but required by replay.
   std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Stats);
@@ -44,6 +53,10 @@ CuTransitionGraph nimg::analyzeCuTransitions(const Program &P,
   std::vector<CallGraphAnalysis> PerThread(Capture.Threads.size());
   parallelMap(Capture.Threads.size(), 1, "replay_cluster", [&](size_t T) {
     LocalPathCache Local(Paths);
+    // The valid prefix length bounds both distinct CUs and distinct edges;
+    // pre-sizing from it removes the incremental rehash churn the --jobs 8
+    // profile shows on these per-thread maps.
+    PerThread[T].reserveHint(Prefix[T]);
     replayThreadPrefix(P, Capture.Options.Mode, Capture.Threads[T].Words,
                        Prefix[T], Local, {&PerThread[T]});
     return 0;
@@ -54,8 +67,15 @@ CuTransitionGraph nimg::analyzeCuTransitions(const Program &P,
   // concatenated threads would), and edge weights sum — both independent
   // of which worker ran which thread, so the graph is byte-identical for
   // any --jobs value.
+  size_t NodeHint = 0, EdgeHint = 0;
+  for (const CallGraphAnalysis &A : PerThread) {
+    NodeHint += A.FirstSeen.size();
+    EdgeHint += A.Weights.size();
+  }
   std::unordered_set<MethodId> Seen;
+  Seen.reserve(NodeHint);
   std::unordered_map<uint64_t, uint64_t> Weights;
+  Weights.reserve(EdgeHint);
   for (const CallGraphAnalysis &A : PerThread) {
     for (MethodId M : A.FirstSeen)
       if (Seen.insert(M).second)

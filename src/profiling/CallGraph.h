@@ -58,6 +58,15 @@ class CallGraphAnalysis : public OrderingAnalysis {
 public:
   void onCuEnter(MethodId Root) override;
 
+  /// Pre-sizes the node/edge maps for a thread expected to replay
+  /// \p TraceWords CU records (capped — long loopy traces revisit the same
+  /// few CUs, so sizing for every word would only waste memory).
+  void reserveHint(size_t TraceWords) {
+    size_t Hint = TraceWords < 4096 ? TraceWords : 4096;
+    Seen.reserve(Hint);
+    Weights.reserve(Hint);
+  }
+
   std::vector<MethodId> FirstSeen;
   /// (From << 32 | To) -> weight. Key packing is valid because MethodId is
   /// a non-negative int32 for every decoded CU record.

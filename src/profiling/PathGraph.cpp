@@ -368,6 +368,8 @@ PathEvents PathGraph::decode(uint64_t PathId) const {
   size_t Guard = Nodes.size() + 2;
   while (Cur != -1 && Guard-- > 0) {
     const Node &V = Nodes[size_t(Cur)];
+    if (Events.Blocks.empty() || Events.Blocks.back() != V.Block)
+      Events.Blocks.push_back(V.Block);
     for (const auto &[Site, Count] : V.Sites) {
       Events.Sites.emplace_back(Site, Count);
       Events.OperandCount += Count;

@@ -45,6 +45,10 @@ struct PathEvents {
   /// (siteId, operand count) of heap-access sites in path order.
   std::vector<std::pair<uint32_t, uint16_t>> Sites;
   uint32_t OperandCount = 0;
+  /// Basic blocks the path visits, in path order, consecutive duplicates
+  /// collapsed (a block's segments are one visit). This is the per-block
+  /// execution evidence the hot/cold splitter consumes (Sec. 4 extension).
+  std::vector<BlockId> Blocks;
 };
 
 /// The runtime action attached to a traversed CFG edge.

@@ -46,6 +46,8 @@ enum class ProfileError : uint8_t {
   WorkerFault,         ///< A parallel build task threw; its unit degraded.
   EmptyTransitionGraph, ///< Cluster analysis saw no CU transitions; the
                         ///< profile degraded to plain cu ordering.
+  InsufficientBlockProfile, ///< Block counts missing or salvage coverage
+                            ///< below threshold; CUs stay unsplit.
 };
 
 inline const char *profileErrorName(ProfileError E) {
@@ -72,6 +74,8 @@ inline const char *profileErrorName(ProfileError E) {
     return "worker task fault";
   case ProfileError::EmptyTransitionGraph:
     return "empty transition graph";
+  case ProfileError::InsufficientBlockProfile:
+    return "insufficient block profile";
   }
   return "unknown";
 }
@@ -102,6 +106,8 @@ inline const char *profileErrorSlug(ProfileError E) {
     return "worker_fault";
   case ProfileError::EmptyTransitionGraph:
     return "empty_transition_graph";
+  case ProfileError::InsufficientBlockProfile:
+    return "insufficient_block_profile";
   }
   return "unknown";
 }
@@ -144,6 +150,11 @@ struct ProfileDiagnostics {
   bool CodeProfileApplied = false;
   bool HeapProfileProvided = false;
   bool HeapProfileApplied = false;
+  /// Hot/cold splitting evidence (--split hotcold only; both stay false
+  /// for unsplit builds). "Applied" means at least the profile was usable
+  /// — individual CUs may still degrade to unsplit, listed in Issues.
+  bool BlockProfileProvided = false;
+  bool BlockProfileApplied = false;
   std::vector<ProfileIssue> Issues;
 
   /// True when at least one offered profile was rejected and the build

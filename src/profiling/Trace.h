@@ -44,11 +44,62 @@ enum class TraceMode : uint8_t {
 
 enum class DumpMode : uint8_t { FlushOnFull, MemoryMapped };
 
+/// On-"disk" representation of dumped buffers. Raw persists each word as
+/// eight bytes; VarintDelta persists the zigzag of the delta to the
+/// previous word as LEB128 (consecutive path records of one method differ
+/// only in their low bits, so most deltas fit in two or three bytes).
+enum class TraceEncoding : uint8_t { Raw, VarintDelta };
+
 struct TraceOptions {
   TraceMode Mode = TraceMode::CuOrder;
   DumpMode Dump = DumpMode::FlushOnFull;
+  TraceEncoding Encoding = TraceEncoding::Raw;
   uint32_t BufferWords = 16384;
 };
+
+/// LEB128/zigzag-delta coding of trace words (TraceEncoding::VarintDelta).
+namespace varint {
+
+/// Appends the zigzag-LEB128 encoding of \p Word (delta against \p Prev)
+/// to \p Out; returns the number of bytes emitted and updates \p Prev.
+inline size_t encodeWord(uint64_t Word, uint64_t &Prev,
+                         std::vector<uint8_t> &Out) {
+  uint64_t Delta = Word - Prev;
+  Prev = Word;
+  // Zigzag so small negative deltas stay short.
+  uint64_t Zz = (Delta << 1) ^ (uint64_t)((int64_t)Delta >> 63);
+  size_t N = 0;
+  do {
+    uint8_t B = Zz & 0x7f;
+    Zz >>= 7;
+    if (Zz)
+      B |= 0x80;
+    Out.push_back(B);
+    ++N;
+  } while (Zz);
+  return N;
+}
+
+/// Decodes one word starting at \p At. Returns false when the buffer ends
+/// mid-varint (a kill truncated the dump) — \p At is then left unchanged.
+inline bool decodeWord(const std::vector<uint8_t> &In, size_t &At,
+                       uint64_t &Prev, uint64_t &Word) {
+  uint64_t Zz = 0;
+  uint32_t Shift = 0;
+  for (size_t I = At; I < In.size() && Shift < 64; ++I, Shift += 7) {
+    Zz |= uint64_t(In[I] & 0x7f) << Shift;
+    if (!(In[I] & 0x80)) {
+      uint64_t Delta = (Zz >> 1) ^ (~(Zz & 1) + 1);
+      Prev += Delta;
+      Word = Prev;
+      At = I + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace varint
 
 /// Trace-word encodings.
 namespace tracerec {
@@ -71,9 +122,41 @@ inline MethodId cuRoot(uint64_t W) { return MethodId(W >> 3); }
 
 } // namespace tracerec
 
-/// One thread's persisted trace.
+/// One thread's persisted trace. Exactly one of the two forms is
+/// populated: \c Words for Raw dumps, \c Bytes (with \c Encoded set) for
+/// VarintDelta dumps.
 struct ThreadTrace {
   std::vector<uint64_t> Words;
+  std::vector<uint8_t> Bytes;
+  bool Encoded = false;
+
+  /// Materializes the word stream regardless of encoding. Returns false
+  /// when an encoded stream ends mid-varint (dump truncated by a kill);
+  /// the words decoded before the cut are still appended.
+  bool decodeWords(std::vector<uint64_t> &Out) const {
+    if (!Encoded) {
+      Out.insert(Out.end(), Words.begin(), Words.end());
+      return true;
+    }
+    uint64_t Prev = 0, W = 0;
+    size_t At = 0;
+    while (varint::decodeWord(Bytes, At, Prev, W))
+      Out.push_back(W);
+    return At == Bytes.size();
+  }
+
+  size_t numWords() const {
+    if (!Encoded)
+      return Words.size();
+    size_t N = 0;
+    for (uint8_t B : Bytes)
+      if (!(B & 0x80))
+        ++N;
+    return N;
+  }
+
+  /// Persisted byte size of this trace (8 bytes per raw word).
+  size_t numBytes() const { return Encoded ? Bytes.size() : Words.size() * 8; }
 };
 
 /// All traces of one profiling run, in thread-creation order — the order
@@ -85,7 +168,14 @@ struct TraceCapture {
   size_t totalWords() const {
     size_t N = 0;
     for (const ThreadTrace &T : Threads)
-      N += T.Words.size();
+      N += T.numWords();
+    return N;
+  }
+
+  size_t totalBytes() const {
+    size_t N = 0;
+    for (const ThreadTrace &T : Threads)
+      N += T.numBytes();
     return N;
   }
 };
@@ -100,6 +190,10 @@ public:
     if (Tid >= Pending.size()) {
       Pending.resize(Tid + 1);
       Persisted.resize(Tid + 1);
+      PrevWord.resize(Tid + 1, 0);
+      if (Options.Encoding == TraceEncoding::VarintDelta)
+        for (size_t I = 0; I < Persisted.size(); ++I)
+          Persisted[I].Encoded = true;
     }
   }
 
@@ -108,9 +202,16 @@ public:
     ensureThread(Tid);
     if (Options.Dump == DumpMode::MemoryMapped) {
       // The mmap-backed file persists every word; remapping on overflow is
-      // folded into the per-word cost.
-      Persisted[Tid].Words.push_back(Word);
-      ProbeUnits += MmapWordCost;
+      // folded into the per-word cost. Varint dumps write fewer bytes per
+      // word, so their modeled cost scales with the emitted bytes.
+      if (Options.Encoding == TraceEncoding::VarintDelta) {
+        size_t N =
+            varint::encodeWord(Word, PrevWord[Tid], Persisted[Tid].Bytes);
+        ProbeUnits += (N + 3) / 4;
+      } else {
+        Persisted[Tid].Words.push_back(Word);
+        ProbeUnits += MmapWordCost;
+      }
       return;
     }
     Pending[Tid].push_back(Word);
@@ -125,8 +226,15 @@ public:
   void flushThread(uint32_t Tid) {
     ensureThread(Tid);
     auto &P = Pending[Tid];
-    auto &Out = Persisted[Tid].Words;
-    Out.insert(Out.end(), P.begin(), P.end());
+    if (Options.Encoding == TraceEncoding::VarintDelta) {
+      // The delta chain continues across flushes: one encoder state per
+      // thread, exactly like an appended-to trace file.
+      for (uint64_t W : P)
+        varint::encodeWord(W, PrevWord[Tid], Persisted[Tid].Bytes);
+    } else {
+      auto &Out = Persisted[Tid].Words;
+      Out.insert(Out.end(), P.begin(), P.end());
+    }
     ProbeUnits += FlushCost;
     P.clear();
   }
@@ -152,6 +260,7 @@ public:
     C.Threads = std::move(Persisted);
     Persisted.clear();
     Pending.clear();
+    PrevWord.clear();
     return C;
   }
 
@@ -163,6 +272,7 @@ private:
   TraceOptions Options;
   std::vector<std::vector<uint64_t>> Pending;
   std::vector<ThreadTrace> Persisted;
+  std::vector<uint64_t> PrevWord;
   uint64_t ProbeUnits = 0;
 };
 

@@ -134,9 +134,40 @@ std::vector<size_t> nimg::scanCapture(const Program &P, const TraceCapture &C,
   return Prefix;
 }
 
+bool nimg::captureEncoded(const TraceCapture &C) {
+  for (const ThreadTrace &T : C.Threads)
+    if (T.Encoded)
+      return true;
+  return false;
+}
+
+TraceCapture nimg::decodeCapture(const TraceCapture &C,
+                                 size_t *TruncatedTails) {
+  TraceCapture Out;
+  Out.Options = C.Options;
+  Out.Options.Encoding = TraceEncoding::Raw;
+  Out.Threads.resize(C.Threads.size());
+  size_t Cut = 0;
+  for (size_t T = 0; T < C.Threads.size(); ++T)
+    if (!C.Threads[T].decodeWords(Out.Threads[T].Words))
+      ++Cut;
+  if (TruncatedTails)
+    *TruncatedTails += Cut;
+  return Out;
+}
+
 TraceCapture nimg::salvageCapture(const Program &P, const TraceCapture &C,
                                   PathGraphCache &Paths, SalvageStats &Stats,
                                   const SalvageOptions &Opts) {
+  if (captureEncoded(C)) {
+    // Word-cut varint tails are records cut mid-word: the same SIGKILL
+    // signature scanThread tracks for operand runs.
+    size_t Cut = 0;
+    TraceCapture Decoded = decodeCapture(C, &Cut);
+    TraceCapture Out = salvageCapture(P, Decoded, Paths, Stats, Opts);
+    Stats.IncompleteTailRecords += Cut;
+    return Out;
+  }
   std::vector<size_t> Prefix = scanCapture(P, C, Paths, Stats, Opts);
   TraceCapture Out;
   Out.Options = C.Options;

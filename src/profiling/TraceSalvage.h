@@ -78,10 +78,23 @@ std::vector<size_t> scanCapture(const Program &P, const TraceCapture &C,
                                 const SalvageOptions &Opts = {});
 
 /// Returns a cleaned copy of \p C with every thread truncated to its valid
-/// prefix. Re-scanning the result is always clean.
+/// prefix. Re-scanning the result is always clean. Accepts both trace
+/// encodings; the result is always in Raw (word) form.
 TraceCapture salvageCapture(const Program &P, const TraceCapture &C,
                             PathGraphCache &Paths, SalvageStats &Stats,
                             const SalvageOptions &Opts = {});
+
+/// True when any thread of \p C is in the varint-delta dump encoding.
+/// Word-level consumers (scanCapture, the replay analyses) materialize
+/// such captures with decodeCapture() first.
+bool captureEncoded(const TraceCapture &C);
+
+/// Raw-form copy of \p C: every varint-encoded thread is decoded back to
+/// words. A byte stream cut mid-varint (SIGKILL during a dump) keeps the
+/// words decoded before the cut; \p TruncatedTails (optional) counts such
+/// threads.
+TraceCapture decodeCapture(const TraceCapture &C,
+                           size_t *TruncatedTails = nullptr);
 
 } // namespace nimg
 

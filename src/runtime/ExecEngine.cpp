@@ -45,7 +45,9 @@ public:
   EngineHooks(const NativeImage &Img, PagingSim &Paging, TraceWriter *Trace,
               PathGraphCache *Paths, TraceMode Mode)
       : Img(Img), Paging(Paging), Trace(Trace), Paths(Paths), Mode(Mode),
-        Costs(ProbeCosts::forMode(Mode)) {}
+        Costs(ProbeCosts::forMode(Mode)),
+        SplitActive(Img.Split.active() &&
+                    !Img.Layout.CuColdOffsets.empty()) {}
 
   size_t storedObjectsTouched() const { return TouchedEntries.size(); }
 
@@ -54,9 +56,25 @@ public:
     if (Ctx.Cu >= 0) {
       const CompilationUnit &CU = Img.Code.CUs[size_t(Ctx.Cu)];
       const InlineCopy &Copy = CU.Copies[size_t(Ctx.Copy)];
-      Paging.touch(ImageSection::Text,
-                   Img.Layout.CuOffsets[size_t(Ctx.Cu)] + Copy.CodeOffset,
-                   Copy.CodeSize);
+      const CuSplit *S =
+          SplitActive ? &Img.Split.PerCu[size_t(Ctx.Cu)] : nullptr;
+      if (S && S->Split) {
+        // Split CU: entering a copy touches only its hot fragment; cold
+        // blocks fault individually from the cold tail if ever reached.
+        const CopySplit &CS = S->Copies[size_t(Ctx.Copy)];
+        Paging.touch(ImageSection::Text,
+                     Img.Layout.CuOffsets[size_t(Ctx.Cu)] + CS.HotOffset,
+                     CS.HotSize);
+        if (!CS.Blocks.empty() && CS.Blocks[0].Cold)
+          Paging.touch(ImageSection::Text,
+                       Img.Layout.CuColdOffsets[size_t(Ctx.Cu)] +
+                           CS.Blocks[0].Offset,
+                       CS.Blocks[0].Size);
+      } else {
+        Paging.touch(ImageSection::Text,
+                     Img.Layout.CuOffsets[size_t(Ctx.Cu)] + Copy.CodeOffset,
+                     Copy.CodeSize);
+      }
     }
     if (!Trace)
       return;
@@ -97,8 +115,19 @@ public:
     F->PathVal = A.Reset;
   }
 
-  void onBlockEdge(uint32_t Tid, MethodId M, BlockId From,
-                   BlockId To) override {
+  void onBlockEdge(uint32_t Tid, const ExecContext &Ctx, MethodId M,
+                   BlockId From, BlockId To) override {
+    if (SplitActive && Ctx.Cu >= 0) {
+      const CuSplit &S = Img.Split.PerCu[size_t(Ctx.Cu)];
+      if (S.Split) {
+        const CopySplit &CS = S.Copies[size_t(Ctx.Copy)];
+        if (size_t(To) < CS.Blocks.size() && CS.Blocks[size_t(To)].Cold)
+          Paging.touch(ImageSection::Text,
+                       Img.Layout.CuColdOffsets[size_t(Ctx.Cu)] +
+                           CS.Blocks[size_t(To)].Offset,
+                       CS.Blocks[size_t(To)].Size);
+      }
+    }
     if (!Trace || Mode == TraceMode::CuOrder)
       return;
     FrameState *F2 = frameFor(Tid, M);
@@ -200,6 +229,7 @@ private:
   PathGraphCache *Paths;
   TraceMode Mode;
   ProbeCosts Costs;
+  bool SplitActive;
   std::vector<std::vector<FrameState>> Stacks;
   std::unordered_set<int32_t> TouchedEntries;
 };
@@ -222,6 +252,9 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
   Heap RunHeap(*Img.Built.BuildHeap);
 
   PagingSim Paging(Img.Layout.TextSize, Img.Layout.HeapSize, Cfg.Paging);
+  if (Img.Split.active() && Img.Layout.ColdTailSize > 0)
+    Paging.setTextColdRegion(Img.Layout.ColdTailOffset,
+                             Img.Layout.ColdTailSize);
   if (!Cfg.ColdCache) {
     // Warm cache: pre-fault everything so no majors are charged.
     Paging.touch(ImageSection::Text, 0, Img.Layout.TextSize);
@@ -229,6 +262,7 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
   }
   uint64_t WarmFaultsText = Paging.faults(ImageSection::Text);
   uint64_t WarmFaultsHeap = Paging.faults(ImageSection::HeapSec);
+  uint64_t WarmFaultsCold = Paging.counters().TextColdFaults;
 
   TraceWriter Writer(Cfg.Trace ? *Cfg.Trace : TraceOptions{});
   PathGraphCache Paths(P);
@@ -301,6 +335,7 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
 
   Stats.TextFaults = Paging.faults(ImageSection::Text) - WarmFaultsText;
   Stats.HeapFaults = Paging.faults(ImageSection::HeapSec) - WarmFaultsHeap;
+  Stats.TextColdFaults = Paging.counters().TextColdFaults - WarmFaultsCold;
   Stats.Instructions = I.instructionsExecuted();
   Stats.ProbeUnits = Writer.probeUnits();
   Stats.PrefetchedPages = Paging.prefetchedPages();
@@ -314,6 +349,11 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
                  double(Stats.ProbeUnits) * Cfg.Cost.ProbeUnitNs +
                  double(Stats.totalFaults()) * Cfg.Cost.FaultNs;
 
+  if (Img.Split.active()) {
+    NIMG_COUNTER_ADD("nimg.split.faults.cold", Stats.TextColdFaults);
+    NIMG_COUNTER_ADD("nimg.split.faults.hot",
+                     Stats.TextFaults - Stats.TextColdFaults);
+  }
   NIMG_HIST_RECORD("nimg.run.faults.total", Stats.totalFaults());
   NIMG_HIST_RECORD("nimg.run.instructions", Stats.Instructions);
   if (Stats.ProbeUnits)

@@ -77,6 +77,9 @@ struct RunConfig {
 struct RunStats {
   uint64_t TextFaults = 0;
   uint64_t HeapFaults = 0;
+  /// Text faults attributed to the cold tail (subset of TextFaults; 0 for
+  /// unsplit images). Hot-side faults are TextFaults - TextColdFaults.
+  uint64_t TextColdFaults = 0;
   uint64_t Instructions = 0;
   uint64_t ProbeUnits = 0;
   uint64_t PrefetchedPages = 0;

@@ -234,7 +234,7 @@ bool Interpreter::execInstr(uint32_t Tid, ThreadState &T, const Instr &In) {
   auto Advance = [&] { ++F.InstrIdx; };
   auto Goto = [&](BlockId Target) {
     if (Hooks)
-      Hooks->onBlockEdge(Tid, F.M, F.Block, Target);
+      Hooks->onBlockEdge(Tid, F.Ctx, F.M, F.Block, Target);
     F.Block = Target;
     F.InstrIdx = 0;
   };

@@ -90,8 +90,12 @@ public:
     (void)SiteId;
   }
   /// A branch or jump moved control from \p From to \p To within \p M.
-  virtual void onBlockEdge(uint32_t Tid, MethodId M, BlockId From, BlockId To) {
+  /// \p Ctx is the executing frame's context — split images need it to
+  /// locate \p To's fragment (branches never cross inline copies).
+  virtual void onBlockEdge(uint32_t Tid, const ExecContext &Ctx, MethodId M,
+                           BlockId From, BlockId To) {
     (void)Tid;
+    (void)Ctx;
     (void)M;
     (void)From;
     (void)To;

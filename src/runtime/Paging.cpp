@@ -17,6 +17,10 @@ PagingSim::PagingSim(uint64_t TextSize, uint64_t HeapSize,
                   PageState::Untouched);
   Pages[1].assign((HeapSize + Config.PageSize - 1) / Config.PageSize,
                   PageState::Untouched);
+  for (size_t Sec = 0; Sec < 2; ++Sec) {
+    Next[Sec].assign(Pages[Sec].size(), -1);
+    Prev[Sec].assign(Pages[Sec].size(), -1);
+  }
 }
 
 void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
@@ -34,11 +38,15 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
       continue;
     // Major fault: read an aligned readahead cluster from the device.
     ++Faults[size_t(Section)];
-    if (Section == ImageSection::Text)
+    if (Section == ImageSection::Text) {
       NIMG_COUNTER_ADD("nimg.paging.faults.text", 1);
-    else
+      if (Page >= ColdFirstPage && Page < ColdEndPage)
+        ++TextColdFaults;
+    } else {
       NIMG_COUNTER_ADD("nimg.paging.faults.heap", 1);
+    }
     S[size_t(Page)] = PageState::Faulted;
+    linkResident(size_t(Section), Page);
     uint64_t ClusterStart =
         Page / Config.ReadaheadPages * Config.ReadaheadPages;
     uint64_t ClusterEnd = ClusterStart + Config.ReadaheadPages;
@@ -47,6 +55,7 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
     for (uint64_t Ahead = ClusterStart; Ahead < ClusterEnd; ++Ahead) {
       if (S[size_t(Ahead)] == PageState::Untouched) {
         S[size_t(Ahead)] = PageState::Prefetched;
+        linkResident(size_t(Section), Ahead);
         ++Prefetched;
         ++PrefetchEvents;
         NIMG_COUNTER_ADD("nimg.paging.prefetch_events", 1);
@@ -56,10 +65,13 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
 }
 
 void PagingSim::dropCaches() {
-  for (auto &S : Pages) {
-    for (PageState &P : S) {
-      if (P == PageState::Untouched)
-        continue;
+  // Walk only the resident list — the whole point of the intrusive list is
+  // that a sparse image (few resident pages, huge section) evicts in
+  // O(residents) instead of scanning every page of both sections.
+  for (size_t Sec = 0; Sec < 2; ++Sec) {
+    for (int64_t Page = Head[Sec]; Page != -1; Page = Next[Sec][size_t(Page)]) {
+      PageState &P = Pages[Sec][size_t(Page)];
+      assert(P != PageState::Untouched && "resident list holds a clean page");
       // A prefetched page leaves the resident-prefetched population when
       // evicted; re-faulting it later must count as a fault only (the old
       // cumulative counter double-counted such pages).
@@ -68,6 +80,8 @@ void PagingSim::dropCaches() {
       ++EvictedPages;
       P = PageState::Untouched;
     }
+    Head[Sec] = Tail[Sec] = -1;
+    Resident[Sec] = 0;
   }
   NIMG_COUNTER_ADD("nimg.paging.drop_caches", 1);
   // Fault counters are cumulative per run; use counters()/deltaSince() to

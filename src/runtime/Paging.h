@@ -51,6 +51,10 @@ struct PagingConfig {
 struct PagingCounters {
   uint64_t TextFaults = 0;
   uint64_t HeapFaults = 0;
+  /// Text faults landing inside the cold-tail region registered with
+  /// setTextColdRegion() (hot/cold splitting attribution; a subset of
+  /// TextFaults, 0 when no region is set).
+  uint64_t TextColdFaults = 0;
   /// Readahead page-ins, cumulative (counts every prefetch event, even for
   /// pages later evicted — unlike PagingSim::prefetchedPages()).
   uint64_t PrefetchEvents = 0;
@@ -62,6 +66,7 @@ struct PagingCounters {
   /// Per-phase delta (this = "after", \p Start = "before").
   PagingCounters operator-(const PagingCounters &Start) const {
     return {TextFaults - Start.TextFaults, HeapFaults - Start.HeapFaults,
+            TextColdFaults - Start.TextColdFaults,
             PrefetchEvents - Start.PrefetchEvents,
             EvictedPages - Start.EvictedPages};
   }
@@ -77,7 +82,17 @@ public:
   void touch(ImageSection Section, uint64_t Off, uint64_t Len);
 
   /// Evicts everything (clean caches and reclaimable objects, Sec. 7.1).
+  /// Walks only the resident list — O(resident pages), not O(all pages).
   void dropCaches();
+
+  /// Registers the cold-tail byte range of .text (hot/cold splitting) so
+  /// faults can be attributed hot vs cold. Pass Size 0 to clear.
+  void setTextColdRegion(uint64_t Off, uint64_t Size) {
+    ColdFirstPage = Off / Config.PageSize;
+    ColdEndPage = Size == 0 ? ColdFirstPage
+                            : (Off + Size + Config.PageSize - 1) /
+                                  Config.PageSize;
+  }
 
   uint64_t faults(ImageSection Section) const {
     return Faults[size_t(Section)];
@@ -92,10 +107,17 @@ public:
   /// counters().PrefetchEvents.
   uint64_t prefetchedPages() const { return Prefetched; }
 
+  /// Pages currently resident (faulted or prefetched) in \p Section — the
+  /// length of the intrusive resident list dropCaches() walks.
+  uint64_t residentPages(ImageSection Section) const {
+    return Resident[size_t(Section)];
+  }
+
   /// Snapshot of the cumulative counters; subtract two snapshots to
   /// attribute activity to a phase.
   PagingCounters counters() const {
-    return {Faults[0], Faults[1], PrefetchEvents, EvictedPages};
+    return {Faults[0], Faults[1], TextColdFaults, PrefetchEvents,
+            EvictedPages};
   }
   /// Convenience: activity since \p Start (a prior counters() snapshot).
   PagingCounters deltaSince(const PagingCounters &Start) const {
@@ -109,12 +131,34 @@ public:
   const PagingConfig &config() const { return Config; }
 
 private:
+  /// Appends \p Page to the section's resident list (it must not be in
+  /// it). O(1); state != Untouched is the membership invariant.
+  void linkResident(size_t Sec, uint64_t Page) {
+    Prev[Sec][size_t(Page)] = Tail[Sec];
+    Next[Sec][size_t(Page)] = -1;
+    if (Tail[Sec] != -1)
+      Next[Sec][size_t(Tail[Sec])] = int64_t(Page);
+    else
+      Head[Sec] = int64_t(Page);
+    Tail[Sec] = int64_t(Page);
+    ++Resident[Sec];
+  }
+
   PagingConfig Config;
   std::vector<PageState> Pages[2];
+  /// Intrusive doubly-linked list of resident pages per section, in
+  /// page-in order (insertion order ~ LRU: the simulator has no re-use
+  /// promotion). Eviction walks exactly the residents instead of scanning
+  /// every page of both sections.
+  std::vector<int64_t> Next[2], Prev[2];
+  int64_t Head[2] = {-1, -1}, Tail[2] = {-1, -1};
+  uint64_t Resident[2] = {0, 0};
   uint64_t Faults[2] = {0, 0};
   uint64_t Prefetched = 0;
   uint64_t PrefetchEvents = 0;
   uint64_t EvictedPages = 0;
+  uint64_t TextColdFaults = 0;
+  uint64_t ColdFirstPage = 0, ColdEndPage = 0; ///< Empty when equal.
 };
 
 } // namespace nimg

@@ -566,6 +566,61 @@ TEST(FaultInjection, StartupReportStaysValidJsonWhenPipelineDegrades) {
   }
 }
 
+// Hot/cold splitting consumes the same method-order captures as method
+// ordering; block profiles derived from faulted traces must either drive a
+// completed split build or degrade every CU to unsplit with a typed
+// insufficient_block_profile issue — never crash, never fail the build.
+TEST(FaultInjection, SplitBuildsSurviveTraceFaults) {
+  Corpus &C = corpus();
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    for (TraceFault Kind : {TraceFault::TruncateMidRecord, TraceFault::BitFlip,
+                            TraceFault::DropThread}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed=" << Seed << " fault=" << int(Kind));
+      TraceCapture Cap = C.Caps[size_t(TraceMode::MethodOrder)];
+      FaultInjector Inj(Seed);
+      Inj.applyTraceFault(Cap, Kind);
+
+      SalvageStats Stats;
+      BlockProfile Blocks = analyzeBlockCounts(C.P, Cap, C.Paths, &Stats);
+      Blocks.Header.Fingerprint = C.Fp;
+
+      BuildConfig Cfg;
+      Cfg.Seed = 9 + Seed;
+      Cfg.Split = SplitMode::HotCold;
+      Cfg.BlockProf = &Blocks;
+      NativeImage Img = buildNativeImage(C.P, Cfg);
+      ASSERT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+      EXPECT_TRUE(Img.Split.active());
+
+      if (Blocks.CoveragePermille < SplitOptions().MinCoveragePermille) {
+        // Under-covered counts degrade wholesale: no CU splits and the
+        // reason is recorded on the image's diagnostics.
+        EXPECT_EQ(Img.Split.SplitCus, 0u);
+        EXPECT_EQ(Img.Split.DegradedCus, uint32_t(Img.Code.CUs.size()));
+        EXPECT_FALSE(Img.ProfileDiag.BlockProfileApplied);
+        bool SawSlug = false;
+        for (const ProfileIssue &I : Img.ProfileDiag.Issues)
+          SawSlug |= I.Kind == ProfileError::InsufficientBlockProfile;
+        EXPECT_TRUE(SawSlug);
+      }
+      // Split or degraded, the fragment accounting never loses bytes.
+      for (size_t Cu = 0; Cu < Img.Split.PerCu.size(); ++Cu) {
+        const CuSplit &S = Img.Split.PerCu[Cu];
+        EXPECT_EQ(uint64_t(S.HotSize) + S.ColdSize,
+                  uint64_t(Img.Code.CUs[Cu].CodeSize) + S.StubBytes);
+      }
+
+      if (Seed % 4 == 0) {
+        RunStats S = runImage(Img, RunConfig());
+        EXPECT_FALSE(S.Trapped) << S.TrapMessage;
+        EXPECT_EQ(S.Output, C.BaselineOutput);
+        EXPECT_LE(S.TextColdFaults, S.TextFaults);
+      }
+    }
+  }
+}
+
 TEST(FaultInjection, CollectedProfilesFromCleanRunsSalvageClean) {
   Corpus &C = corpus();
   EXPECT_TRUE(C.Prof.CuSalvage.clean());

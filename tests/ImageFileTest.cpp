@@ -23,11 +23,25 @@ class Registry {
     }
   }
 }
+class ColdPath {
+  static int classify(int x) {
+    int y = x + 1;
+    if (x < 0) {
+      y = x * x;
+      y = y * 3 + 7;
+      y = y - x * 5;
+      y = y + 11;
+    }
+    return y;
+  }
+}
 class Main { static int main() {
   String same1 = "shared-literal";
   String same2 = "shared-literal";
   int id = 0;
   if (same1 == same2) { id = 1; }
+  int acc = 0;
+  for (int i = 0; i < 4; i = i + 1) { acc = acc + ColdPath.classify(i); }
   Sys.print(Registry.banner + ":" + Registry.pairs[3].a + ":" + id);
   return Registry.pairs.length;
 } }
@@ -99,6 +113,74 @@ TEST(ImageFile, LoadedImageRunsIdentically) {
   // Intern-table restoration keeps literal identity: ":1" in the output.
   EXPECT_NE(B.Output.find(":1"), std::string::npos) << B.Output;
   EXPECT_EQ(A.TextFaults, B.TextFaults);
+  EXPECT_EQ(A.HeapFaults, B.HeapFaults);
+  EXPECT_EQ(A.Instructions, B.Instructions);
+}
+
+TEST(ImageFile, SplitGeometryRoundTripsAndRunsIdentically) {
+  // ColdPath.classify's negative arm never executes, so the split build
+  // has a real cold tail to serialize.
+  Fixture F;
+  BuildConfig PCfg;
+  PCfg.Seed = 21;
+  CollectedProfiles Prof = collectProfiles(F.P, PCfg, RunConfig());
+  BuildConfig Cfg;
+  Cfg.Seed = 21;
+  Cfg.Split = SplitMode::HotCold;
+  Cfg.BlockProf = &Prof.Blocks;
+  NativeImage Img = buildNativeImage(F.P, Cfg);
+  ASSERT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+  ASSERT_TRUE(Img.Split.active());
+  ASSERT_GT(Img.Split.SplitCus, 0u) << "workload produced no split CU";
+  ASSERT_GT(Img.Layout.ColdTailSize, 0u);
+
+  std::vector<uint8_t> Bytes = serializeImage(F.P, Img);
+  NativeImage Loaded;
+  std::string Error;
+  ASSERT_TRUE(deserializeImage(F.P, Bytes, Loaded, Error)) << Error;
+
+  // Split accounting and decisions survive the round-trip bit-for-bit.
+  EXPECT_TRUE(Loaded.Split.active());
+  EXPECT_EQ(Loaded.Split.DecisionFingerprint, Img.Split.DecisionFingerprint);
+  EXPECT_EQ(Loaded.Split.SplitCus, Img.Split.SplitCus);
+  EXPECT_EQ(Loaded.Split.DegradedCus, Img.Split.DegradedCus);
+  EXPECT_EQ(Loaded.Split.HotBytes, Img.Split.HotBytes);
+  EXPECT_EQ(Loaded.Split.ColdBytes, Img.Split.ColdBytes);
+  EXPECT_EQ(Loaded.Split.StubBytes, Img.Split.StubBytes);
+  ASSERT_EQ(Loaded.Split.PerCu.size(), Img.Split.PerCu.size());
+  for (size_t Cu = 0; Cu < Img.Split.PerCu.size(); ++Cu) {
+    const CuSplit &A = Img.Split.PerCu[Cu], &B = Loaded.Split.PerCu[Cu];
+    EXPECT_EQ(A.Split, B.Split);
+    EXPECT_EQ(A.HotSize, B.HotSize);
+    EXPECT_EQ(A.ColdSize, B.ColdSize);
+    EXPECT_EQ(A.StubBytes, B.StubBytes);
+    ASSERT_EQ(A.Copies.size(), B.Copies.size());
+    for (size_t C = 0; C < A.Copies.size(); ++C) {
+      EXPECT_EQ(A.Copies[C].HotOffset, B.Copies[C].HotOffset);
+      EXPECT_EQ(A.Copies[C].ColdOffset, B.Copies[C].ColdOffset);
+      ASSERT_EQ(A.Copies[C].Blocks.size(), B.Copies[C].Blocks.size());
+      for (size_t Blk = 0; Blk < A.Copies[C].Blocks.size(); ++Blk) {
+        EXPECT_EQ(A.Copies[C].Blocks[Blk].Offset,
+                  B.Copies[C].Blocks[Blk].Offset);
+        EXPECT_EQ(A.Copies[C].Blocks[Blk].Size, B.Copies[C].Blocks[Blk].Size);
+        EXPECT_EQ(A.Copies[C].Blocks[Blk].Cold, B.Copies[C].Blocks[Blk].Cold);
+      }
+    }
+  }
+  // Cold-tail layout geometry survives too.
+  EXPECT_EQ(Loaded.Layout.CuColdOffsets, Img.Layout.CuColdOffsets);
+  EXPECT_EQ(Loaded.Layout.ColdTailOffset, Img.Layout.ColdTailOffset);
+  EXPECT_EQ(Loaded.Layout.ColdTailSize, Img.Layout.ColdTailSize);
+
+  // The loaded split image pages exactly like the original.
+  RunConfig RC;
+  RunStats A = runImage(Img, RC);
+  RunStats B = runImage(Loaded, RC);
+  ASSERT_FALSE(A.Trapped) << A.TrapMessage;
+  ASSERT_FALSE(B.Trapped) << B.TrapMessage;
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.TextFaults, B.TextFaults);
+  EXPECT_EQ(A.TextColdFaults, B.TextColdFaults);
   EXPECT_EQ(A.HeapFaults, B.HeapFaults);
   EXPECT_EQ(A.Instructions, B.Instructions);
 }

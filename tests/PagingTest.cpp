@@ -134,6 +134,70 @@ TEST(Paging, CountersSnapshotAndDelta) {
   EXPECT_EQ(P.pageStates(ImageSection::HeapSec)[0], PageState::Faulted);
 }
 
+TEST(Paging, ResidentListTracksFaultsAndPrefetch) {
+  PagingSim P(64 * 4096, 8 * 4096, cfg(4));
+  EXPECT_EQ(P.residentPages(ImageSection::Text), 0u);
+  P.touch(ImageSection::Text, 0, 1); // fault + 3 prefetched
+  EXPECT_EQ(P.residentPages(ImageSection::Text), 4u);
+  P.touch(ImageSection::Text, 4096, 1); // already resident: no growth
+  EXPECT_EQ(P.residentPages(ImageSection::Text), 4u);
+  P.touch(ImageSection::HeapSec, 0, 1);
+  EXPECT_EQ(P.residentPages(ImageSection::HeapSec), 4u);
+  EXPECT_EQ(P.residentPages(ImageSection::Text), 4u);
+  P.dropCaches();
+  EXPECT_EQ(P.residentPages(ImageSection::Text), 0u);
+  EXPECT_EQ(P.residentPages(ImageSection::HeapSec), 0u);
+}
+
+TEST(Paging, RepeatedEvictionCyclesStayConsistent) {
+  // The eviction walk visits the intrusive resident list, which must be
+  // rebuilt correctly across many fault/evict cycles (a stale link would
+  // assert or mis-count EvictedPages).
+  PagingSim P(32 * 4096, 0, cfg(2));
+  for (int Cycle = 0; Cycle < 10; ++Cycle) {
+    P.touch(ImageSection::Text, uint64_t(Cycle % 4) * 8 * 4096, 3 * 4096);
+    EXPECT_EQ(P.residentPages(ImageSection::Text), 4u);
+    P.dropCaches();
+    EXPECT_EQ(P.residentPages(ImageSection::Text), 0u);
+  }
+  EXPECT_EQ(P.counters().EvictedPages, 40u);
+  EXPECT_EQ(P.faults(ImageSection::Text), 20u); // 2 clusters per cycle
+}
+
+TEST(Paging, ColdRegionAttributesTextFaults) {
+  PagingSim P(16 * 4096, 8 * 4096, cfg(1));
+  P.setTextColdRegion(8 * 4096, 4 * 4096); // pages 8..11 are the cold tail
+  P.touch(ImageSection::Text, 0, 1);       // hot fault
+  EXPECT_EQ(P.counters().TextColdFaults, 0u);
+  P.touch(ImageSection::Text, 8 * 4096, 1); // cold fault
+  P.touch(ImageSection::Text, 11 * 4096, 1);
+  EXPECT_EQ(P.counters().TextColdFaults, 2u);
+  P.touch(ImageSection::Text, 12 * 4096, 1); // past the cold tail: hot
+  EXPECT_EQ(P.counters().TextColdFaults, 2u);
+  // Heap faults never count as cold text.
+  P.touch(ImageSection::HeapSec, 8 * 4096 % (8 * 4096), 1);
+  EXPECT_EQ(P.counters().TextColdFaults, 2u);
+  EXPECT_EQ(P.faults(ImageSection::Text), 4u);
+}
+
+TEST(Paging, ColdRegionRefaultsAfterEviction) {
+  PagingSim P(16 * 4096, 0, cfg(1));
+  P.setTextColdRegion(4 * 4096, 4096);
+  P.touch(ImageSection::Text, 4 * 4096, 1);
+  P.touch(ImageSection::Text, 4 * 4096, 1); // resident: no second fault
+  EXPECT_EQ(P.counters().TextColdFaults, 1u);
+  P.dropCaches();
+  P.touch(ImageSection::Text, 4 * 4096, 1);
+  EXPECT_EQ(P.counters().TextColdFaults, 2u);
+}
+
+TEST(Paging, EmptyColdRegionCountsNothing) {
+  PagingSim P(8 * 4096, 0, cfg(1));
+  P.setTextColdRegion(2 * 4096, 0); // zero-size region is inert
+  P.touch(ImageSection::Text, 2 * 4096, 4096);
+  EXPECT_EQ(P.counters().TextColdFaults, 0u);
+}
+
 class PagingSweepTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(PagingSweepTest, SequentialScanFaultsOncePerCluster) {

@@ -204,10 +204,15 @@ class Main {
 /// Everything the pipeline emits that must not depend on the worker count.
 struct PipelineArtifacts {
   std::string CuCsv, MethodCsv, ClusterCsv, HeapIncCsv, HeapStructCsv,
-      HeapPathCsv;
+      HeapPathCsv, BlocksCsv;
   std::vector<uint64_t> IncIds, StructIds, PathIds;
   uint64_t InlineFingerprint = 0;
   std::vector<uint8_t> ImageBytes;
+  /// The same build with --split hotcold: decisions are a pure function
+  /// of the merged block profile, so these must be worker-count-invariant
+  /// too.
+  uint64_t SplitFingerprint = 0;
+  std::vector<uint8_t> SplitImageBytes;
   size_t TraceThreads = 0;
 };
 
@@ -250,6 +255,15 @@ PipelineArtifacts runPipeline(int Jobs) {
   Art.PathIds = Img.Ids.HeapPathHashes;
   Art.InlineFingerprint = Img.Code.InlineFingerprint;
   Art.ImageBytes = serializeImage(P, Img);
+  Art.BlocksCsv = Prof.Blocks.toCsv();
+
+  BuildConfig SplitCfg = Opt;
+  SplitCfg.Split = SplitMode::HotCold;
+  SplitCfg.BlockProf = &Prof.Blocks;
+  NativeImage SplitImg = buildNativeImage(P, SplitCfg);
+  EXPECT_FALSE(SplitImg.Built.Failed) << SplitImg.Built.FailureMessage;
+  Art.SplitFingerprint = SplitImg.Split.DecisionFingerprint;
+  Art.SplitImageBytes = serializeImage(P, SplitImg);
 
   // Sanity: the profiling runs actually produced multi-thread traces and
   // nonempty profiles, otherwise this test exercises nothing.
@@ -275,6 +289,9 @@ TEST(ParallelPipelineTest, JobsOneAndEightAreByteIdentical) {
   EXPECT_EQ(One.PathIds, Eight.PathIds);
   EXPECT_EQ(One.InlineFingerprint, Eight.InlineFingerprint);
   EXPECT_EQ(One.ImageBytes, Eight.ImageBytes);
+  EXPECT_EQ(One.BlocksCsv, Eight.BlocksCsv);
+  EXPECT_EQ(One.SplitFingerprint, Eight.SplitFingerprint);
+  EXPECT_EQ(One.SplitImageBytes, Eight.SplitImageBytes);
 }
 
 TEST(ParallelPipelineTest, IntermediateJobCountsMatchToo) {
@@ -287,6 +304,7 @@ TEST(ParallelPipelineTest, IntermediateJobCountsMatchToo) {
     EXPECT_EQ(One.CuCsv, J.CuCsv) << "jobs=" << Jobs;
     EXPECT_EQ(One.ClusterCsv, J.ClusterCsv) << "jobs=" << Jobs;
     EXPECT_EQ(One.HeapPathCsv, J.HeapPathCsv) << "jobs=" << Jobs;
+    EXPECT_EQ(One.SplitImageBytes, J.SplitImageBytes) << "jobs=" << Jobs;
   }
   setJobs(0);
 }

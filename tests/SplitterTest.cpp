@@ -1,0 +1,311 @@
+//===- SplitterTest.cpp - Hot/cold CU splitting tests -----------------------===//
+
+#include "src/compiler/Splitter.h"
+
+#include "src/ir/IrBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace nimg;
+
+namespace {
+
+BlockProfile prof(std::vector<BlockProfile::Row> Rows) {
+  BlockProfile P;
+  P.Rows = std::move(Rows);
+  return P;
+}
+
+/// One static method with a diamond CFG:
+///   b0 (entry, 32B incl. prologue) -> b1 (12B) | b2 (ColdConsts*8+4 B)
+///   b1, b2 -> b3 (8B, ret)
+/// With ColdConsts = 5, b2 is 44 bytes: above both the default glue
+/// threshold and MinColdBytes on its own.
+struct DiamondFixture {
+  Program P;
+  MethodId Main = -1;
+  CompiledProgram CP;
+
+  explicit DiamondFixture(int ColdConsts = 5) {
+    ClassId C = P.addClass("T");
+    Main = P.addMethod(C, "diamond", {}, P.intType(), /*IsStatic=*/true);
+    IrBuilder B(P, Main);
+    BlockId B1 = B.newBlock(), B2 = B.newBlock(), B3 = B.newBlock();
+    B.br(B.constBool(true), B1, B2);
+    B.setBlock(B1);
+    uint16_t V = B.constInt(1);
+    B.jmp(B3);
+    B.setBlock(B2);
+    for (int I = 0; I < ColdConsts; ++I)
+      B.constInt(I);
+    B.jmp(B3);
+    B.setBlock(B3);
+    B.ret(V);
+    P.MainMethod = Main;
+    ReachabilityResult Reach = analyzeReachability(P);
+    CP = buildCompilationUnits(P, Reach, InlinerConfig(), false);
+  }
+
+  /// Profile marking exactly \p HotBlocks of the diamond as executed.
+  BlockProfile profile(std::initializer_list<uint32_t> HotBlocks) {
+    std::vector<BlockProfile::Row> Rows;
+    for (uint32_t B : HotBlocks)
+      Rows.push_back({"T.diamond()", B, 1});
+    return prof(std::move(Rows));
+  }
+
+  const CuSplit &mainCu(const SplitResult &R) const {
+    return R.PerCu[size_t(CP.CuOfMethod[size_t(Main)])];
+  }
+};
+
+} // namespace
+
+TEST(Splitter, NullProfileDegradesWholeProgram) {
+  DiamondFixture F;
+  SplitResult R = splitCompiledProgram(F.P, F.CP, nullptr);
+  EXPECT_TRUE(R.active());
+  EXPECT_EQ(R.SplitCus, 0u);
+  EXPECT_EQ(R.DegradedCus, uint32_t(F.CP.CUs.size()));
+  ASSERT_EQ(R.Issues.size(), 1u);
+  EXPECT_EQ(R.Issues[0].Kind, ProfileError::InsufficientBlockProfile);
+  // Every CU stays whole: all bytes hot, none cold, no stubs.
+  EXPECT_EQ(R.HotBytes, F.CP.totalCodeSize());
+  EXPECT_EQ(R.ColdBytes, 0u);
+  EXPECT_EQ(R.StubBytes, 0u);
+  for (size_t I = 0; I < R.PerCu.size(); ++I) {
+    EXPECT_FALSE(R.PerCu[I].Split);
+    EXPECT_EQ(R.PerCu[I].HotSize, F.CP.CUs[I].CodeSize);
+  }
+}
+
+TEST(Splitter, UnusableProfileDegradesWithSlugDetail) {
+  DiamondFixture F;
+  BlockProfile Bad = F.profile({0, 1, 2, 3});
+  Bad.LoadError = ProfileError::ChecksumMismatch;
+  SplitResult R = splitCompiledProgram(F.P, F.CP, &Bad);
+  EXPECT_EQ(R.SplitCus, 0u);
+  EXPECT_EQ(R.DegradedCus, uint32_t(F.CP.CUs.size()));
+  ASSERT_EQ(R.Issues.size(), 1u);
+  EXPECT_NE(R.Issues[0].Detail.find(
+                profileErrorSlug(ProfileError::ChecksumMismatch)),
+            std::string::npos);
+}
+
+TEST(Splitter, LowSalvageCoverageDegrades) {
+  DiamondFixture F;
+  BlockProfile Thin = F.profile({0, 1, 3});
+  Thin.CoveragePermille = 500; // below the default 900 threshold
+  SplitResult R = splitCompiledProgram(F.P, F.CP, &Thin);
+  EXPECT_EQ(R.SplitCus, 0u);
+  EXPECT_EQ(R.DegradedCus, uint32_t(F.CP.CUs.size()));
+
+  // An explicitly lowered threshold accepts the same profile.
+  SplitOptions Lax;
+  Lax.MinCoveragePermille = 400;
+  SplitResult R2 = splitCompiledProgram(F.P, F.CP, &Thin, Lax);
+  EXPECT_EQ(R2.DegradedCus, 0u);
+  EXPECT_EQ(R2.SplitCus, 1u);
+}
+
+TEST(Splitter, ColdBlockExiledWithStubAccounting) {
+  DiamondFixture F;
+  BlockProfile Prof = F.profile({0, 1, 3}); // b2 never executed
+  SplitResult R = splitCompiledProgram(F.P, F.CP, &Prof);
+  const CuSplit &S = F.mainCu(R);
+  ASSERT_TRUE(S.Split);
+  EXPECT_EQ(R.SplitCus, 1u);
+  EXPECT_EQ(R.DegradedCus, 0u);
+
+  ASSERT_EQ(S.Copies.size(), 1u);
+  const CopySplit &CS = S.Copies[0];
+  ASSERT_EQ(CS.Blocks.size(), 4u);
+  EXPECT_FALSE(CS.Blocks[0].Cold);
+  EXPECT_FALSE(CS.Blocks[1].Cold);
+  EXPECT_TRUE(CS.Blocks[2].Cold);
+  EXPECT_FALSE(CS.Blocks[3].Cold);
+
+  // Exactly two CFG edges cross the boundary (b0->b2 hot-side, b2->b3
+  // cold-side), one stub each.
+  SplitOptions Defaults;
+  EXPECT_EQ(S.StubBytes, 2 * Defaults.StubBytes);
+  // Fragment bytes: hot = b0(32) + b1(12) + b3(8) + one stub; cold =
+  // b2(44) + one stub.
+  EXPECT_EQ(S.HotSize, 52u + Defaults.StubBytes);
+  EXPECT_EQ(S.ColdSize, 44u + Defaults.StubBytes);
+  // The size invariant: every byte of the CU lands in exactly one
+  // fragment, plus the stubs.
+  const CompilationUnit &CU = F.CP.CUs[size_t(F.CP.CuOfMethod[size_t(F.Main)])];
+  EXPECT_EQ(uint64_t(S.HotSize) + S.ColdSize,
+            uint64_t(CU.CodeSize) + S.StubBytes);
+  // Hot blocks keep their relative order; offsets address the fragments.
+  EXPECT_EQ(CS.Blocks[0].Offset, 0u);
+  EXPECT_EQ(CS.Blocks[1].Offset, 32u);
+  EXPECT_EQ(CS.Blocks[3].Offset, 44u);
+  EXPECT_EQ(CS.Blocks[2].Offset, 0u); // first cold byte
+}
+
+TEST(Splitter, TinyColdBlockStaysHotAsGlue) {
+  // b2 is a lone jmp (4 bytes): exiling it would spend more stub bytes
+  // than it saves, so the glue rule keeps it hot and the CU stays whole.
+  DiamondFixture F(/*ColdConsts=*/0);
+  BlockProfile Prof = F.profile({0, 1, 3});
+  SplitResult R = splitCompiledProgram(F.P, F.CP, &Prof);
+  EXPECT_FALSE(F.mainCu(R).Split);
+  EXPECT_EQ(R.DegradedCus, 0u); // a non-split decision is not a failure
+  EXPECT_TRUE(R.Issues.empty());
+
+  // With glue disabled (and the cold-size gate lowered to match), the
+  // same profile does split the block out — the glue rule is what held
+  // it back.
+  SplitOptions NoGlue;
+  NoGlue.GlueMaxBytes = 0;
+  NoGlue.MinColdBytes = 1;
+  SplitResult R2 = splitCompiledProgram(F.P, F.CP, &Prof, NoGlue);
+  ASSERT_TRUE(F.mainCu(R2).Split);
+  EXPECT_TRUE(F.mainCu(R2).Copies[0].Blocks[2].Cold);
+}
+
+TEST(Splitter, MinColdBytesGateKeepsCuWhole) {
+  DiamondFixture F;
+  BlockProfile Prof = F.profile({0, 1, 3});
+  SplitOptions Strict;
+  Strict.MinColdBytes = 1000; // the 44 cold bytes are not worth it
+  SplitResult R = splitCompiledProgram(F.P, F.CP, &Prof, Strict);
+  EXPECT_FALSE(F.mainCu(R).Split);
+  EXPECT_EQ(R.DegradedCus, 0u);
+  EXPECT_TRUE(R.Issues.empty());
+}
+
+TEST(Splitter, ColdRootEntryBlockDegradesPerCu) {
+  // Execution evidence without a hot entry block means the profile
+  // under-reports: this CU degrades individually, others are unaffected.
+  DiamondFixture F;
+  BlockProfile Prof = F.profile({1, 3}); // entry b0 claimed cold
+  SplitResult R = splitCompiledProgram(F.P, F.CP, &Prof);
+  EXPECT_FALSE(F.mainCu(R).Split);
+  EXPECT_EQ(R.SplitCus, 0u);
+  EXPECT_EQ(R.DegradedCus, 1u);
+  ASSERT_EQ(R.Issues.size(), 1u);
+  EXPECT_EQ(R.Issues[0].Kind, ProfileError::InsufficientBlockProfile);
+  EXPECT_NE(R.Issues[0].Detail.find("cold root entry block"),
+            std::string::npos);
+}
+
+TEST(Splitter, FingerprintDeterministicAndDecisionSensitive) {
+  DiamondFixture F;
+  BlockProfile A = F.profile({0, 1, 3});
+  SplitResult R1 = splitCompiledProgram(F.P, F.CP, &A);
+  SplitResult R2 = splitCompiledProgram(F.P, F.CP, &A);
+  // Pure function of the merged profile: byte-identical re-runs.
+  EXPECT_EQ(R1.DecisionFingerprint, R2.DecisionFingerprint);
+
+  // A different decision (all-hot: nothing splits) must move it.
+  BlockProfile B = F.profile({0, 1, 2, 3});
+  SplitResult R3 = splitCompiledProgram(F.P, F.CP, &B);
+  EXPECT_EQ(R3.SplitCus, 0u);
+  EXPECT_NE(R1.DecisionFingerprint, R3.DecisionFingerprint);
+
+  // Degraded (unsplit-everywhere) agrees with all-hot only by accident of
+  // both being "no CU split"; it must still differ from the split result.
+  SplitResult R4 = splitCompiledProgram(F.P, F.CP, nullptr);
+  EXPECT_NE(R1.DecisionFingerprint, R4.DecisionFingerprint);
+}
+
+namespace {
+
+/// An inline tree for the reachability rule: main's diamond calls `cc` on
+/// both arms; `cc` calls leaf `dd`. All bodies are trivially inlinable, so
+/// main's CU carries two full cc->dd subtrees.
+struct InlineFixture {
+  Program P;
+  MethodId Main = -1, Cc = -1, Dd = -1;
+  CompiledProgram CP;
+
+  InlineFixture() {
+    ClassId C = P.addClass("T");
+    Dd = P.addMethod(C, "dd", {}, P.intType(), true);
+    {
+      IrBuilder B(P, Dd);
+      B.ret(B.constInt(7));
+    }
+    Cc = P.addMethod(C, "cc", {}, P.intType(), true);
+    {
+      IrBuilder B(P, Cc);
+      B.ret(B.callStatic(Dd, {}));
+    }
+    Main = P.addMethod(C, "aa", {}, P.intType(), true);
+    IrBuilder B(P, Main);
+    BlockId B1 = B.newBlock(), B2 = B.newBlock(), B3 = B.newBlock();
+    B.br(B.constBool(true), B1, B2);
+    B.setBlock(B1);
+    uint16_t V = B.callStatic(Cc, {});
+    B.jmp(B3);
+    B.setBlock(B2);
+    B.callStatic(Cc, {});
+    B.jmp(B3);
+    B.setBlock(B3);
+    B.ret(V);
+    P.MainMethod = Main;
+    ReachabilityResult Reach = analyzeReachability(P);
+    CP = buildCompilationUnits(P, Reach, InlinerConfig(), false);
+  }
+};
+
+} // namespace
+
+TEST(Splitter, ReachabilityExilesNeverEnteredInlineCopies) {
+  InlineFixture F;
+  const CompilationUnit &CU = F.CP.CUs[size_t(F.CP.CuOfMethod[size_t(F.Main)])];
+  ASSERT_EQ(CU.Copies.size(), 5u) << "expected both cc->dd subtrees inlined";
+
+  // The profile says: the b1 arm ran, the b2 arm did not — but cc and dd
+  // executed (through b1), so per-signature counts alone would keep the
+  // b2 copies hot.
+  BlockProfile Prof = prof({{"T.aa()", 0, 1},
+                            {"T.aa()", 1, 1},
+                            {"T.aa()", 3, 1},
+                            {"T.cc()", 0, 2},
+                            {"T.dd()", 0, 2}});
+  SplitResult R = splitCompiledProgram(F.P, F.CP, &Prof);
+  const CuSplit &S = R.PerCu[size_t(F.CP.CuOfMethod[size_t(F.Main)])];
+  ASSERT_TRUE(S.Split);
+  ASSERT_EQ(S.Copies.size(), 5u);
+
+  // Locate the two cc copies by their call-site block in the root copy.
+  int32_t HotCc = -1, ColdCc = -1;
+  for (size_t C = 1; C < CU.Copies.size(); ++C) {
+    if (CU.Copies[C].ParentCopy != 0)
+      continue;
+    if ((CU.Copies[C].SiteId >> 16) == 1)
+      HotCc = int32_t(C);
+    if ((CU.Copies[C].SiteId >> 16) == 2)
+      ColdCc = int32_t(C);
+  }
+  ASSERT_GE(HotCc, 0);
+  ASSERT_GE(ColdCc, 0);
+
+  auto AllCold = [&](int32_t Copy) {
+    for (const BlockPlace &B : S.Copies[size_t(Copy)].Blocks)
+      if (!B.Cold)
+        return false;
+    return true;
+  };
+  // The copy reached through the executed arm keeps its hot blocks.
+  EXPECT_FALSE(AllCold(HotCc));
+  // The copy at the never-executed call site is exiled wholesale...
+  EXPECT_TRUE(AllCold(ColdCc));
+  // ...and so is its child dd copy (recursive propagation down the tree),
+  // while the dd copy under the hot cc stays hot.
+  for (size_t C = 1; C < CU.Copies.size(); ++C) {
+    if (CU.Copies[C].ParentCopy == ColdCc) {
+      EXPECT_TRUE(AllCold(int32_t(C)));
+    }
+    if (CU.Copies[C].ParentCopy == HotCc) {
+      EXPECT_FALSE(AllCold(int32_t(C)));
+    }
+  }
+  // The size invariant holds with multiple copies and stub charging.
+  EXPECT_EQ(uint64_t(S.HotSize) + S.ColdSize,
+            uint64_t(CU.CodeSize) + S.StubBytes);
+}
