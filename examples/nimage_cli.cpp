@@ -30,11 +30,13 @@
 #include "src/obs/Metrics.h"
 #include "src/obs/SpanTracer.h"
 #include "src/obs/StartupReport.h"
+#include "src/support/AtomicFile.h"
 #include "src/support/ThreadPool.h"
 #include "src/workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -53,10 +55,11 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
+/// All CLI artifacts go through temp-file + rename: a crash mid-write
+/// leaves the previous file intact instead of a truncated one for a later
+/// build to quarantine.
 bool writeFile(const std::string &Path, const std::string &Data) {
-  std::ofstream Out(Path, std::ios::binary);
-  Out.write(Data.data(), std::streamsize(Data.size()));
-  return bool(Out);
+  return atomicWriteFile(Path, Data);
 }
 
 std::unique_ptr<Program> loadTarget(const std::string &Target) {
@@ -114,11 +117,20 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  nimage_cli build   <target> [--out F] [--seed N] "
-               "[--profiles DIR] [--code cu|method|cluster] "
+               "[--profiles DIR|a.csv,b.csv,...] [--profile-dir DIR] "
+               "[--code cu|method|cluster] "
                "[--heap inc|struct|path] [--split none|hotcold]\n"
                "  nimage_cli run     <target> [--image F] [--warm]\n"
                "  nimage_cli profile <target> [--dir DIR] "
-               "[--cluster-budget BYTES]\n"
+               "[--generation N] [--cluster-budget BYTES]\n"
+               "fleet aggregation:\n"
+               "  --profiles with a comma-separated list (or a single .csv "
+               "file) merges the\n"
+               "  member profiles (quarantine + fail-open degradation); "
+               "--profile-dir DIR\n"
+               "  merges every cu*.csv in DIR. A bare directory keeps the "
+               "classic meaning:\n"
+               "  read {cu,method,cluster,...}.csv from it.\n"
                "pipeline (any command):\n"
                "  --jobs N           worker threads for the parallel build/"
                "post-processing stages\n"
@@ -157,6 +169,16 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
   RunConfig Run;
   BuildConfig Cfg;
   Cfg.Seed = 1001;
+  if (const char *Gen = flagValue(Argc, Argv, "--generation")) {
+    long long G = std::atoll(Gen);
+    if (G < 0) {
+      std::fprintf(stderr, "error: --generation expects a stamp >= 0 "
+                           "(0 = unstamped), got '%s'\n",
+                   Gen);
+      return 2;
+    }
+    Cfg.ProfileGeneration = uint64_t(G);
+  }
   if (const char *Budget = flagValue(Argc, Argv, "--cluster-budget")) {
     long long B = std::atoll(Budget);
     if (B < 0) {
@@ -214,13 +236,61 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
   BuildConfig Cfg;
   if (const char *Seed = flagValue(Argc, Argv, "--seed"))
     Cfg.Seed = uint64_t(std::atoll(Seed));
-  std::string Dir = flagValue(Argc, Argv, "--profiles")
-                        ? flagValue(Argc, Argv, "--profiles")
-                        : ".";
+
+  // --profiles keeps its classic meaning for a bare directory (read
+  // {cu,method,...}.csv from it). A comma-separated list or a single
+  // regular file switches to fleet-aggregation mode, as does
+  // --profile-dir (merge every cu*.csv inside).
+  std::string Dir = ".";
+  std::vector<MemberProfile> Members;
+  bool MemberMode = false;
+  if (const char *MemberDir = flagValue(Argc, Argv, "--profile-dir")) {
+    std::vector<std::string> Paths = listMemberProfileDir(MemberDir);
+    if (Paths.empty()) {
+      std::fprintf(stderr, "error: no cu*.csv member profiles in %s\n",
+                   MemberDir);
+      return 1;
+    }
+    Members = loadMemberProfiles(Paths);
+    MemberMode = true;
+  } else if (const char *Profiles = flagValue(Argc, Argv, "--profiles")) {
+    std::string Value = Profiles;
+    std::error_code Ec;
+    if (Value.find(',') != std::string::npos ||
+        std::filesystem::is_regular_file(Value, Ec)) {
+      std::vector<std::string> Paths;
+      for (size_t At = 0; At <= Value.size();) {
+        size_t Comma = Value.find(',', At);
+        if (Comma == std::string::npos)
+          Comma = Value.size();
+        if (Comma > At)
+          Paths.push_back(Value.substr(At, Comma - At));
+        At = Comma + 1;
+      }
+      Members = loadMemberProfiles(Paths);
+      MemberMode = true;
+    } else {
+      Dir = Value;
+    }
+  }
 
   CodeProfile CodeProf;
   HeapProfile HeapProf;
-  if (const char *Code = flagValue(Argc, Argv, "--code")) {
+  const char *Code = flagValue(Argc, Argv, "--code");
+  if (MemberMode) {
+    // Member sets are cu-order captures; merge feeds the cu (or cluster)
+    // code strategy. No --code defaults to cu.
+    if (Code && std::strcmp(Code, "method") == 0)
+      std::fprintf(stderr,
+                   "warning: member profiles are cu-order captures; "
+                   "--code method will degrade to the default layout\n");
+    Cfg.CodeOrder = !Code || std::strcmp(Code, "cu") == 0
+                        ? CodeStrategy::CuOrder
+                        : std::strcmp(Code, "cluster") == 0
+                              ? CodeStrategy::Cluster
+                              : CodeStrategy::MethodOrder;
+    Cfg.CodeMembers = &Members;
+  } else if (Code) {
     std::string Csv;
     std::string File = Dir + (std::strcmp(Code, "method") == 0
                                   ? "/method.csv"
@@ -316,8 +386,13 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
   Report.Target = Target;
   Report.Command = "build";
   Report.setJobs(currentJobs());
-  if (const char *Code = flagValue(Argc, Argv, "--code"))
-    Report.Variant += std::string("code=") + Code;
+  if (const char *CodeFlag = flagValue(Argc, Argv, "--code"))
+    Report.Variant += std::string("code=") + CodeFlag;
+  else if (MemberMode)
+    Report.Variant += "code=cu";
+  if (MemberMode)
+    Report.Variant += (Report.Variant.empty() ? "" : " ") + std::string("members=") +
+                      std::to_string(Members.size());
   if (const char *HeapFlag = flagValue(Argc, Argv, "--heap"))
     Report.Variant +=
         (Report.Variant.empty() ? "" : " ") + std::string("heap=") + HeapFlag;
@@ -348,6 +423,21 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
                 Img.Split.SplitCus, Img.Split.DegradedCus,
                 (unsigned long long)Img.Layout.ColdTailSize,
                 (unsigned long long)Img.Split.StubBytes);
+  if (Img.ProfileDiag.Merge.attempted()) {
+    const MergeManifest &M = Img.ProfileDiag.Merge;
+    std::printf("  merge: %s — %zu member(s): %zu accepted, %zu "
+                "salvaged, %zu quarantined\n",
+                mergeOutcomeName(M.Outcome), M.Members.size(),
+                M.countWithStatus(MergeMemberStatus::Accepted),
+                M.countWithStatus(MergeMemberStatus::Salvaged),
+                M.countWithStatus(MergeMemberStatus::Quarantined));
+    for (const MergeMemberReport &R : M.Members)
+      if (R.Status == MergeMemberStatus::Quarantined)
+        std::fprintf(stderr, "warning: member '%s' quarantined: %s%s%s\n",
+                     R.Name.c_str(), profileErrorName(R.Reason),
+                     R.Detail.empty() ? "" : " — ",
+                     R.Detail.c_str());
+  }
   if (Img.ProfileDiag.degraded()) {
     std::fprintf(stderr,
                  "warning: build degraded to default layout(s) — code "

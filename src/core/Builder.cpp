@@ -7,6 +7,8 @@
 #include "src/obs/SpanTracer.h"
 #include "src/support/SplitMix64.h"
 
+#include <unordered_set>
+
 using namespace nimg;
 
 namespace {
@@ -122,6 +124,28 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
   // layout; it never fails the build.
   uint64_t BuildFp = programFingerprint(P);
   const CodeProfile *CodeProf = Cfg.CodeProf;
+  // Fleet aggregation: merge the offered member set into the code profile
+  // (quarantining damaged members with typed reasons) and hand the result
+  // to the regular vetting below. A merge that loses every member lands
+  // on the Fallback rung: the build keeps its default cu-order layout.
+  CodeProfile MergedProf;
+  if (Cfg.CodeOrder != CodeStrategy::None && Cfg.CodeMembers &&
+      !Cfg.CodeMembers->empty()) {
+    NIMG_SPAN("build", "merge_profiles");
+    MergeOptions MOpts = Cfg.Merge;
+    if (!MOpts.ExpectedFingerprint)
+      MOpts.ExpectedFingerprint = BuildFp;
+    MergeResult MR = aggregateProfiles(*Cfg.CodeMembers, MOpts);
+    Img.ProfileDiag.Merge = std::move(MR.Manifest);
+    if (MR.usable()) {
+      MergedProf = std::move(MR.Profile);
+      CodeProf = &MergedProf;
+    } else {
+      CodeProf = nullptr;
+      Img.ProfileDiag.CodeProfileProvided = true;
+      NIMG_COUNTER_ADD("nimg.build.degraded.code", 1);
+    }
+  }
   if (Cfg.CodeOrder != CodeStrategy::None && CodeProf) {
     Img.ProfileDiag.CodeProfileProvided = true;
     if (codeProfileUsable(*CodeProf, Cfg.CodeOrder, BuildFp,
@@ -315,6 +339,7 @@ CollectedProfiles nimg::collectProfiles(Program &P,
   };
 
   uint64_t Fp = programFingerprint(P);
+  uint64_t Gen = InstrumentedCfg.ProfileGeneration;
 
   TraceCapture CuCap;
   {
@@ -325,6 +350,7 @@ CollectedProfiles nimg::collectProfiles(Program &P,
     NIMG_SPAN("profile", "post.cu");
     Out.Cu = analyzeCuOrder(P, CuCap, &Out.CuSalvage);
     Out.Cu.Header.Fingerprint = Fp;
+    Out.Cu.Header.Generation = Gen;
   }
   {
     // The cluster profile reuses the cu-mode capture: CU transitions are
@@ -337,6 +363,7 @@ CollectedProfiles nimg::collectProfiles(Program &P,
         analyzeClusterOrder(P, CuCap, Img.Code, COpts, nullptr,
                             &Out.ClusterIssues, &Out.ClusterLayoutStats);
     Out.Cluster.Header.Fingerprint = Fp;
+    Out.Cluster.Header.Generation = Gen;
   }
 
   TraceCapture MethodCap;
@@ -348,6 +375,7 @@ CollectedProfiles nimg::collectProfiles(Program &P,
     NIMG_SPAN("profile", "post.method");
     Out.Method = analyzeMethodOrder(P, MethodCap, Paths, &Out.MethodSalvage);
     Out.Method.Header.Fingerprint = Fp;
+    Out.Method.Header.Generation = Gen;
   }
   {
     // Block counts reuse the method-order capture: every path record
@@ -356,6 +384,8 @@ CollectedProfiles nimg::collectProfiles(Program &P,
     NIMG_SPAN("profile", "post.blocks");
     Out.Blocks = analyzeBlockCounts(P, MethodCap, Paths, nullptr);
     Out.Blocks.Header.Fingerprint = Fp;
+    Out.Blocks.Header.Generation = Gen;
+    Out.Blocks.Header.CoveragePermille = Out.Blocks.CoveragePermille;
   }
 
   TraceCapture HeapCap;
@@ -376,6 +406,73 @@ CollectedProfiles nimg::collectProfiles(Program &P,
     Out.IncrementalId.Header.Fingerprint = Fp;
     Out.StructuralHash.Header.Fingerprint = Fp;
     Out.HeapPath.Header.Fingerprint = Fp;
+    Out.IncrementalId.Header.Generation = Gen;
+    Out.StructuralHash.Header.Generation = Gen;
+    Out.HeapPath.Header.Generation = Gen;
+  }
+  return Out;
+}
+
+std::vector<MemberProfile>
+nimg::collectProfileSet(Program &P, const BuildConfig &InstrumentedCfg,
+                        const RunConfig &RunCfg,
+                        const std::vector<std::string> &InstanceNames,
+                        std::vector<ProfileIssue> *IssuesOut) {
+  std::vector<MemberProfile> Out;
+  Out.reserve(InstanceNames.size());
+
+  NIMG_SPAN_NAMED(SetSpan, "pipeline", "collectProfileSet");
+  NIMG_COUNTER_ADD("nimg.profile.collect.set_members", InstanceNames.size());
+
+  BuildConfig Cfg = InstrumentedCfg;
+  Cfg.Instrumented = true;
+  Cfg.CodeOrder = CodeStrategy::None;
+  Cfg.UseHeapOrder = false;
+  NativeImage Img = [&] {
+    NIMG_SPAN("pipeline", "instrumented_build");
+    return buildNativeImage(P, Cfg);
+  }();
+  assert(!Img.Built.Failed && "instrumented build failed");
+  uint64_t Fp = programFingerprint(P);
+
+  std::unordered_set<std::string> Seen;
+  for (size_t I = 0; I < InstanceNames.size(); ++I) {
+    MemberProfile M;
+    M.Name = InstanceNames[I];
+    // Duplicate names within one capture set are a configuration bug the
+    // merge can no longer untangle (which instance produced what?); each
+    // later holder is rejected typed, not silently last-writer-wins.
+    if (!Seen.insert(M.Name).second) {
+      M.Profile.LoadError = ProfileError::DuplicateMember;
+      M.Read.Fatal = ProfileError::DuplicateMember;
+      M.Read.Issues.push_back({ProfileError::DuplicateMember, I + 1,
+                               "instance name repeats within the set"});
+      NIMG_COUNTER_ADD("nimg.profile.collect.duplicate_member", 1);
+      if (IssuesOut)
+        IssuesOut->push_back(M.Read.Issues.back());
+      Out.push_back(std::move(M));
+      continue;
+    }
+    TraceOptions TOpts;
+    TOpts.Mode = TraceMode::CuOrder;
+    TOpts.Dump = RunCfg.StopAtFirstResponse ? DumpMode::MemoryMapped
+                                            : DumpMode::FlushOnFull;
+    TOpts.Encoding = TraceEncoding::VarintDelta;
+    RunConfig RC = RunCfg;
+    RC.Trace = &TOpts;
+    TraceCapture Capture;
+    SalvageStats Salvage;
+    {
+      NIMG_SPAN("profile", "trace.cu");
+      runImage(Img, RC, &Capture);
+    }
+    M.Profile = analyzeCuOrder(P, Capture, &Salvage);
+    M.Profile.Header.Fingerprint = Fp;
+    M.Profile.Header.Generation = InstrumentedCfg.ProfileGeneration + I;
+    M.Read.HeaderPresent = true;
+    M.Read.Header = M.Profile.Header;
+    M.Read.RowsKept = M.Profile.Sigs.size();
+    Out.push_back(std::move(M));
   }
   return Out;
 }

@@ -26,6 +26,7 @@
 #include "src/image/NativeImage.h"
 #include "src/ordering/ClusterLayout.h"
 #include "src/ordering/Orderers.h"
+#include "src/profiling/Aggregate.h"
 #include "src/profiling/Analyses.h"
 #include "src/runtime/ExecEngine.h"
 
@@ -59,6 +60,20 @@ struct BuildConfig {
   bool UseHeapOrder = false;
   const CodeProfile *CodeProf = nullptr;
   const HeapProfile *HeapProf = nullptr;
+
+  /// Fleet aggregation (--profiles a.csv,b.csv / --profile-dir): when
+  /// non-null and nonempty, the members are merged (under Merge, with the
+  /// build's own fingerprint as the skew reference) into the code profile
+  /// and CodeProf is ignored. The quarantine manifest lands on the built
+  /// image's ProfileDiag.Merge; a merge that quarantines every member
+  /// degrades to the default cu-order layout, never fails the build.
+  const std::vector<MemberProfile> *CodeMembers = nullptr;
+  MergeOptions Merge;
+
+  /// Monotonic generation stamp collectProfiles() writes into every
+  /// produced profile header (v2 cell 7); 0 = unstamped, exempt from the
+  /// merge staleness gate.
+  uint64_t ProfileGeneration = 0;
 
   /// Hot/cold CU splitting (--split hotcold), orthogonal to the code
   /// strategy. Ignored for instrumented builds (the profiling build must
@@ -131,6 +146,19 @@ struct CollectedProfiles {
 /// set StopAtFirstResponse and use the memory-mapped dump mode, Sec. 6.1).
 CollectedProfiles collectProfiles(Program &P, const BuildConfig &InstrumentedCfg,
                                   const RunConfig &RunCfg);
+
+/// Captures one cu-order member profile per named instance from a single
+/// instrumented build — the fleet-side producer of the aggregation
+/// pipeline. Generations are stamped monotonically from
+/// InstrumentedCfg.ProfileGeneration. A duplicate instance name within
+/// the set is rejected with a typed DuplicateMember member (no run is
+/// spent on it) instead of silently overwriting the earlier capture;
+/// \p IssuesOut (optional) collects one ProfileIssue per rejection.
+std::vector<MemberProfile>
+collectProfileSet(Program &P, const BuildConfig &InstrumentedCfg,
+                  const RunConfig &RunCfg,
+                  const std::vector<std::string> &InstanceNames,
+                  std::vector<ProfileIssue> *IssuesOut = nullptr);
 
 } // namespace nimg
 

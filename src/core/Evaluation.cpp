@@ -90,9 +90,24 @@ BenchmarkEval nimg::evaluateBenchmark(const BenchmarkSpec &Spec,
   InstrCfg.Seed = Opts.BaseSeed + 1000;
   CollectedProfiles Prof = collectProfiles(*P, InstrCfg, Run);
 
+  // --- Fleet profile set (cu-merged variant) ----------------------------------
+  std::vector<MemberProfile> Members;
+  if (Opts.MergeMembers > 0) {
+    BuildConfig SetCfg = Opts.Build;
+    SetCfg.Seed = Opts.BaseSeed + 1000;
+    if (!SetCfg.ProfileGeneration)
+      SetCfg.ProfileGeneration = 1;
+    std::vector<std::string> Names;
+    for (int I = 0; I < Opts.MergeMembers; ++I)
+      Names.push_back("inst" + std::to_string(I));
+    Members = collectProfileSet(*P, SetCfg, Run, Names);
+  }
+
   // --- Measurement helper -------------------------------------------------------
   auto Measure = [&](const std::string &Name, CodeStrategy Code,
-                     bool UseHeap, HeapStrategy Heap) {
+                     bool UseHeap, HeapStrategy Heap,
+                     const std::vector<MemberProfile> *CodeMembers =
+                         nullptr) {
     VariantEval V;
     V.Name = Name;
     std::vector<double> Text, HeapF, Total, Time;
@@ -106,6 +121,10 @@ BenchmarkEval nimg::evaluateBenchmark(const BenchmarkSpec &Spec,
         Cfg.CodeProf = &Prof.Method;
       else if (Code == CodeStrategy::Cluster)
         Cfg.CodeProf = &Prof.Cluster;
+      if (CodeMembers) {
+        Cfg.CodeMembers = CodeMembers;
+        Cfg.CodeProf = nullptr;
+      }
       Cfg.UseHeapOrder = UseHeap;
       if (UseHeap) {
         Cfg.HeapOrder = Heap;
@@ -159,8 +178,7 @@ BenchmarkEval nimg::evaluateBenchmark(const BenchmarkSpec &Spec,
       return Base <= 0 ? 1.0 : Base;
     return Base / Opt;
   };
-  for (const VariantSpec &VS : Specs) {
-    VariantEval V = Measure(VS.Name, VS.Code, VS.UseHeap, VS.Heap);
+  auto PushVariant = [&](VariantEval V) {
     V.TextFaultFactor =
         Factor(Eval.Baseline.TextFaults.Mean, V.TextFaults.Mean);
     V.HeapFaultFactor =
@@ -169,7 +187,12 @@ BenchmarkEval nimg::evaluateBenchmark(const BenchmarkSpec &Spec,
         Factor(Eval.Baseline.TotalFaults.Mean, V.TotalFaults.Mean);
     V.Speedup = Factor(Eval.Baseline.TimeNs.Mean, V.TimeNs.Mean);
     Eval.Variants.push_back(std::move(V));
-  }
+  };
+  for (const VariantSpec &VS : Specs)
+    PushVariant(Measure(VS.Name, VS.Code, VS.UseHeap, VS.Heap));
+  if (!Members.empty())
+    PushVariant(Measure("cu-merged", CodeStrategy::CuOrder, false,
+                        HeapStrategy::HeapPath, &Members));
 
   // --- Profiling overhead (Sec. 7.4) ------------------------------------------
   double BaseTime = Eval.Baseline.TimeNs.Mean;

@@ -36,6 +36,11 @@ struct EvalOptions {
   uint64_t BaseSeed = 1;
   RunConfig Run;
   BuildConfig Build;
+  /// When > 0, additionally capture a fleet profile set of this many
+  /// members (one instrumented cu-mode run each) and measure a
+  /// "cu-merged" variant driven by the aggregated profile — the
+  /// multi-instance analogue of the "cu" variant.
+  int MergeMembers = 0;
 };
 
 /// Mean with a 95% confidence interval over build seeds.

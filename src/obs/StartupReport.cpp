@@ -4,8 +4,7 @@
 
 #include "src/obs/Json.h"
 #include "src/obs/Metrics.h"
-
-#include <fstream>
+#include "src/support/AtomicFile.h"
 
 using namespace nimg;
 using namespace nimg::obs;
@@ -161,6 +160,39 @@ std::string StartupReport::toJson() const {
     W.endObject();
   }
 
+  if (HasDiag && Diag.Merge.attempted()) {
+    const MergeManifest &M = Diag.Merge;
+    W.key("merge");
+    W.beginObject();
+    W.member("outcome", mergeOutcomeName(M.Outcome));
+    W.member("members", uint64_t(M.Members.size()));
+    W.member("accepted",
+             uint64_t(M.countWithStatus(MergeMemberStatus::Accepted)));
+    W.member("salvaged",
+             uint64_t(M.countWithStatus(MergeMemberStatus::Salvaged)));
+    W.member("quarantined",
+             uint64_t(M.countWithStatus(MergeMemberStatus::Quarantined)));
+    W.key("manifest");
+    W.beginArray();
+    for (const MergeMemberReport &R : M.Members) {
+      W.beginObject();
+      W.member("name", R.Name);
+      W.member("status", mergeMemberStatusName(R.Status));
+      if (R.Reason != ProfileError::None)
+        W.member("reason", profileErrorSlug(R.Reason));
+      if (!R.Detail.empty())
+        W.member("detail", R.Detail);
+      W.member("coverage_permille", uint64_t(R.CoveragePermille));
+      W.member("generation", R.Generation);
+      W.member("drift_score", R.DriftScore);
+      W.member("weight", R.Weight);
+      W.member("rows", uint64_t(R.Rows));
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+
   if (!Salvage.empty()) {
     W.key("salvage");
     W.beginArray();
@@ -287,6 +319,24 @@ std::string StartupReport::toCsv() const {
              I.Detail.empty() ? num(I.Row) : I.Detail);
   }
 
+  if (HasDiag && Diag.Merge.attempted()) {
+    const MergeManifest &M = Diag.Merge;
+    csvRow(Out, "merge", "outcome", mergeOutcomeName(M.Outcome));
+    csvRow(Out, "merge", "members", num(M.Members.size()));
+    csvRow(Out, "merge", "accepted",
+           num(M.countWithStatus(MergeMemberStatus::Accepted)));
+    csvRow(Out, "merge", "salvaged",
+           num(M.countWithStatus(MergeMemberStatus::Salvaged)));
+    csvRow(Out, "merge", "quarantined",
+           num(M.countWithStatus(MergeMemberStatus::Quarantined)));
+    for (const MergeMemberReport &R : M.Members)
+      csvRow(Out, "merge.member", R.Name,
+             std::string(mergeMemberStatusName(R.Status)) +
+                 (R.Reason != ProfileError::None
+                      ? std::string(":") + profileErrorSlug(R.Reason)
+                      : std::string()));
+  }
+
   for (const auto &[Phase, S] : Salvage) {
     std::string Section = "salvage." + Phase;
     csvRow(Out, Section, "words_scanned", num(S.WordsScanned));
@@ -303,13 +353,11 @@ std::string StartupReport::toCsv() const {
 }
 
 bool StartupReport::writeFile(const std::string &Path) const {
-  std::ofstream Out(Path, std::ios::binary);
-  if (!Out)
-    return false;
   std::string Body = Path.size() >= 4 &&
                              Path.compare(Path.size() - 4, 4, ".csv") == 0
                          ? toCsv()
                          : toJson();
-  Out.write(Body.data(), std::streamsize(Body.size()));
-  return bool(Out);
+  // Temp-file + rename: a crash mid-write can never leave a truncated
+  // report for a later ingestion step to trip over.
+  return atomicWriteFile(Path, Body);
 }

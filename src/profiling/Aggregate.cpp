@@ -1,0 +1,393 @@
+//===- Aggregate.cpp - Fleet-scale profile aggregation ----------------------===//
+
+#include "src/profiling/Aggregate.h"
+
+#include "src/obs/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace nimg;
+
+namespace {
+
+std::string fmtDouble(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+void quarantine(MergeMemberReport &R, ProfileError Reason,
+                std::string Detail) {
+  R.Status = MergeMemberStatus::Quarantined;
+  R.Reason = Reason;
+  R.Detail = std::move(Detail);
+  R.Weight = 0.0;
+}
+
+/// Classifies one member against the per-input gates that need no
+/// cross-member context. Returns true when the member stays live.
+bool classifyMember(const MemberProfile &In, const MergeOptions &Opts,
+                    bool DuplicateName, MergeMemberReport &R) {
+  const CodeProfile &P = In.Profile;
+  R.Name = In.Name;
+  R.CoveragePermille = P.Header.CoveragePermille;
+  R.Generation = P.Header.Generation;
+  R.Rows = P.Sigs.size();
+  if (DuplicateName) {
+    quarantine(R, ProfileError::DuplicateMember,
+               "an earlier member carries this name");
+    return false;
+  }
+  if (P.LoadError != ProfileError::None) {
+    quarantine(R, P.LoadError, profileErrorName(P.LoadError));
+    return false;
+  }
+  if (P.Header.Mode != TraceMode::CuOrder) {
+    quarantine(R, ProfileError::ModeMismatch,
+               "member is not a cu-order profile");
+    return false;
+  }
+  if (Opts.ExpectedFingerprint && P.Header.Fingerprint &&
+      P.Header.Fingerprint != Opts.ExpectedFingerprint) {
+    quarantine(R, ProfileError::FingerprintMismatch,
+               "member was captured from a different program build");
+    return false;
+  }
+  if (P.Sigs.empty()) {
+    quarantine(R, ProfileError::CoverageBelowGate, "empty payload");
+    return false;
+  }
+  if (P.Header.CoveragePermille < Opts.MinCoveragePermille) {
+    quarantine(R, ProfileError::CoverageBelowGate,
+               "coverage " + std::to_string(P.Header.CoveragePermille) +
+                   " < gate " +
+                   std::to_string(Opts.MinCoveragePermille));
+    return false;
+  }
+  if (In.Read.RowsSkipped > 0) {
+    R.Status = MergeMemberStatus::Salvaged;
+    R.Reason = ProfileError::MalformedCell;
+    R.Detail = std::to_string(In.Read.RowsSkipped) + " rows skipped";
+  } else if (P.Header.CoveragePermille < 1000) {
+    R.Status = MergeMemberStatus::Salvaged;
+    R.Detail = "partial capture coverage";
+  } else {
+    R.Status = MergeMemberStatus::Accepted;
+  }
+  return true;
+}
+
+/// Union of member sigs in first-seen member order — the deterministic
+/// universe both the drift scorer and the rank merge iterate over.
+std::vector<std::string>
+unionSigs(const std::vector<MemberProfile> &Members,
+          const std::vector<size_t> &Live) {
+  std::vector<std::string> Out;
+  std::unordered_set<std::string> Seen;
+  for (size_t I : Live)
+    for (const std::string &S : Members[I].Profile.Sigs)
+      if (Seen.insert(S).second)
+        Out.push_back(S);
+  return Out;
+}
+
+std::unordered_map<std::string, size_t> posIndex(const CodeProfile &P) {
+  std::unordered_map<std::string, size_t> Pos;
+  Pos.reserve(P.Sigs.size());
+  for (size_t I = 0; I < P.Sigs.size(); ++I)
+    Pos.emplace(P.Sigs[I], I); // First occurrence wins on (odd) dup sigs.
+  return Pos;
+}
+
+/// Mean |log2((c+1)/(med+1))| of one member's counts against the per-sig
+/// member median — the statistical-outlier gate. An honest capture of the
+/// same workload lands near the median; an adversarially or mechanically
+/// skewed one does not.
+void scoreDrift(const std::vector<MemberProfile> &Members,
+                std::vector<size_t> &Live,
+                std::vector<MergeMemberReport> &Reports,
+                const MergeOptions &Opts) {
+  if (Live.size() < Opts.MinMembersForDrift)
+    return;
+  std::vector<std::string> Sigs = unionSigs(Members, Live);
+  if (Sigs.empty())
+    return;
+  std::vector<std::unordered_map<std::string, size_t>> Pos;
+  Pos.reserve(Live.size());
+  for (size_t I : Live)
+    Pos.push_back(posIndex(Members[I].Profile));
+
+  // Per-sig median count across live members (absent sig = count 0).
+  std::vector<double> Median(Sigs.size(), 0.0);
+  std::vector<uint64_t> Column(Live.size());
+  for (size_t S = 0; S < Sigs.size(); ++S) {
+    for (size_t L = 0; L < Live.size(); ++L) {
+      auto It = Pos[L].find(Sigs[S]);
+      Column[L] =
+          It == Pos[L].end() ? 0 : Members[Live[L]].Profile.countAt(It->second);
+    }
+    std::sort(Column.begin(), Column.end());
+    size_t Mid = Column.size() / 2;
+    Median[S] = Column.size() % 2
+                    ? double(Column[Mid])
+                    : (double(Column[Mid - 1]) + double(Column[Mid])) / 2.0;
+  }
+
+  std::vector<double> Score(Live.size(), 0.0);
+  for (size_t L = 0; L < Live.size(); ++L) {
+    double Sum = 0.0;
+    for (size_t S = 0; S < Sigs.size(); ++S) {
+      auto It = Pos[L].find(Sigs[S]);
+      double C =
+          It == Pos[L].end() ? 0 : double(Members[Live[L]].Profile.countAt(It->second));
+      Sum += std::fabs(std::log2((C + 1.0) / (Median[S] + 1.0)));
+    }
+    Score[L] = Sum / double(Sigs.size());
+    Reports[Live[L]].DriftScore = Score[L];
+  }
+
+  // Quarantine outliers, but never the whole set: the lowest-scoring
+  // member always survives (fail-open — a gate must not kill the build).
+  size_t Lowest = 0;
+  for (size_t L = 1; L < Live.size(); ++L)
+    if (Score[L] < Score[Lowest])
+      Lowest = L;
+  std::vector<size_t> Kept;
+  for (size_t L = 0; L < Live.size(); ++L) {
+    if (Score[L] > Opts.MaxDriftScore && L != Lowest) {
+      quarantine(Reports[Live[L]], ProfileError::DriftOutlier,
+                 "drift " + fmtDouble(Score[L]) + " > " +
+                     fmtDouble(Opts.MaxDriftScore));
+    } else {
+      Kept.push_back(Live[L]);
+    }
+  }
+  Live = std::move(Kept);
+}
+
+/// Weighted first-execution-rank merge over the live members, folded in
+/// fixed member order. A sig's score is the weight-weighted sum of its
+/// normalized ranks; members that never saw the sig vote "end of list".
+CodeProfile mergeLive(const std::vector<MemberProfile> &Members,
+                      const std::vector<size_t> &Live,
+                      const std::vector<MergeMemberReport> &Reports,
+                      uint64_t NewestGeneration) {
+  std::vector<std::string> Sigs = unionSigs(Members, Live);
+  std::vector<std::unordered_map<std::string, size_t>> Pos;
+  Pos.reserve(Live.size());
+  bool AnyCounts = false;
+  for (size_t I : Live) {
+    Pos.push_back(posIndex(Members[I].Profile));
+    AnyCounts |= !Members[I].Profile.Counts.empty();
+  }
+
+  std::vector<double> Score(Sigs.size(), 0.0);
+  std::vector<double> WeightedCount(Sigs.size(), 0.0);
+  std::vector<double> CountWeight(Sigs.size(), 0.0);
+  for (size_t L = 0; L < Live.size(); ++L) {
+    const CodeProfile &P = Members[Live[L]].Profile;
+    double W = Reports[Live[L]].Weight;
+    double Len = double(P.Sigs.size());
+    for (size_t S = 0; S < Sigs.size(); ++S) {
+      auto It = Pos[L].find(Sigs[S]);
+      if (It == Pos[L].end()) {
+        Score[S] += W; // Normalized rank 1.0: "after everything I saw".
+        continue;
+      }
+      Score[S] += W * (double(It->second) + 0.5) / Len;
+      WeightedCount[S] += W * double(P.countAt(It->second));
+      CountWeight[S] += W;
+    }
+  }
+
+  // Stable sort on score: ties keep first-seen member order, so the
+  // result is a pure function of the member list.
+  std::vector<size_t> Idx(Sigs.size());
+  for (size_t I = 0; I < Idx.size(); ++I)
+    Idx[I] = I;
+  std::stable_sort(Idx.begin(), Idx.end(),
+                   [&](size_t A, size_t B) { return Score[A] < Score[B]; });
+
+  CodeProfile Out;
+  Out.Header.Mode = TraceMode::CuOrder;
+  Out.Header.Generation = NewestGeneration;
+  Out.Sigs.reserve(Sigs.size());
+  if (AnyCounts)
+    Out.Counts.reserve(Sigs.size());
+  for (size_t I : Idx) {
+    Out.Sigs.push_back(Sigs[I]);
+    if (AnyCounts)
+      Out.Counts.push_back(CountWeight[I] > 0.0
+                               ? uint64_t(WeightedCount[I] / CountWeight[I] +
+                                          0.5)
+                               : 1);
+  }
+
+  // Provenance: keep the common fingerprint if the live members agree,
+  // and carry the weighted mean coverage.
+  uint64_t Fp = 0;
+  bool FpConsistent = true;
+  double CovSum = 0.0, WSum = 0.0;
+  for (size_t I : Live) {
+    uint64_t MemberFp = Members[I].Profile.Header.Fingerprint;
+    if (MemberFp) {
+      if (!Fp)
+        Fp = MemberFp;
+      else if (Fp != MemberFp)
+        FpConsistent = false;
+    }
+    CovSum += Reports[I].Weight * double(Reports[I].CoveragePermille);
+    WSum += Reports[I].Weight;
+  }
+  Out.Header.Fingerprint = FpConsistent ? Fp : 0;
+  Out.Header.CoveragePermille =
+      WSum > 0.0 ? uint32_t(std::min(1000.0, CovSum / WSum + 0.5)) : 1000;
+  return Out;
+}
+
+} // namespace
+
+MemberProfile nimg::loadMemberProfile(std::string Name,
+                                      const std::string &CsvText) {
+  MemberProfile M;
+  M.Name = std::move(Name);
+  M.Profile = CodeProfile::fromCsv(CsvText, &M.Read);
+  return M;
+}
+
+std::vector<MemberProfile>
+nimg::loadMemberProfiles(const std::vector<std::string> &Paths) {
+  std::vector<MemberProfile> Out;
+  Out.reserve(Paths.size());
+  for (const std::string &Path : Paths) {
+    std::ifstream F(Path, std::ios::binary);
+    if (!F.good()) {
+      MemberProfile M;
+      M.Name = Path;
+      M.Profile.LoadError = ProfileError::BadHeader;
+      M.Read.Fatal = ProfileError::BadHeader;
+      M.Read.Issues.push_back(
+          {ProfileError::BadHeader, 0, "unreadable file"});
+      Out.push_back(std::move(M));
+      continue;
+    }
+    std::ostringstream S;
+    S << F.rdbuf();
+    Out.push_back(loadMemberProfile(Path, S.str()));
+  }
+  return Out;
+}
+
+std::vector<std::string> nimg::listMemberProfileDir(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Out;
+  std::error_code Ec;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec)) {
+    if (!E.is_regular_file(Ec))
+      continue;
+    std::string Name = E.path().filename().string();
+    if (Name.rfind("cu", 0) == 0 && Name.size() > 4 &&
+        Name.compare(Name.size() - 4, 4, ".csv") == 0)
+      Out.push_back(E.path().string());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+MergeResult nimg::aggregateProfiles(const std::vector<MemberProfile> &Members,
+                                    const MergeOptions &Opts) {
+  MergeResult Out;
+  MergeManifest &M = Out.Manifest;
+  M.Members.resize(Members.size());
+  NIMG_COUNTER_ADD("nimg.merge.runs", 1);
+  NIMG_COUNTER_ADD("nimg.merge.members", Members.size());
+
+  // Pass 1 — per-input gates, in fixed member order. The duplicate check
+  // spans the whole set: the first member owning a name keeps it, every
+  // later holder is quarantined even if the first was itself dropped.
+  std::vector<size_t> Live;
+  std::unordered_set<std::string> SeenNames;
+  for (size_t I = 0; I < Members.size(); ++I) {
+    bool Duplicate = !SeenNames.insert(Members[I].Name).second;
+    if (classifyMember(Members[I], Opts, Duplicate, M.Members[I]))
+      Live.push_back(I);
+  }
+
+  // Pass 2 — staleness against the newest live generation (0 = unknown,
+  // exempt: a legacy fleet without stamps never self-quarantines).
+  uint64_t Newest = 0;
+  for (size_t I : Live)
+    Newest = std::max(Newest, M.Members[I].Generation);
+  {
+    std::vector<size_t> Kept;
+    for (size_t I : Live) {
+      uint64_t Gen = M.Members[I].Generation;
+      if (Gen > 0 && Newest - Gen > Opts.MaxGenerationLag) {
+        quarantine(M.Members[I], ProfileError::StaleGeneration,
+                   "generation " + std::to_string(Gen) + " lags newest " +
+                       std::to_string(Newest) + " beyond " +
+                       std::to_string(Opts.MaxGenerationLag));
+      } else {
+        Kept.push_back(I);
+      }
+    }
+    Live = std::move(Kept);
+  }
+
+  // Pass 3 — statistical drift of per-CU count distributions.
+  scoreDrift(Members, Live, M.Members, Opts);
+
+  // Pass 4 — weights for the survivors: coverage x freshness decay.
+  for (size_t I : Live) {
+    uint64_t Gen = M.Members[I].Generation;
+    uint64_t Lag = (Gen > 0 && Newest > Gen) ? Newest - Gen : 0;
+    M.Members[I].Weight =
+        (double(M.Members[I].CoveragePermille) / 1000.0) *
+        std::pow(0.5, double(Lag) / Opts.FreshnessHalfLifeGenerations);
+  }
+
+  // Pass 5 — the degradation ladder.
+  if (Live.empty()) {
+    M.Outcome = MergeOutcome::Fallback;
+    Out.Profile.Header.Mode = TraceMode::CuOrder;
+  } else if (Live.size() == 1) {
+    M.Outcome = MergeOutcome::BestSingle;
+    Out.Profile = Members[Live[0]].Profile;
+  } else {
+    M.Outcome = MergeOutcome::Merged;
+    Out.Profile = mergeLive(Members, Live, M.Members, Newest);
+  }
+
+  size_t Accepted = M.countWithStatus(MergeMemberStatus::Accepted);
+  size_t Salvaged = M.countWithStatus(MergeMemberStatus::Salvaged);
+  size_t Quarantined = M.countWithStatus(MergeMemberStatus::Quarantined);
+  NIMG_COUNTER_ADD("nimg.merge.accepted", Accepted);
+  NIMG_COUNTER_ADD("nimg.merge.salvaged", Salvaged);
+  NIMG_COUNTER_ADD("nimg.merge.quarantined_total", Quarantined);
+  for (const MergeMemberReport &R : M.Members)
+    if (R.Status == MergeMemberStatus::Quarantined)
+      NIMG_COUNTER_ADD_DYN(
+          std::string("nimg.merge.quarantined.") + profileErrorSlug(R.Reason),
+          1);
+  switch (M.Outcome) {
+  case MergeOutcome::Merged:
+    NIMG_COUNTER_ADD("nimg.merge.outcome.merged", 1);
+    break;
+  case MergeOutcome::BestSingle:
+    NIMG_COUNTER_ADD("nimg.merge.outcome.best_single", 1);
+    break;
+  case MergeOutcome::Fallback:
+    NIMG_COUNTER_ADD("nimg.merge.outcome.fallback", 1);
+    break;
+  case MergeOutcome::NotAttempted:
+    break;
+  }
+  return Out;
+}

@@ -117,10 +117,13 @@ std::string headerRowCsv(const ProfileHeader &H, uint32_t Crc) {
   std::snprintf(Fp, sizeof(Fp), "%016" PRIx64, H.Fingerprint);
   std::snprintf(CrcBuf, sizeof(CrcBuf), "%08" PRIx32, Crc);
   CsvDocument Doc;
+  // v2 appends generation and coverage after the CRC so v1 readers that
+  // stop at cell 6 (and our own v1 test vectors) stay parseable.
   Doc.Rows.push_back({ProfileMagic, std::to_string(ProfileFormatVersion),
                       modeToken(H.Mode),
                       H.HasStrategy ? strategyToken(H.Strategy) : "-", Fp,
-                      CrcBuf});
+                      CrcBuf, std::to_string(H.Generation),
+                      std::to_string(H.CoveragePermille)});
   return writeCsv(Doc);
 }
 
@@ -165,6 +168,19 @@ size_t readProfileHeader(const std::string &Text, const CsvDocument &Doc,
     addIssue(R, R.Fatal, 1, "bad header cells");
     return 1;
   }
+  // v2 carries a generation stamp and capture coverage after the CRC; a
+  // v1 row simply lacks them (generation unknown, full coverage assumed).
+  R.Header.Generation = 0;
+  R.Header.CoveragePermille = 1000;
+  if (Version >= 2) {
+    if (Row.size() < 8 || !parseDecU64(Row[6], R.Header.Generation) ||
+        !parseDecU32(Row[7], R.Header.CoveragePermille) ||
+        R.Header.CoveragePermille > 1000) {
+      R.Fatal = ProfileError::BadHeader;
+      addIssue(R, R.Fatal, 1, "bad generation/coverage cells");
+      return 1;
+    }
+  }
   R.Header.Version = Version;
   R.Header.Fingerprint = Fp;
   R.HeaderPresent = true;
@@ -206,8 +222,13 @@ void meterProfileLoad(const char *Kind, const ProfileReadReport &R) {
 std::string CodeProfile::toCsv() const {
   CsvDocument Doc;
   Doc.Rows.reserve(Sigs.size());
-  for (const std::string &S : Sigs)
-    Doc.Rows.push_back({S});
+  bool WithCounts = Counts.size() == Sigs.size() && !Counts.empty();
+  for (size_t I = 0; I < Sigs.size(); ++I) {
+    if (WithCounts)
+      Doc.Rows.push_back({Sigs[I], std::to_string(Counts[I])});
+    else
+      Doc.Rows.push_back({Sigs[I]});
+  }
   std::string Body = writeCsv(Doc);
   return headerRowCsv(Header, crc32(Body)) + Body;
 }
@@ -227,6 +248,7 @@ CodeProfile CodeProfile::fromCsv(const std::string &Text,
     return P;
   }
   P.Sigs.reserve(Doc.Rows.size() - Start);
+  bool AnyCount = false;
   for (size_t I = Start; I < Doc.Rows.size(); ++I) {
     const std::vector<std::string> &Row = Doc.Rows[I];
     if (isBlankRow(Row))
@@ -236,9 +258,23 @@ CodeProfile CodeProfile::fromCsv(const std::string &Text,
       addIssue(R, ProfileError::MalformedCell, I + 1, "bad signature cell");
       continue;
     }
+    // Optional second cell: per-sig event count (v2 cu profiles). A row
+    // without one contributes the neutral count 1.
+    uint64_t Count = 1;
+    if (Row.size() >= 2 && !Row[1].empty()) {
+      if (!parseDecU64(Row[1], Count)) {
+        ++R.RowsSkipped;
+        addIssue(R, ProfileError::MalformedCell, I + 1, "bad count cell");
+        continue;
+      }
+      AnyCount = true;
+    }
     P.Sigs.push_back(Row[0]);
+    P.Counts.push_back(Count);
     ++R.RowsKept;
   }
+  if (!AnyCount)
+    P.Counts.clear(); // No count evidence: keep the legacy shape.
   meterProfileLoad("code", R);
   return P;
 }
@@ -374,8 +410,14 @@ private:
 
 class CuFirstSeen : public OrderingAnalysis {
 public:
-  void onCuEnter(MethodId Root) override { Ids.note(Root); }
+  void onCuEnter(MethodId Root) override {
+    Ids.note(Root);
+    ++Counts[Root];
+  }
   FirstSeen<MethodId> Ids;
+  /// cu_enter events per root within one thread; merged by summation, so
+  /// the totals are independent of the worker count.
+  std::unordered_map<MethodId, uint64_t> Counts;
 };
 
 class MethodFirstSeen : public OrderingAnalysis {
@@ -455,6 +497,14 @@ void reportModeMismatch(SalvageStats *Stats) {
   Stats->ModeMismatch = true;
 }
 
+/// Salvage coverage in permille; an unscanned (empty) capture counts as
+/// full coverage — there was nothing to lose.
+uint32_t salvageCoveragePermille(const SalvageStats &S) {
+  if (!S.WordsScanned)
+    return 1000;
+  return uint32_t(S.WordsKept * 1000 / S.WordsScanned);
+}
+
 } // namespace
 
 CodeProfile nimg::analyzeCuOrder(const Program &P, const TraceCapture &Capture,
@@ -465,9 +515,50 @@ CodeProfile nimg::analyzeCuOrder(const Program &P, const TraceCapture &Capture,
     reportModeMismatch(Stats);
     return Out;
   }
+  if (captureEncoded(Capture)) {
+    size_t Cut = 0;
+    TraceCapture Decoded = decodeCapture(Capture, &Cut);
+    Out = analyzeCuOrder(P, Decoded, Stats);
+    if (Stats)
+      Stats->IncompleteTailRecords += Cut;
+    return Out;
+  }
   PathGraphCache Paths(P); // Unused for cu records but required by replay.
-  Out.Sigs = sigsOf(P, analyzeFirstSeen<CuFirstSeen, MethodId>(
-                           P, Capture, Paths, "replay_cu", Stats));
+  SalvageStats Local;
+  std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Local);
+
+  std::vector<std::pair<std::vector<MethodId>,
+                        std::unordered_map<MethodId, uint64_t>>>
+      PerThread = parallelMap(Capture.Threads.size(), 1, "replay_cu",
+                              [&](size_t T) {
+                                CuFirstSeen A;
+                                LocalPathCache LocalPaths(Paths);
+                                replayThreadPrefix(P, Capture.Options.Mode,
+                                                   Capture.Threads[T].Words,
+                                                   Prefix[T], LocalPaths, {&A});
+                                return std::make_pair(std::move(A.Ids.Order),
+                                                      std::move(A.Counts));
+                              });
+
+  // Ordered merge (earlier threads win ties) plus count summation — both
+  // deterministic functions of the capture, independent of --jobs.
+  std::vector<MethodId> Order;
+  std::unordered_set<MethodId> Seen;
+  std::unordered_map<MethodId, uint64_t> Totals;
+  for (const auto &[ThreadOrder, ThreadCounts] : PerThread) {
+    for (MethodId M : ThreadOrder)
+      if (Seen.insert(M).second)
+        Order.push_back(M);
+    for (const auto &[M, N] : ThreadCounts)
+      Totals[M] += N;
+  }
+  Out.Sigs = sigsOf(P, Order);
+  Out.Counts.reserve(Order.size());
+  for (MethodId M : Order)
+    Out.Counts.push_back(Totals[M]);
+  Out.Header.CoveragePermille = salvageCoveragePermille(Local);
+  if (Stats)
+    *Stats = Local;
   return Out;
 }
 
@@ -481,8 +572,12 @@ CodeProfile nimg::analyzeMethodOrder(const Program &P,
     reportModeMismatch(Stats);
     return Out;
   }
+  SalvageStats Local;
   Out.Sigs = sigsOf(P, analyzeFirstSeen<MethodFirstSeen, MethodId>(
-                           P, Capture, Paths, "replay_method", Stats));
+                           P, Capture, Paths, "replay_method", &Local));
+  Out.Header.CoveragePermille = salvageCoveragePermille(Local);
+  if (Stats)
+    *Stats = Local;
   return Out;
 }
 

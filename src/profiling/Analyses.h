@@ -41,6 +41,16 @@ struct CodeProfile {
   /// empty and the optimizing build falls back to the default layout.
   ProfileError LoadError = ProfileError::None;
   std::vector<std::string> Sigs;
+  /// Optional per-sig event counts (cu mode: cu_enter events observed for
+  /// the root, summed across threads). Either empty (no count evidence —
+  /// legacy and method/cluster profiles) or parallel to Sigs. The merge
+  /// drift scorer compares these distributions across fleet members.
+  std::vector<uint64_t> Counts;
+
+  /// Count for \p I, treating missing count evidence as 1.
+  uint64_t countAt(size_t I) const {
+    return I < Counts.size() ? Counts[I] : 1;
+  }
 
   /// Serializes header row + payload + CRC.
   std::string toCsv() const;

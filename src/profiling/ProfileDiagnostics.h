@@ -30,8 +30,11 @@
 namespace nimg {
 
 /// Current version of the profile CSV header. Version 0 denotes a legacy
-/// headerless file (accepted, but without checksum/fingerprint checks).
-inline constexpr uint32_t ProfileFormatVersion = 1;
+/// headerless file (accepted, but without checksum/fingerprint checks);
+/// version 1 files lack the generation/coverage cells appended in v2 and
+/// are accepted with generation 0 (staleness check disabled) and coverage
+/// 1000.
+inline constexpr uint32_t ProfileFormatVersion = 2;
 
 enum class ProfileError : uint8_t {
   None,
@@ -48,6 +51,13 @@ enum class ProfileError : uint8_t {
                         ///< profile degraded to plain cu ordering.
   InsufficientBlockProfile, ///< Block counts missing or salvage coverage
                             ///< below threshold; CUs stay unsplit.
+  CoverageBelowGate,   ///< Merge member's salvage coverage under the gate.
+  DriftOutlier,        ///< Merge member's per-CU count distribution is a
+                       ///< statistical outlier vs the member median.
+  StaleGeneration,     ///< Merge member's generation stamp lags the
+                       ///< newest member beyond the allowed window.
+  DuplicateMember,     ///< Two members of one capture/merge set carry the
+                       ///< same instance name; later ones are dropped.
 };
 
 inline const char *profileErrorName(ProfileError E) {
@@ -76,6 +86,14 @@ inline const char *profileErrorName(ProfileError E) {
     return "empty transition graph";
   case ProfileError::InsufficientBlockProfile:
     return "insufficient block profile";
+  case ProfileError::CoverageBelowGate:
+    return "coverage below gate";
+  case ProfileError::DriftOutlier:
+    return "count-distribution drift outlier";
+  case ProfileError::StaleGeneration:
+    return "stale generation";
+  case ProfileError::DuplicateMember:
+    return "duplicate member name";
   }
   return "unknown";
 }
@@ -108,6 +126,14 @@ inline const char *profileErrorSlug(ProfileError E) {
     return "empty_transition_graph";
   case ProfileError::InsufficientBlockProfile:
     return "insufficient_block_profile";
+  case ProfileError::CoverageBelowGate:
+    return "coverage_below_gate";
+  case ProfileError::DriftOutlier:
+    return "drift_outlier";
+  case ProfileError::StaleGeneration:
+    return "stale_generation";
+  case ProfileError::DuplicateMember:
+    return "duplicate_member";
   }
   return "unknown";
 }
@@ -127,6 +153,12 @@ struct ProfileHeader {
   bool HasStrategy = false; ///< Heap profiles also carry their strategy.
   HeapStrategy Strategy = HeapStrategy::IncrementalId;
   uint64_t Fingerprint = 0;
+  /// Monotonic capture-generation stamp (v2 cell 7). 0 = unknown; such
+  /// members are exempt from the merge staleness check.
+  uint64_t Generation = 0;
+  /// Salvage coverage of the capture that produced this profile, in
+  /// permille (v2 cell 8). v0/v1 files default to full coverage.
+  uint32_t CoveragePermille = 1000;
 };
 
 /// Everything fromCsv() learned while reading one profile file.
@@ -143,6 +175,79 @@ struct ProfileReadReport {
   bool usable() const { return Fatal == ProfileError::None; }
 };
 
+/// How one member of a merge/capture set was classified by the profile
+/// aggregator (src/profiling/Aggregate.h).
+enum class MergeMemberStatus : uint8_t {
+  Accepted,    ///< Clean: contributes to the merge at full standing.
+  Salvaged,    ///< Usable but lossy (skipped rows / partial coverage).
+  Quarantined, ///< Dropped with a typed ProfileError reason.
+};
+
+inline const char *mergeMemberStatusName(MergeMemberStatus S) {
+  switch (S) {
+  case MergeMemberStatus::Accepted:
+    return "accepted";
+  case MergeMemberStatus::Salvaged:
+    return "salvaged";
+  case MergeMemberStatus::Quarantined:
+    return "quarantined";
+  }
+  return "unknown";
+}
+
+/// Which rung of the degradation ladder the aggregator landed on.
+enum class MergeOutcome : uint8_t {
+  NotAttempted, ///< No member set was offered to this build.
+  Merged,       ///< >= 2 live members, weighted merge applied.
+  BestSingle,   ///< Exactly 1 live member survived; used verbatim.
+  Fallback,     ///< Every member quarantined; default cu-order layout.
+};
+
+inline const char *mergeOutcomeName(MergeOutcome O) {
+  switch (O) {
+  case MergeOutcome::NotAttempted:
+    return "not_attempted";
+  case MergeOutcome::Merged:
+    return "merged";
+  case MergeOutcome::BestSingle:
+    return "best_single";
+  case MergeOutcome::Fallback:
+    return "fallback";
+  }
+  return "unknown";
+}
+
+/// Per-member line of the quarantine manifest: how the member was
+/// classified, why, and the weight it carried into the merged fold.
+struct MergeMemberReport {
+  std::string Name;
+  MergeMemberStatus Status = MergeMemberStatus::Accepted;
+  ProfileError Reason = ProfileError::None; ///< Quarantine/salvage reason.
+  std::string Detail;
+  uint32_t CoveragePermille = 0;
+  uint64_t Generation = 0;
+  double DriftScore = 0.0; ///< Mean |log2| count ratio vs member median.
+  double Weight = 0.0;     ///< coverage x freshness decay; 0 if dropped.
+  size_t Rows = 0;         ///< Payload rows the member contributed.
+};
+
+/// The aggregator's full account of one merge: every member's fate plus
+/// the outcome rung. Recorded on the image's ProfileDiagnostics and
+/// surfaced in the StartupReport "merge" section.
+struct MergeManifest {
+  MergeOutcome Outcome = MergeOutcome::NotAttempted;
+  std::vector<MergeMemberReport> Members;
+
+  bool attempted() const { return Outcome != MergeOutcome::NotAttempted; }
+  size_t countWithStatus(MergeMemberStatus S) const {
+    size_t N = 0;
+    for (const MergeMemberReport &M : Members)
+      if (M.Status == S)
+        ++N;
+    return N;
+  }
+};
+
 /// Summary of profile ingestion recorded on a built image: which profiles
 /// were offered, which were actually applied, and why any were rejected.
 struct ProfileDiagnostics {
@@ -156,6 +261,9 @@ struct ProfileDiagnostics {
   bool BlockProfileProvided = false;
   bool BlockProfileApplied = false;
   std::vector<ProfileIssue> Issues;
+  /// Fleet aggregation account (BuildConfig::CodeMembers builds only;
+  /// Outcome stays NotAttempted otherwise).
+  MergeManifest Merge;
 
   /// True when at least one offered profile was rejected and the build
   /// fell back to the default layout for that dimension.

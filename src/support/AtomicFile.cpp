@@ -1,0 +1,49 @@
+//===- AtomicFile.cpp - Crash-safe file writes -------------------------------===//
+
+#include "src/support/AtomicFile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace {
+
+/// -1 = disarmed; >= 0 = byte cap for the next write, then the "crash".
+long TruncateNextWriteAt = -1;
+
+} // namespace
+
+void nimg::setAtomicWriteTruncationForTest(long Bytes) {
+  TruncateNextWriteAt = Bytes;
+}
+
+bool nimg::atomicWriteFile(const std::string &Path, const std::string &Data) {
+  std::string Tmp = Path + ".tmp";
+  bool Crashed = false;
+  {
+    std::ofstream F(Tmp, std::ios::binary | std::ios::trunc);
+    if (!F.good()) {
+      TruncateNextWriteAt = -1;
+      return false;
+    }
+    size_t Limit = Data.size();
+    if (TruncateNextWriteAt >= 0) {
+      Limit = std::min(Data.size(), size_t(TruncateNextWriteAt));
+      TruncateNextWriteAt = -1;
+      Crashed = true;
+    }
+    F.write(Data.data(), std::streamsize(Limit));
+    F.flush();
+    if (!F.good())
+      Crashed = true;
+  }
+  if (Crashed) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,40 @@
+//===- AtomicFile.h - Crash-safe file writes --------------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Temp-file + rename writes for every artifact a later build ingests
+/// (profile CSVs, blocks.csv, startup reports). A process killed mid-write
+/// leaves either the previous file intact or a stray *.tmp — never a
+/// truncated artifact that ingestion would have to quarantine. The
+/// injectable fault hook lets the FaultInjection suite kill a write
+/// partway through and assert exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_SUPPORT_ATOMICFILE_H
+#define NIMG_SUPPORT_ATOMICFILE_H
+
+#include <string>
+
+namespace nimg {
+
+/// Writes \p Data to \p Path atomically: the bytes land in Path + ".tmp"
+/// first and are renamed over \p Path only after a successful full write.
+/// Returns false (leaving any existing file untouched and removing the
+/// temp) when the write fails — including when the test fault hook cuts
+/// it short.
+bool atomicWriteFile(const std::string &Path, const std::string &Data);
+
+/// Test hook simulating a crash mid-write: the next atomicWriteFile()
+/// persists at most \p Bytes bytes of the payload into the temp file and
+/// then fails as if the process had died. Pass a negative value to
+/// disarm. One-shot: the hook disarms after firing.
+void setAtomicWriteTruncationForTest(long Bytes);
+
+} // namespace nimg
+
+#endif // NIMG_SUPPORT_ATOMICFILE_H

@@ -2,6 +2,8 @@
 
 #include "src/support/FaultInjection.h"
 
+#include "src/profiling/Analyses.h"
+
 #include <cstddef>
 
 using namespace nimg;
@@ -72,5 +74,54 @@ bool FaultInjector::bitFlipText(std::string &Text, size_t Flips) {
     size_t Idx = size_t(Rng.nextBelow(Text.size()));
     Text[Idx] = char(uint8_t(Text[Idx]) ^ uint8_t(1u << Rng.nextBelow(8)));
   }
+  return true;
+}
+
+bool FaultInjector::applyMemberFault(std::string &Text, MemberFault Kind,
+                                     uint64_t NewestGeneration) {
+  switch (Kind) {
+  case MemberFault::TruncateCsv:
+    return truncateText(Text);
+  case MemberFault::BitFlipCsv:
+    return bitFlipText(Text);
+  case MemberFault::VersionSkew:
+  case MemberFault::StaleGeneration:
+  case MemberFault::DriftSkew:
+  case MemberFault::CoverageCollapse:
+    break;
+  }
+  // Semantic faults: re-shape a parsed copy and re-emit with a fresh CRC,
+  // so the damage is invisible to the mechanical-integrity gates.
+  CodeProfile P = CodeProfile::fromCsv(Text);
+  if (P.LoadError != ProfileError::None)
+    return false;
+  switch (Kind) {
+  case MemberFault::VersionSkew:
+    P.Header.Fingerprint ^= 0x9e3779b97f4a7c15ull | (Rng.next() << 1);
+    break;
+  case MemberFault::StaleGeneration:
+    // Far behind the fleet's newest stamp; 1 keeps the member inside the
+    // "known generation" regime (0 would exempt it from the check).
+    P.Header.Generation =
+        NewestGeneration > 1 ? 1 : 0;
+    break;
+  case MemberFault::DriftSkew: {
+    // Inflate alternating counts 64x, preserving the sig order: a
+    // mechanically valid member whose count distribution no longer
+    // resembles the fleet's.
+    if (P.Counts.size() != P.Sigs.size())
+      P.Counts.assign(P.Sigs.size(), 1);
+    for (size_t I = 0; I < P.Counts.size(); I += 2)
+      P.Counts[I] *= 64;
+    break;
+  }
+  case MemberFault::CoverageCollapse:
+    P.Header.CoveragePermille = uint32_t(Rng.nextBelow(100));
+    break;
+  case MemberFault::TruncateCsv:
+  case MemberFault::BitFlipCsv:
+    break;
+  }
+  Text = P.toCsv();
   return true;
 }

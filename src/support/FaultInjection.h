@@ -28,6 +28,25 @@ namespace nimg {
 /// The fault kinds applyTraceFault() cycles through.
 enum class TraceFault : uint8_t { TruncateMidRecord, BitFlip, DropThread };
 
+/// The merge-path fault matrix: every way one member of a fleet profile
+/// set can be damaged before aggregation sees it. The first two corrupt
+/// the CSV text mechanically; the rest re-stamp or re-shape an otherwise
+/// valid member (semantic faults the CRC cannot catch).
+enum class MemberFault : uint8_t {
+  TruncateCsv,      ///< Crash mid-upload: text cut at a random byte.
+  BitFlipCsv,       ///< Storage corruption: random bit flipped.
+  VersionSkew,      ///< Captured from a different program build.
+  StaleGeneration,  ///< Ancient capture: generation stamp forced to 1.
+  DriftSkew,        ///< Counts of alternating sigs inflated 64x.
+  CoverageCollapse, ///< Capture coverage stamp collapsed below any gate.
+};
+
+inline constexpr MemberFault AllMemberFaults[] = {
+    MemberFault::TruncateCsv,     MemberFault::BitFlipCsv,
+    MemberFault::VersionSkew,     MemberFault::StaleGeneration,
+    MemberFault::DriftSkew,       MemberFault::CoverageCollapse,
+};
+
 class FaultInjector {
 public:
   explicit FaultInjector(uint64_t Seed) : Rng(Seed) {}
@@ -58,6 +77,17 @@ public:
 
   /// Flips \p Flips random bits at random byte offsets.
   bool bitFlipText(std::string &Text, size_t Flips = 1);
+
+  // --- Merge-member faults --------------------------------------------------
+
+  /// Applies \p Kind to one member profile's CSV text. Mechanical kinds
+  /// damage the raw bytes; semantic kinds parse, re-shape, and re-emit a
+  /// *valid* profile (fresh CRC) so only the aggregator's semantic gates
+  /// can catch them. \p NewestGeneration anchors StaleGeneration: the
+  /// faulted member is stamped far behind it. Returns false when the text
+  /// cannot be faulted (empty, or a semantic kind on an unparsable file).
+  bool applyMemberFault(std::string &Text, MemberFault Kind,
+                        uint64_t NewestGeneration);
 
   /// Direct access to the underlying RNG for scenario-local choices.
   uint64_t nextBelow(uint64_t Bound) { return Rng.nextBelow(Bound); }

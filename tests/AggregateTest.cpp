@@ -1,0 +1,552 @@
+//===- AggregateTest.cpp - Fleet-scale profile aggregation ------------------===//
+//
+// Unit tests for the multi-profile aggregator: the v2 interchange header,
+// every quarantine gate and its typed reason, the coverage x freshness
+// weight math, the merged ranking, the degradation ladder
+// (merged -> best single -> fallback), determinism of the fold, the
+// fail-open member loaders, and the crash-safe atomic file writer the
+// fleet artifacts ride on. This binary carries the "merge" ctest label.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Builder.h"
+#include "src/lang/Compile.h"
+#include "src/profiling/Aggregate.h"
+#include "src/support/AtomicFile.h"
+#include "src/support/Crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace nimg;
+
+namespace {
+
+/// Builds a realistic member by round-tripping a synthetic profile
+/// through the CSV interchange — so every test member carries a valid
+/// header, CRC, and ProfileReadReport, exactly like a file off disk.
+MemberProfile makeMember(std::string Name, std::vector<std::string> Sigs,
+                         std::vector<uint64_t> Counts = {}, uint64_t Gen = 0,
+                         uint32_t Cov = 1000, uint64_t Fp = 0) {
+  CodeProfile P;
+  P.Header.Mode = TraceMode::CuOrder;
+  P.Header.Generation = Gen;
+  P.Header.CoveragePermille = Cov;
+  P.Header.Fingerprint = Fp;
+  P.Sigs = std::move(Sigs);
+  P.Counts = std::move(Counts);
+  return loadMemberProfile(std::move(Name), P.toCsv());
+}
+
+const MergeMemberReport *reportFor(const MergeManifest &M,
+                                   const std::string &Name) {
+  for (const MergeMemberReport &R : M.Members)
+    if (R.Name == Name)
+      return &R;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// v2 interchange header.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileHeaderV2Test, GenerationAndCoverageRoundTrip) {
+  CodeProfile P;
+  P.Header.Mode = TraceMode::CuOrder;
+  P.Header.Fingerprint = 0xabcdef12u;
+  P.Header.Generation = 42;
+  P.Header.CoveragePermille = 750;
+  P.Sigs = {"a", "b", "c"};
+  P.Counts = {7, 3, 1};
+
+  ProfileReadReport Read;
+  CodeProfile Back = CodeProfile::fromCsv(P.toCsv(), &Read);
+  EXPECT_EQ(Back.LoadError, ProfileError::None);
+  EXPECT_EQ(Read.Header.Version, 2u);
+  EXPECT_EQ(Back.Header.Generation, 42u);
+  EXPECT_EQ(Back.Header.CoveragePermille, 750u);
+  EXPECT_EQ(Back.Sigs, P.Sigs);
+  EXPECT_EQ(Back.Counts, P.Counts);
+}
+
+TEST(ProfileHeaderV2Test, V1HeaderStillParsesWithDefaults) {
+  // A six-cell v1 header (no generation/coverage cells) must keep
+  // parsing: old fleets feed new aggregators.
+  std::string Payload = "Main.main()\n";
+  char Header[128];
+  std::snprintf(Header, sizeof(Header),
+                "#nimg-profile,1,cu,-,0000000000000000,%08x\n",
+                crc32(Payload));
+  ProfileReadReport Read;
+  CodeProfile P = CodeProfile::fromCsv(std::string(Header) + Payload, &Read);
+  EXPECT_TRUE(Read.usable());
+  EXPECT_EQ(P.Header.Generation, 0u);
+  EXPECT_EQ(P.Header.CoveragePermille, 1000u);
+  EXPECT_EQ(P.Sigs.size(), 1u);
+}
+
+TEST(ProfileHeaderV2Test, CountsAreOptionalInPayload) {
+  CodeProfile P;
+  P.Header.Mode = TraceMode::CuOrder;
+  P.Sigs = {"x", "y"};
+  std::string Csv = P.toCsv();
+  CodeProfile Back = CodeProfile::fromCsv(Csv);
+  EXPECT_EQ(Back.LoadError, ProfileError::None);
+  EXPECT_TRUE(Back.Counts.empty());
+  EXPECT_EQ(Back.countAt(0), 1u); // Absent counts read as 1.
+}
+
+//===----------------------------------------------------------------------===//
+// Quarantine gates, each with its typed reason.
+//===----------------------------------------------------------------------===//
+
+TEST(AggregateTest, ChecksumCorruptionIsQuarantined) {
+  MemberProfile Good = makeMember("good", {"a", "b", "c"});
+  std::string Bad = Good.Profile.toCsv();
+  // Flip a payload byte (past the header line) that the CRC must catch.
+  Bad[Bad.find('\n') + 1] ^= 0x20;
+  std::vector<MemberProfile> Members = {Good, loadMemberProfile("bad", Bad)};
+
+  MergeResult R = aggregateProfiles(Members);
+  const MergeMemberReport *Rep = reportFor(R.Manifest, "bad");
+  ASSERT_NE(Rep, nullptr);
+  EXPECT_EQ(Rep->Status, MergeMemberStatus::Quarantined);
+  EXPECT_EQ(Rep->Reason, ProfileError::ChecksumMismatch);
+  EXPECT_EQ(R.Manifest.Outcome, MergeOutcome::BestSingle);
+}
+
+TEST(AggregateTest, DuplicateNameQuarantinesLaterHolder) {
+  std::vector<MemberProfile> Members = {
+      makeMember("inst0", {"a", "b"}),
+      makeMember("inst0", {"b", "a"}),
+      makeMember("inst1", {"a", "b"}),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(R.Manifest.Members[0].Status, MergeMemberStatus::Accepted);
+  EXPECT_EQ(R.Manifest.Members[1].Status, MergeMemberStatus::Quarantined);
+  EXPECT_EQ(R.Manifest.Members[1].Reason, ProfileError::DuplicateMember);
+  EXPECT_EQ(R.Manifest.Members[2].Status, MergeMemberStatus::Accepted);
+  EXPECT_EQ(R.Manifest.Outcome, MergeOutcome::Merged);
+}
+
+TEST(AggregateTest, FingerprintSkewIsQuarantined) {
+  MergeOptions Opts;
+  Opts.ExpectedFingerprint = 0x1111;
+  std::vector<MemberProfile> Members = {
+      makeMember("same", {"a", "b"}, {}, 0, 1000, 0x1111),
+      makeMember("skewed", {"a", "b"}, {}, 0, 1000, 0x2222),
+      makeMember("unknown", {"a", "b"}, {}, 0, 1000, 0), // 0 = no check.
+  };
+  MergeResult R = aggregateProfiles(Members, Opts);
+  EXPECT_EQ(reportFor(R.Manifest, "skewed")->Status,
+            MergeMemberStatus::Quarantined);
+  EXPECT_EQ(reportFor(R.Manifest, "skewed")->Reason,
+            ProfileError::FingerprintMismatch);
+  EXPECT_EQ(reportFor(R.Manifest, "same")->Status,
+            MergeMemberStatus::Accepted);
+  EXPECT_EQ(reportFor(R.Manifest, "unknown")->Status,
+            MergeMemberStatus::Accepted);
+}
+
+TEST(AggregateTest, NonCuModeIsQuarantined) {
+  CodeProfile Method;
+  Method.Header.Mode = TraceMode::MethodOrder;
+  Method.Sigs = {"m1", "m2"};
+  std::vector<MemberProfile> Members = {
+      makeMember("cu", {"a"}),
+      loadMemberProfile("method", Method.toCsv()),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(reportFor(R.Manifest, "method")->Status,
+            MergeMemberStatus::Quarantined);
+  EXPECT_EQ(reportFor(R.Manifest, "method")->Reason,
+            ProfileError::ModeMismatch);
+}
+
+TEST(AggregateTest, CoverageBelowGateIsQuarantined) {
+  std::vector<MemberProfile> Members = {
+      makeMember("full", {"a", "b"}),
+      makeMember("thin", {"a", "b"}, {}, 0, 100), // 10% << 50% gate.
+      makeMember("empty", {}),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(reportFor(R.Manifest, "thin")->Status,
+            MergeMemberStatus::Quarantined);
+  EXPECT_EQ(reportFor(R.Manifest, "thin")->Reason,
+            ProfileError::CoverageBelowGate);
+  EXPECT_EQ(reportFor(R.Manifest, "empty")->Status,
+            MergeMemberStatus::Quarantined);
+  EXPECT_EQ(reportFor(R.Manifest, "empty")->Reason,
+            ProfileError::CoverageBelowGate);
+}
+
+TEST(AggregateTest, StaleGenerationIsQuarantinedAndZeroIsExempt) {
+  std::vector<MemberProfile> Members = {
+      makeMember("new0", {"a", "b"}, {}, 100),
+      makeMember("new1", {"b", "a"}, {}, 103),
+      makeMember("stale", {"a", "b"}, {}, 1),   // Lags 102 > 8.
+      makeMember("legacy", {"a", "b"}, {}, 0),  // Unstamped: exempt.
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(reportFor(R.Manifest, "stale")->Status,
+            MergeMemberStatus::Quarantined);
+  EXPECT_EQ(reportFor(R.Manifest, "stale")->Reason,
+            ProfileError::StaleGeneration);
+  EXPECT_EQ(reportFor(R.Manifest, "legacy")->Status,
+            MergeMemberStatus::Accepted);
+  EXPECT_EQ(R.Manifest.Outcome, MergeOutcome::Merged);
+}
+
+TEST(AggregateTest, DriftOutlierIsQuarantinedWithQuorum) {
+  std::vector<std::string> Sigs = {"a", "b", "c", "d"};
+  std::vector<MemberProfile> Members = {
+      makeMember("m0", Sigs, {8, 4, 2, 1}),
+      makeMember("m1", Sigs, {9, 4, 2, 1}),
+      makeMember("m2", Sigs, {8, 5, 2, 1}),
+      makeMember("skewed", Sigs, {8 << 10, 4, 2 << 10, 1}),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  const MergeMemberReport *Rep = reportFor(R.Manifest, "skewed");
+  EXPECT_EQ(Rep->Status, MergeMemberStatus::Quarantined);
+  EXPECT_EQ(Rep->Reason, ProfileError::DriftOutlier);
+  EXPECT_GT(Rep->DriftScore, 1.5);
+  EXPECT_EQ(reportFor(R.Manifest, "m0")->Status, MergeMemberStatus::Accepted);
+}
+
+TEST(AggregateTest, DriftCheckSkippedBelowQuorum) {
+  // With only two live members a median cannot separate honest from
+  // skewed: both must survive rather than guess.
+  std::vector<std::string> Sigs = {"a", "b", "c", "d"};
+  std::vector<MemberProfile> Members = {
+      makeMember("m0", Sigs, {8, 4, 2, 1}),
+      makeMember("skewed", Sigs, {8 << 10, 4, 2 << 10, 1}),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(R.Manifest.countWithStatus(MergeMemberStatus::Quarantined), 0u);
+  EXPECT_EQ(R.Manifest.Outcome, MergeOutcome::Merged);
+}
+
+TEST(AggregateTest, DriftGateNeverEmptiesTheSet) {
+  // Three mutually-drifted members: the outlier gate may drop some but
+  // must keep at least the lowest-scoring one (fail-open).
+  std::vector<MemberProfile> Members = {
+      makeMember("m0", {"a", "b", "c"}, {1 << 14, 1, 1}),
+      makeMember("m1", {"a", "b", "c"}, {1, 1 << 14, 1}),
+      makeMember("m2", {"a", "b", "c"}, {1, 1, 1 << 14}),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_NE(R.Manifest.Outcome, MergeOutcome::Fallback);
+  EXPECT_LT(R.Manifest.countWithStatus(MergeMemberStatus::Quarantined), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Salvage classification.
+//===----------------------------------------------------------------------===//
+
+TEST(AggregateTest, PartialCoverageIsSalvagedNotQuarantined) {
+  std::vector<MemberProfile> Members = {
+      makeMember("full", {"a", "b"}),
+      makeMember("partial", {"a", "b"}, {}, 0, 800),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(reportFor(R.Manifest, "partial")->Status,
+            MergeMemberStatus::Salvaged);
+  EXPECT_EQ(R.Manifest.Outcome, MergeOutcome::Merged);
+}
+
+TEST(AggregateTest, SkippedRowsAreSalvagedWithReason) {
+  MemberProfile Good = makeMember("good", {"a", "b", "c"});
+  // Append a malformed payload row *and* fix up nothing: fromCsv skips it
+  // only when the CRC is recomputed, so build the text by hand.
+  CodeProfile P;
+  P.Header.Mode = TraceMode::CuOrder;
+  P.Sigs = {"a", "b", "c"};
+  std::string Csv = P.toCsv();
+  // fromCsv treats a CRC-valid file with an over-wide row as salvage.
+  MemberProfile Lossy = loadMemberProfile("lossy", Csv);
+  ASSERT_EQ(Lossy.Profile.LoadError, ProfileError::None);
+  Lossy.Read.RowsSkipped = 2; // As if two rows failed cell parsing.
+  std::vector<MemberProfile> Members = {Good, Lossy};
+  MergeResult R = aggregateProfiles(Members);
+  const MergeMemberReport *Rep = reportFor(R.Manifest, "lossy");
+  EXPECT_EQ(Rep->Status, MergeMemberStatus::Salvaged);
+  EXPECT_EQ(Rep->Reason, ProfileError::MalformedCell);
+}
+
+//===----------------------------------------------------------------------===//
+// Weight math: coverage x freshness decay.
+//===----------------------------------------------------------------------===//
+
+TEST(AggregateTest, WeightIsCoverageTimesFreshnessDecay) {
+  std::vector<MemberProfile> Members = {
+      makeMember("fresh-full", {"a", "b"}, {}, 100, 1000),
+      makeMember("fresh-half", {"b", "a"}, {}, 100, 500),
+      makeMember("lagged", {"a", "b"}, {}, 96, 1000), // One half-life back.
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_DOUBLE_EQ(reportFor(R.Manifest, "fresh-full")->Weight, 1.0);
+  EXPECT_DOUBLE_EQ(reportFor(R.Manifest, "fresh-half")->Weight, 0.5);
+  EXPECT_DOUBLE_EQ(reportFor(R.Manifest, "lagged")->Weight, 0.5);
+}
+
+TEST(AggregateTest, QuarantinedMembersCarryZeroWeight) {
+  std::vector<MemberProfile> Members = {
+      makeMember("good", {"a"}),
+      makeMember("thin", {"a"}, {}, 0, 10),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_DOUBLE_EQ(reportFor(R.Manifest, "thin")->Weight, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// The merge itself.
+//===----------------------------------------------------------------------===//
+
+TEST(AggregateTest, AgreeingMembersPreserveOrder) {
+  std::vector<MemberProfile> Members = {
+      makeMember("m0", {"a", "b", "c"}),
+      makeMember("m1", {"a", "b", "c"}),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  ASSERT_EQ(R.Manifest.Outcome, MergeOutcome::Merged);
+  EXPECT_EQ(R.Profile.Sigs, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(AggregateTest, HeavierMemberWinsDisagreements) {
+  // m0 (weight 1.0) says b-first; m1 (weight ~0.25, two half-lives back)
+  // says a-first. The merged head must follow m0.
+  std::vector<MemberProfile> Members = {
+      makeMember("m0", {"b", "a", "c"}, {}, 100),
+      makeMember("m1", {"a", "b", "c"}, {}, 92),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  ASSERT_EQ(R.Manifest.Outcome, MergeOutcome::Merged);
+  ASSERT_EQ(R.Profile.Sigs.size(), 3u);
+  EXPECT_EQ(R.Profile.Sigs[0], "b");
+}
+
+TEST(AggregateTest, SigSeenByOneMemberRanksAfterConsensus) {
+  // "z" appears only in m1's tail; members that never saw it vote "after
+  // everything", so it cannot jump ahead of the consensus head.
+  std::vector<MemberProfile> Members = {
+      makeMember("m0", {"a", "b"}),
+      makeMember("m1", {"a", "b", "z"}),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  ASSERT_EQ(R.Profile.Sigs.size(), 3u);
+  EXPECT_EQ(R.Profile.Sigs[0], "a");
+  EXPECT_EQ(R.Profile.Sigs[2], "z");
+}
+
+TEST(AggregateTest, MergedCarriesConsensusProvenance) {
+  std::vector<MemberProfile> Members = {
+      makeMember("m0", {"a"}, {4}, 100, 1000, 0xbeef),
+      makeMember("m1", {"a"}, {6}, 103, 1000, 0xbeef),
+  };
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(R.Profile.Header.Fingerprint, 0xbeefu);
+  EXPECT_EQ(R.Profile.Header.Generation, 103u); // Newest live stamp.
+  ASSERT_EQ(R.Profile.Counts.size(), 1u);
+  // Weighted mean of 4 (w=0.594) and 6 (w=1.0) rounds to 5.
+  EXPECT_EQ(R.Profile.Counts[0], 5u);
+}
+
+TEST(AggregateTest, DisagreeingFingerprintsMergeToUnknown) {
+  std::vector<MemberProfile> Members = {
+      makeMember("m0", {"a"}, {}, 0, 1000, 0x1111),
+      makeMember("m1", {"a"}, {}, 0, 1000, 0x2222),
+  };
+  // No ExpectedFingerprint: both live, but their provenance conflicts.
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(R.Manifest.Outcome, MergeOutcome::Merged);
+  EXPECT_EQ(R.Profile.Header.Fingerprint, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The degradation ladder.
+//===----------------------------------------------------------------------===//
+
+TEST(AggregateTest, LadderMergedToBestSingleToFallback) {
+  MemberProfile Clean = makeMember("clean", {"a", "b"});
+  MemberProfile Thin = makeMember("thin", {"a"}, {}, 0, 10);
+
+  MergeResult Merged = aggregateProfiles({Clean, makeMember("c2", {"b", "a"})});
+  EXPECT_EQ(Merged.Manifest.Outcome, MergeOutcome::Merged);
+  EXPECT_TRUE(Merged.usable());
+
+  MergeResult Single = aggregateProfiles({Clean, Thin});
+  EXPECT_EQ(Single.Manifest.Outcome, MergeOutcome::BestSingle);
+  EXPECT_TRUE(Single.usable());
+  EXPECT_EQ(Single.Profile.Sigs, Clean.Profile.Sigs); // Verbatim survivor.
+
+  MergeResult Fallback = aggregateProfiles({Thin, makeMember("thin2", {}, {}, 0, 0)});
+  EXPECT_EQ(Fallback.Manifest.Outcome, MergeOutcome::Fallback);
+  EXPECT_FALSE(Fallback.usable());
+  EXPECT_TRUE(Fallback.Profile.Sigs.empty());
+
+  MergeResult Empty = aggregateProfiles({});
+  EXPECT_EQ(Empty.Manifest.Outcome, MergeOutcome::Fallback);
+  EXPECT_FALSE(Empty.usable());
+}
+
+TEST(AggregateTest, MergeIsDeterministic) {
+  std::vector<MemberProfile> Members = {
+      makeMember("m0", {"b", "a", "c"}, {5, 3, 1}, 100),
+      makeMember("m1", {"a", "c", "b"}, {4, 2, 2}, 101, 800),
+      makeMember("m2", {"b", "c", "a"}, {6, 2, 1}, 99),
+  };
+  MergeResult First = aggregateProfiles(Members);
+  MergeResult Second = aggregateProfiles(Members);
+  EXPECT_EQ(First.Profile.toCsv(), Second.Profile.toCsv());
+  ASSERT_EQ(First.Manifest.Members.size(), Second.Manifest.Members.size());
+  for (size_t I = 0; I < First.Manifest.Members.size(); ++I) {
+    EXPECT_EQ(First.Manifest.Members[I].Status,
+              Second.Manifest.Members[I].Status);
+    EXPECT_DOUBLE_EQ(First.Manifest.Members[I].Weight,
+                     Second.Manifest.Members[I].Weight);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Loaders: fail-open on unreadable input, deterministic dir listing.
+//===----------------------------------------------------------------------===//
+
+TEST(AggregateTest, UnreadableFileBecomesQuarantinedMember) {
+  std::vector<MemberProfile> Members =
+      loadMemberProfiles({"/nonexistent/path/cu.csv"});
+  ASSERT_EQ(Members.size(), 1u);
+  EXPECT_EQ(Members[0].Profile.LoadError, ProfileError::BadHeader);
+
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(R.Manifest.Outcome, MergeOutcome::Fallback);
+  EXPECT_EQ(R.Manifest.Members[0].Status, MergeMemberStatus::Quarantined);
+}
+
+TEST(AggregateTest, MemberDirListingIsSortedAndFiltered) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "nimg_aggtest_dir";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  for (const char *Name :
+       {"cu_b.csv", "cu_a.csv", "method.csv", "cu_notes.txt", "cu.csv"})
+    std::ofstream(Dir / Name) << "x";
+  std::vector<std::string> Paths = listMemberProfileDir(Dir.string());
+  ASSERT_EQ(Paths.size(), 3u);
+  EXPECT_EQ(fs::path(Paths[0]).filename(), "cu.csv");
+  EXPECT_EQ(fs::path(Paths[1]).filename(), "cu_a.csv");
+  EXPECT_EQ(fs::path(Paths[2]).filename(), "cu_b.csv");
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// collectProfileSet: duplicate instance names are rejected with a typed
+// error instead of silently producing a twin profile.
+//===----------------------------------------------------------------------===//
+
+const char *kTinyWorkload = R"(
+class Helper {
+  static int twice(int x) { return x * 2; }
+}
+class Main {
+  static int main() {
+    int t = 0;
+    for (int i = 0; i < 4; i = i + 1) { t = t + Helper.twice(i); }
+    Sys.print("t: " + t);
+    return t;
+  }
+}
+)";
+
+TEST(CollectProfileSetTest, DuplicateInstanceNameIsTypedError) {
+  Program P;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(compileSources({kTinyWorkload}, P, Errors));
+
+  BuildConfig Cfg;
+  Cfg.Seed = 1001;
+  Cfg.ProfileGeneration = 100;
+  std::vector<ProfileIssue> Issues;
+  std::vector<MemberProfile> Members =
+      collectProfileSet(P, Cfg, RunConfig(), {"a", "b", "a"}, &Issues);
+  ASSERT_EQ(Members.size(), 3u);
+  EXPECT_EQ(Members[0].Profile.LoadError, ProfileError::None);
+  EXPECT_EQ(Members[1].Profile.LoadError, ProfileError::None);
+  EXPECT_EQ(Members[2].Profile.LoadError, ProfileError::DuplicateMember);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0].Kind, ProfileError::DuplicateMember);
+
+  // Generations are stamped monotonically from the configured base.
+  EXPECT_EQ(Members[0].Profile.Header.Generation, 100u);
+  EXPECT_EQ(Members[1].Profile.Header.Generation, 101u);
+
+  // And the aggregate of such a set quarantines exactly the twin.
+  MergeResult R = aggregateProfiles(Members);
+  EXPECT_EQ(R.Manifest.Outcome, MergeOutcome::Merged);
+  EXPECT_EQ(R.Manifest.Members[2].Status, MergeMemberStatus::Quarantined);
+  EXPECT_EQ(R.Manifest.Members[2].Reason, ProfileError::DuplicateMember);
+}
+
+TEST(CollectProfileSetTest, SetFeedsBuildEndToEnd) {
+  Program P;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(compileSources({kTinyWorkload}, P, Errors));
+
+  BuildConfig ProfCfg;
+  ProfCfg.Seed = 1001;
+  ProfCfg.ProfileGeneration = 7;
+  std::vector<MemberProfile> Members =
+      collectProfileSet(P, ProfCfg, RunConfig(), {"a", "b"});
+
+  BuildConfig Cfg;
+  Cfg.CodeOrder = CodeStrategy::CuOrder;
+  Cfg.CodeMembers = &Members;
+  NativeImage Img = buildNativeImage(P, Cfg);
+  EXPECT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+  EXPECT_TRUE(Img.ProfileDiag.CodeProfileApplied);
+  EXPECT_EQ(Img.ProfileDiag.Merge.Outcome, MergeOutcome::Merged);
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic writes.
+//===----------------------------------------------------------------------===//
+
+TEST(AtomicFileTest, WriteLandsAndLeavesNoTemp) {
+  namespace fs = std::filesystem;
+  fs::path Path = fs::temp_directory_path() / "nimg_atomic_basic.txt";
+  fs::remove(Path);
+  EXPECT_TRUE(atomicWriteFile(Path.string(), "hello"));
+  std::ifstream In(Path);
+  std::string Got((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(Got, "hello");
+  EXPECT_FALSE(fs::exists(Path.string() + ".tmp"));
+  fs::remove(Path);
+}
+
+TEST(AtomicFileTest, KilledWriteLeavesOldContentIntact) {
+  namespace fs = std::filesystem;
+  fs::path Path = fs::temp_directory_path() / "nimg_atomic_kill.txt";
+  ASSERT_TRUE(atomicWriteFile(Path.string(), "old content survives"));
+
+  setAtomicWriteTruncationForTest(4); // Crash after four bytes.
+  EXPECT_FALSE(atomicWriteFile(Path.string(), "new content that dies"));
+
+  std::ifstream In(Path);
+  std::string Got((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(Got, "old content survives");
+  EXPECT_FALSE(fs::exists(Path.string() + ".tmp"));
+
+  // One-shot: the next write goes through untouched.
+  EXPECT_TRUE(atomicWriteFile(Path.string(), "second try"));
+  std::ifstream In2(Path);
+  std::string Got2((std::istreambuf_iterator<char>(In2)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(Got2, "second try");
+  fs::remove(Path);
+}
+
+} // namespace

@@ -86,6 +86,7 @@ const std::vector<std::string> &dynamicFamilies() {
       "nimg.profile.load",
       "nimg.build.profile_rejected",
       "nimg.parallel",
+      "nimg.merge.quarantined",
   };
   return Families;
 }

@@ -213,6 +213,10 @@ struct PipelineArtifacts {
   /// too.
   uint64_t SplitFingerprint = 0;
   std::vector<uint8_t> SplitImageBytes;
+  /// Fleet aggregation rides on the same pool: the merged profile and the
+  /// image it drives must be worker-count-invariant too.
+  std::string MergedCsv;
+  std::vector<uint8_t> MergedImageBytes;
   size_t TraceThreads = 0;
 };
 
@@ -265,6 +269,24 @@ PipelineArtifacts runPipeline(int Jobs) {
   Art.SplitFingerprint = SplitImg.Split.DecisionFingerprint;
   Art.SplitImageBytes = serializeImage(P, SplitImg);
 
+  // Fleet path: capture a 3-member set (one instrumented run each under
+  // the same pool), merge, and build from the merged profile.
+  BuildConfig SetCfg = ProfCfg;
+  SetCfg.ProfileGeneration = 100;
+  std::vector<MemberProfile> Members =
+      collectProfileSet(P, SetCfg, RunConfig(), {"a", "b", "c"});
+  EXPECT_EQ(Members.size(), 3u);
+  MergeResult MR = aggregateProfiles(Members);
+  EXPECT_TRUE(MR.usable());
+  Art.MergedCsv = MR.Profile.toCsv();
+  BuildConfig MergedCfg = Opt;
+  MergedCfg.CodeProf = nullptr;
+  MergedCfg.CodeMembers = &Members;
+  NativeImage MergedImg = buildNativeImage(P, MergedCfg);
+  EXPECT_FALSE(MergedImg.Built.Failed) << MergedImg.Built.FailureMessage;
+  EXPECT_TRUE(MergedImg.ProfileDiag.CodeProfileApplied);
+  Art.MergedImageBytes = serializeImage(P, MergedImg);
+
   // Sanity: the profiling runs actually produced multi-thread traces and
   // nonempty profiles, otherwise this test exercises nothing.
   EXPECT_GT(Prof.Cu.Sigs.size(), 0u);
@@ -292,6 +314,8 @@ TEST(ParallelPipelineTest, JobsOneAndEightAreByteIdentical) {
   EXPECT_EQ(One.BlocksCsv, Eight.BlocksCsv);
   EXPECT_EQ(One.SplitFingerprint, Eight.SplitFingerprint);
   EXPECT_EQ(One.SplitImageBytes, Eight.SplitImageBytes);
+  EXPECT_EQ(One.MergedCsv, Eight.MergedCsv);
+  EXPECT_EQ(One.MergedImageBytes, Eight.MergedImageBytes);
 }
 
 TEST(ParallelPipelineTest, IntermediateJobCountsMatchToo) {
@@ -305,6 +329,8 @@ TEST(ParallelPipelineTest, IntermediateJobCountsMatchToo) {
     EXPECT_EQ(One.ClusterCsv, J.ClusterCsv) << "jobs=" << Jobs;
     EXPECT_EQ(One.HeapPathCsv, J.HeapPathCsv) << "jobs=" << Jobs;
     EXPECT_EQ(One.SplitImageBytes, J.SplitImageBytes) << "jobs=" << Jobs;
+    EXPECT_EQ(One.MergedCsv, J.MergedCsv) << "jobs=" << Jobs;
+    EXPECT_EQ(One.MergedImageBytes, J.MergedImageBytes) << "jobs=" << Jobs;
   }
   setJobs(0);
 }
