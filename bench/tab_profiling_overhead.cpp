@@ -31,6 +31,11 @@ struct EncodingCost {
   std::string Mode;
   double RawBytesPerEvent = 0;
   double VarintBytesPerEvent = 0;
+  /// Modeled run-time overhead of this capture against the uninstrumented
+  /// base run (time / base - 1). The sampled row runs on the uninstrumented
+  /// image itself (that is the point of the mode); the instrumented rows
+  /// run on the instrumented build, as in production.
+  double Overhead = 0;
 };
 
 std::vector<EncodingCost> measureEncodingCosts(Program &P,
@@ -42,15 +47,24 @@ std::vector<EncodingCost> measureEncodingCosts(Program &P,
   NativeImage Img = buildNativeImage(P, Cfg);
   if (Img.Built.Failed)
     return Out;
+  BuildConfig BaseCfg;
+  BaseCfg.Seed = 404;
+  NativeImage BaseImg = buildNativeImage(P, BaseCfg);
+  if (BaseImg.Built.Failed)
+    return Out;
+  double BaseNs = runImage(BaseImg, Run).TimeNs;
   const struct {
     TraceMode Mode;
     const char *Name;
   } Modes[] = {{TraceMode::CuOrder, "cu"},
                {TraceMode::MethodOrder, "method"},
-               {TraceMode::HeapOrder, "heap"}};
+               {TraceMode::HeapOrder, "heap"},
+               {TraceMode::Sampled, "sampled"}};
   for (const auto &M : Modes) {
     EncodingCost C;
     C.Mode = M.Name;
+    const NativeImage &RunImg =
+        M.Mode == TraceMode::Sampled ? BaseImg : Img;
     for (TraceEncoding Enc :
          {TraceEncoding::Raw, TraceEncoding::VarintDelta}) {
       TraceOptions TOpts;
@@ -59,13 +73,15 @@ std::vector<EncodingCost> measureEncodingCosts(Program &P,
       RunConfig RC = Run;
       RC.Trace = &TOpts;
       TraceCapture Capture;
-      runImage(Img, RC, &Capture);
+      RunStats Stats = runImage(RunImg, RC, &Capture);
       double PerEvent =
           Capture.totalWords() == 0
               ? 0.0
               : double(Capture.totalBytes()) / double(Capture.totalWords());
       (Enc == TraceEncoding::Raw ? C.RawBytesPerEvent
                                  : C.VarintBytesPerEvent) = PerEvent;
+      if (Enc == TraceEncoding::Raw && BaseNs > 0)
+        C.Overhead = Stats.TimeNs / BaseNs - 1.0;
     }
     Out.push_back(C);
   }
@@ -146,16 +162,18 @@ int main(int Argc, char **Argv) {
     RunConfig Run;
     Costs = measureEncodingCosts(*CostP, Run);
     std::printf("trace bytes per event (AWFY %s; raw = fixed 8-byte "
-                "words, varint = LEB128 zigzag deltas)\n",
+                "words, varint = LEB128 zigzag deltas; overhead = modeled "
+                "run time / uninstrumented base - 1)\n",
                 CostBench);
-    std::printf("%-12s %10s %10s %10s\n", "tracing", "raw", "varint",
-                "ratio");
+    std::printf("%-12s %10s %10s %10s %10s\n", "tracing", "raw", "varint",
+                "ratio", "overhead");
     for (const EncodingCost &C : Costs)
-      std::printf("%-12s %10.2f %10.2f %9.1fx\n", C.Mode.c_str(),
+      std::printf("%-12s %10.2f %10.2f %9.1fx %9.2f%%\n", C.Mode.c_str(),
                   C.RawBytesPerEvent, C.VarintBytesPerEvent,
                   C.VarintBytesPerEvent == 0
                       ? 1.0
-                      : C.RawBytesPerEvent / C.VarintBytesPerEvent);
+                      : C.RawBytesPerEvent / C.VarintBytesPerEvent,
+                  C.Overhead * 100.0);
     std::printf("\n");
   }
 
@@ -178,6 +196,7 @@ int main(int Argc, char **Argv) {
           W.member("tracing", C.Mode);
           W.member("raw", C.RawBytesPerEvent);
           W.member("varint_delta", C.VarintBytesPerEvent);
+          W.member("overhead", C.Overhead);
           W.endObject();
         }
         W.endArray();

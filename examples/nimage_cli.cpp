@@ -123,6 +123,15 @@ int usage() {
                "  nimage_cli run     <target> [--image F] [--warm]\n"
                "  nimage_cli profile <target> [--dir DIR] "
                "[--generation N] [--cluster-budget BYTES]\n"
+               "                     [--profile-mode instrumented|sampled] "
+               "[--sample-period N]\n"
+               "profiling:\n"
+               "  --profile-mode sampled records periodic samples of the "
+               "executing method/CU\n"
+               "  on an uninstrumented build (cu+method profiles only; heap "
+               "stays\n"
+               "  instrumented); --sample-period N sets the model-clock "
+               "sampling period\n"
                "fleet aggregation:\n"
                "  --profiles with a comma-separated list (or a single .csv "
                "file) merges the\n"
@@ -189,6 +198,26 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
     }
     Cfg.ClusterPageBudget = uint32_t(B);
   }
+  if (const char *PMode = flagValue(Argc, Argv, "--profile-mode")) {
+    if (std::strcmp(PMode, "sampled") == 0) {
+      Cfg.ProfileCapture = CaptureKind::Sampled;
+    } else if (std::strcmp(PMode, "instrumented") != 0) {
+      std::fprintf(stderr, "error: --profile-mode expects "
+                           "instrumented|sampled, got '%s'\n",
+                   PMode);
+      return 2;
+    }
+  }
+  if (const char *Period = flagValue(Argc, Argv, "--sample-period")) {
+    long long N = std::atoll(Period);
+    if (N <= 0 || uint64_t(N) > TraceOptions::MaxSamplePeriod) {
+      std::fprintf(stderr,
+                   "error: --sample-period expects 1..%llu, got '%s'\n",
+                   (unsigned long long)TraceOptions::MaxSamplePeriod, Period);
+      return 2;
+    }
+    Cfg.SamplePeriod = uint64_t(N);
+  }
   CollectedProfiles Prof = collectProfiles(*P, Cfg, Run);
   for (const ProfileIssue &I : Prof.ClusterIssues)
     std::fprintf(stderr, "note: cluster profile: %s (%s)\n", I.Detail.c_str(),
@@ -201,6 +230,13 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
   Report.addSalvage("cu", Prof.CuSalvage);
   Report.addSalvage("method", Prof.MethodSalvage);
   Report.addSalvage("heap", Prof.HeapSalvage);
+  if (Cfg.ProfileCapture == CaptureKind::Sampled) {
+    Report.Variant = "profile-mode=sampled period=" +
+                     std::to_string(Cfg.SamplePeriod);
+    // The sampled run's stats carry the "capture" section (samples taken,
+    // events skipped, modeled overhead, coverage estimate).
+    Report.setRun(Prof.CuRun);
+  }
   if (!emitReport(Report, Argc, Argv))
     return 1;
 
@@ -221,6 +257,13 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
   std::printf("  cu entries: %zu, methods: %zu, heap objects: %zu\n",
               Prof.Cu.Sigs.size(), Prof.Method.Sigs.size(),
               Prof.HeapPath.Ids.size());
+  if (Cfg.ProfileCapture == CaptureKind::Sampled)
+    std::printf("  sampled capture: %llu sample(s) at period %llu, %llu "
+                "event(s) skipped, coverage %u permille\n",
+                (unsigned long long)Prof.CuRun.SamplesTaken,
+                (unsigned long long)Prof.CuRun.SamplePeriod,
+                (unsigned long long)Prof.CuRun.SampleEventsSkipped,
+                Prof.CuRun.SampleCoveragePermille);
   std::printf("  cluster: %zu clusters over %zu CUs (%zu merges, %zu "
               "budget rejections)\n",
               Prof.ClusterLayoutStats.Clusters, Prof.ClusterLayoutStats.Nodes,

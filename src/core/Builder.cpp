@@ -7,6 +7,7 @@
 #include "src/obs/SpanTracer.h"
 #include "src/support/SplitMix64.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace nimg;
@@ -135,6 +136,11 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
     MergeOptions MOpts = Cfg.Merge;
     if (!MOpts.ExpectedFingerprint)
       MOpts.ExpectedFingerprint = BuildFp;
+    // A method-order build merges method-granularity members; everything
+    // else (cu, cluster) merges cu-granularity ones.
+    MOpts.ExpectedMode = Cfg.CodeOrder == CodeStrategy::MethodOrder
+                             ? TraceMode::MethodOrder
+                             : TraceMode::CuOrder;
     MergeResult MR = aggregateProfiles(*Cfg.CodeMembers, MOpts);
     Img.ProfileDiag.Merge = std::move(MR.Manifest);
     if (MR.usable()) {
@@ -309,9 +315,23 @@ CollectedProfiles nimg::collectProfiles(Program &P,
   }();
   assert(!Img.Built.Failed && "instrumented build failed");
 
+  // Sampled capture profiles the *production* geometry: an uninstrumented
+  // build whose inlining is not inflated by probe code (the instrumented
+  // image stays for the heap run, which needs operand probes).
+  bool SampledCode = InstrumentedCfg.ProfileCapture == CaptureKind::Sampled;
+  NativeImage SampImg;
+  if (SampledCode) {
+    NIMG_SPAN("pipeline", "sampled_build");
+    BuildConfig SCfg = Cfg;
+    SCfg.Instrumented = false;
+    SampImg = buildNativeImage(P, SCfg);
+    assert(!SampImg.Built.Failed && "sampled-capture build failed");
+  }
+
   PathGraphCache Paths(P);
 
-  auto RunWith = [&](TraceMode Mode, RunStats &StatsOut) {
+  auto RunWith = [&](const NativeImage &RunImg, TraceMode Mode,
+                     RunStats &StatsOut) {
     TraceOptions TOpts;
     TOpts.Mode = Mode;
     // Workloads killed before clean exit need the memory-mapped dump mode
@@ -322,16 +342,18 @@ CollectedProfiles nimg::collectProfiles(Program &P,
     // probe cost) to a fraction of the raw 8 bytes/word; salvage and the
     // analyses decode both encodings transparently.
     TOpts.Encoding = TraceEncoding::VarintDelta;
+    TOpts.SamplePeriod = InstrumentedCfg.SamplePeriod;
+    TOpts.SamplePhase = InstrumentedCfg.SamplePhase;
     RunConfig RC = RunCfg;
     RC.Trace = &TOpts;
     TraceCapture Capture;
-    StatsOut = runImage(Img, RC, &Capture);
+    StatsOut = runImage(RunImg, RC, &Capture);
     if (Capture.totalWords() == 0) {
       // An empty capture usually means the run died before any buffer
       // flushed (mode-1 SIGKILL); retry once with the memory-mapped dump
       // mode, which persists every word.
       TOpts.Dump = DumpMode::MemoryMapped;
-      StatsOut = runImage(Img, RC, &Capture);
+      StatsOut = runImage(RunImg, RC, &Capture);
       ++Out.RetriedRuns;
       NIMG_COUNTER_ADD("nimg.profile.collect.retried_runs", 1);
     }
@@ -341,57 +363,99 @@ CollectedProfiles nimg::collectProfiles(Program &P,
   uint64_t Fp = programFingerprint(P);
   uint64_t Gen = InstrumentedCfg.ProfileGeneration;
 
-  TraceCapture CuCap;
-  {
-    NIMG_SPAN("profile", "trace.cu");
-    CuCap = RunWith(TraceMode::CuOrder, Out.CuRun);
-  }
-  {
-    NIMG_SPAN("profile", "post.cu");
-    Out.Cu = analyzeCuOrder(P, CuCap, &Out.CuSalvage);
-    Out.Cu.Header.Fingerprint = Fp;
-    Out.Cu.Header.Generation = Gen;
-  }
-  {
-    // The cluster profile reuses the cu-mode capture: CU transitions are
-    // already in it, so clustering costs one more post-processing pass,
-    // not another instrumented run.
-    NIMG_SPAN("profile", "post.cluster");
-    ClusterOptions COpts;
-    COpts.PageBudgetBytes = Cfg.ClusterPageBudget;
-    Out.Cluster =
-        analyzeClusterOrder(P, CuCap, Img.Code, COpts, nullptr,
-                            &Out.ClusterIssues, &Out.ClusterLayoutStats);
-    Out.Cluster.Header.Fingerprint = Fp;
-    Out.Cluster.Header.Generation = Gen;
-  }
-
-  TraceCapture MethodCap;
-  {
-    NIMG_SPAN("profile", "trace.method");
-    MethodCap = RunWith(TraceMode::MethodOrder, Out.MethodRun);
-  }
-  {
-    NIMG_SPAN("profile", "post.method");
-    Out.Method = analyzeMethodOrder(P, MethodCap, Paths, &Out.MethodSalvage);
-    Out.Method.Header.Fingerprint = Fp;
-    Out.Method.Header.Generation = Gen;
-  }
-  {
-    // Block counts reuse the method-order capture: every path record
-    // already names the blocks it visits, so splitting evidence costs one
-    // more post-processing pass, not another instrumented run.
-    NIMG_SPAN("profile", "post.blocks");
-    Out.Blocks = analyzeBlockCounts(P, MethodCap, Paths, nullptr);
+  if (SampledCode) {
+    // One Sampled-mode run feeds both code granularities: every sample
+    // word carries the executing method and its CU root.
+    TraceCapture SampCap;
+    {
+      NIMG_SPAN("profile", "trace.sampled");
+      SampCap = RunWith(SampImg, TraceMode::Sampled, Out.CuRun);
+    }
+    Out.MethodRun = Out.CuRun;
+    // Effective coverage = salvage coverage capped by the run's own
+    // estimate (distinct sampled roots per entered root): a clean dump of
+    // a sparse sampling is still a sparse sampling.
+    uint32_t Estimate = Out.CuRun.SampleCoveragePermille;
+    {
+      NIMG_SPAN("profile", "post.sample_cu");
+      Out.Cu = analyzeSampledCuOrder(P, SampCap, &Out.CuSalvage);
+      Out.Cu.Header.Fingerprint = Fp;
+      Out.Cu.Header.Generation = Gen;
+      Out.Cu.Header.CoveragePermille =
+          std::min(Out.Cu.Header.CoveragePermille, Estimate);
+    }
+    {
+      NIMG_SPAN("profile", "post.sample_method");
+      Out.Method = analyzeSampledMethodOrder(P, SampCap, &Out.MethodSalvage);
+      Out.Method.Header.Fingerprint = Fp;
+      Out.Method.Header.Generation = Gen;
+      Out.Method.Header.CoveragePermille =
+          std::min(Out.Method.Header.CoveragePermille, Estimate);
+    }
+    // Samples carry no CU transitions or path records, so the cluster
+    // profile degrades to the sampled cu order and splitting evidence is
+    // typed-unavailable — both documented degradations, not failures.
+    Out.Cluster = Out.Cu;
+    Out.ClusterIssues.push_back(
+        {ProfileError::EmptyTransitionGraph, 0,
+         "sampled capture carries no CU transitions; cluster ordering "
+         "degrades to the sampled cu order"});
+    Out.Blocks.LoadError = ProfileError::InsufficientBlockProfile;
     Out.Blocks.Header.Fingerprint = Fp;
     Out.Blocks.Header.Generation = Gen;
-    Out.Blocks.Header.CoveragePermille = Out.Blocks.CoveragePermille;
+  } else {
+    TraceCapture CuCap;
+    {
+      NIMG_SPAN("profile", "trace.cu");
+      CuCap = RunWith(Img, TraceMode::CuOrder, Out.CuRun);
+    }
+    {
+      NIMG_SPAN("profile", "post.cu");
+      Out.Cu = analyzeCuOrder(P, CuCap, &Out.CuSalvage);
+      Out.Cu.Header.Fingerprint = Fp;
+      Out.Cu.Header.Generation = Gen;
+    }
+    {
+      // The cluster profile reuses the cu-mode capture: CU transitions are
+      // already in it, so clustering costs one more post-processing pass,
+      // not another instrumented run.
+      NIMG_SPAN("profile", "post.cluster");
+      ClusterOptions COpts;
+      COpts.PageBudgetBytes = Cfg.ClusterPageBudget;
+      Out.Cluster =
+          analyzeClusterOrder(P, CuCap, Img.Code, COpts, nullptr,
+                              &Out.ClusterIssues, &Out.ClusterLayoutStats);
+      Out.Cluster.Header.Fingerprint = Fp;
+      Out.Cluster.Header.Generation = Gen;
+    }
+
+    TraceCapture MethodCap;
+    {
+      NIMG_SPAN("profile", "trace.method");
+      MethodCap = RunWith(Img, TraceMode::MethodOrder, Out.MethodRun);
+    }
+    {
+      NIMG_SPAN("profile", "post.method");
+      Out.Method = analyzeMethodOrder(P, MethodCap, Paths, &Out.MethodSalvage);
+      Out.Method.Header.Fingerprint = Fp;
+      Out.Method.Header.Generation = Gen;
+    }
+    {
+      // Block counts reuse the method-order capture: every path record
+      // already names the blocks it visits, so splitting evidence costs one
+      // more post-processing pass, not another instrumented run.
+      NIMG_SPAN("profile", "post.blocks");
+      Out.Blocks = analyzeBlockCounts(P, MethodCap, Paths, nullptr);
+      Out.Blocks.Header.Fingerprint = Fp;
+      Out.Blocks.Header.Generation = Gen;
+      Out.Blocks.Header.CoveragePermille = Out.Blocks.CoveragePermille;
+    }
   }
 
   TraceCapture HeapCap;
   {
     NIMG_SPAN("profile", "trace.heap");
-    HeapCap = RunWith(TraceMode::HeapOrder, Out.HeapRun);
+    HeapCap = RunWith(Img, TraceMode::HeapOrder, Out.HeapRun);
   }
   {
     NIMG_SPAN("profile", "post.heap");
@@ -424,8 +488,11 @@ nimg::collectProfileSet(Program &P, const BuildConfig &InstrumentedCfg,
   NIMG_SPAN_NAMED(SetSpan, "pipeline", "collectProfileSet");
   NIMG_COUNTER_ADD("nimg.profile.collect.set_members", InstanceNames.size());
 
+  // Sampled fleets run the uninstrumented production geometry, exactly
+  // like collectProfiles().
+  bool SampledCode = InstrumentedCfg.ProfileCapture == CaptureKind::Sampled;
   BuildConfig Cfg = InstrumentedCfg;
-  Cfg.Instrumented = true;
+  Cfg.Instrumented = !SampledCode;
   Cfg.CodeOrder = CodeStrategy::None;
   Cfg.UseHeapOrder = false;
   NativeImage Img = [&] {
@@ -454,19 +521,34 @@ nimg::collectProfileSet(Program &P, const BuildConfig &InstrumentedCfg,
       continue;
     }
     TraceOptions TOpts;
-    TOpts.Mode = TraceMode::CuOrder;
+    TOpts.Mode = SampledCode ? TraceMode::Sampled : TraceMode::CuOrder;
     TOpts.Dump = RunCfg.StopAtFirstResponse ? DumpMode::MemoryMapped
                                             : DumpMode::FlushOnFull;
     TOpts.Encoding = TraceEncoding::VarintDelta;
+    if (SampledCode) {
+      // Stagger member phases evenly across the period: the fleet's merged
+      // sample set then covers clock offsets no single member sees.
+      TOpts.SamplePeriod = InstrumentedCfg.SamplePeriod;
+      TOpts.SamplePhase =
+          InstrumentedCfg.SamplePhase +
+          I * std::max<uint64_t>(1, TOpts.SamplePeriod) / InstanceNames.size();
+    }
     RunConfig RC = RunCfg;
     RC.Trace = &TOpts;
     TraceCapture Capture;
     SalvageStats Salvage;
+    RunStats Run;
     {
-      NIMG_SPAN("profile", "trace.cu");
-      runImage(Img, RC, &Capture);
+      NIMG_SPAN("profile", SampledCode ? "trace.sampled" : "trace.cu");
+      Run = runImage(Img, RC, &Capture);
     }
-    M.Profile = analyzeCuOrder(P, Capture, &Salvage);
+    if (SampledCode) {
+      M.Profile = analyzeSampledCuOrder(P, Capture, &Salvage);
+      M.Profile.Header.CoveragePermille = std::min(
+          M.Profile.Header.CoveragePermille, Run.SampleCoveragePermille);
+    } else {
+      M.Profile = analyzeCuOrder(P, Capture, &Salvage);
+    }
     M.Profile.Header.Fingerprint = Fp;
     M.Profile.Header.Generation = InstrumentedCfg.ProfileGeneration + I;
     M.Read.HeaderPresent = true;

@@ -75,6 +75,22 @@ struct BuildConfig {
   /// merge staleness gate.
   uint64_t ProfileGeneration = 0;
 
+  /// Capture strategy of collectProfiles()/collectProfileSet()
+  /// (--profile-mode): Instrumented traces every transition through an
+  /// instrumented build; Sampled runs an *uninstrumented* build (the
+  /// production geometry — no probe-inflated inlining) and records a
+  /// periodic sample of the executing method/CU, from which cu- and
+  /// method-granularity profiles are both reconstructed. Heap ordering
+  /// always needs instrumentation and keeps its instrumented run.
+  CaptureKind ProfileCapture = CaptureKind::Instrumented;
+  /// Sampled capture only (--sample-period): model-clock instructions
+  /// between samples.
+  uint64_t SamplePeriod = TraceOptions::DefaultSamplePeriod;
+  /// Sampled capture only: clock offset of the first sample.
+  /// collectProfileSet() staggers member phases across the period on top
+  /// of this base, so a merged fleet set covers more of the clock.
+  uint64_t SamplePhase = 0;
+
   /// Hot/cold CU splitting (--split hotcold), orthogonal to the code
   /// strategy. Ignored for instrumented builds (the profiling build must
   /// keep the geometry the traces describe). Missing/unusable block

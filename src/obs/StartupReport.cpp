@@ -107,6 +107,26 @@ std::string StartupReport::toJson() const {
     W.endObject();
   }
 
+  if (HasRun && Run.SamplePeriod > 0) {
+    // Sampled-capture accounting. Every field is defined even when no
+    // sample landed (a period longer than the whole run): counts are
+    // plain zeros and the ratios guard their denominators, so the section
+    // never emits NaN/Inf — which are not JSON.
+    W.key("capture");
+    W.beginObject();
+    W.member("mode", "sampled");
+    W.member("sample_period", Run.SamplePeriod);
+    W.member("samples_taken", Run.SamplesTaken);
+    W.member("events_skipped", Run.SampleEventsSkipped);
+    W.member("coverage_permille", uint64_t(Run.SampleCoveragePermille));
+    // Modeled capture overhead: probe time over total modeled time (probe
+    // units are charged at ~1 ns each by the default cost model).
+    W.member("overhead_permille",
+             Run.TimeNs > 0 ? double(Run.ProbeUnits) * 1000.0 / Run.TimeNs
+                            : 0.0);
+    W.endObject();
+  }
+
   if (HasImage) {
     W.key("image");
     W.beginObject();
@@ -275,6 +295,19 @@ std::string StartupReport::toCsv() const {
     csvRow(Out, "run", "stored_objects_touched",
            num(Run.StoredObjectsTouched));
     csvRow(Out, "run", "stored_objects_total", num(Run.StoredObjectsTotal));
+  }
+
+  if (HasRun && Run.SamplePeriod > 0) {
+    csvRow(Out, "capture", "mode", "sampled");
+    csvRow(Out, "capture", "sample_period", num(Run.SamplePeriod));
+    csvRow(Out, "capture", "samples_taken", num(Run.SamplesTaken));
+    csvRow(Out, "capture", "events_skipped", num(Run.SampleEventsSkipped));
+    csvRow(Out, "capture", "coverage_permille",
+           num(Run.SampleCoveragePermille));
+    csvRow(Out, "capture", "overhead_permille",
+           std::to_string(Run.TimeNs > 0
+                              ? double(Run.ProbeUnits) * 1000.0 / Run.TimeNs
+                              : 0.0));
   }
 
   if (HasImage) {

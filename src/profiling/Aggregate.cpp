@@ -49,9 +49,21 @@ bool classifyMember(const MemberProfile &In, const MergeOptions &Opts,
     quarantine(R, P.LoadError, profileErrorName(P.LoadError));
     return false;
   }
-  if (P.Header.Mode != TraceMode::CuOrder) {
+  if (P.Header.Mode != Opts.ExpectedMode) {
     quarantine(R, ProfileError::ModeMismatch,
-               "member is not a cu-order profile");
+               std::string("member is not a ") +
+                   (Opts.ExpectedMode == TraceMode::MethodOrder ? "method"
+                                                                : "cu") +
+                   "-order profile");
+    return false;
+  }
+  bool Sampled = P.Header.Capture == CaptureKind::Sampled;
+  if (Sampled && (P.Header.SamplePeriod == 0 ||
+                  P.Header.SamplePeriod > TraceOptions::MaxSamplePeriod)) {
+    quarantine(R, ProfileError::ImplausibleSamplePeriod,
+               "period " + std::to_string(P.Header.SamplePeriod) +
+                   " outside (0, " +
+                   std::to_string(TraceOptions::MaxSamplePeriod) + "]");
     return false;
   }
   if (Opts.ExpectedFingerprint && P.Header.Fingerprint &&
@@ -64,20 +76,27 @@ bool classifyMember(const MemberProfile &In, const MergeOptions &Opts,
     quarantine(R, ProfileError::CoverageBelowGate, "empty payload");
     return false;
   }
-  if (P.Header.CoveragePermille < Opts.MinCoveragePermille) {
+  uint32_t CoverageGate =
+      Sampled ? Opts.MinSampledCoveragePermille : Opts.MinCoveragePermille;
+  if (P.Header.CoveragePermille < CoverageGate) {
     quarantine(R, ProfileError::CoverageBelowGate,
                "coverage " + std::to_string(P.Header.CoveragePermille) +
-                   " < gate " +
-                   std::to_string(Opts.MinCoveragePermille));
+                   " < gate " + std::to_string(CoverageGate));
     return false;
   }
-  if (In.Read.RowsSkipped > 0) {
+  if (In.Read.PrefixSalvaged) {
+    R.Status = MergeMemberStatus::Salvaged;
+    R.Reason = ProfileError::ChecksumMismatch;
+    R.Detail = "sampled payload recovered as a row prefix (" +
+               std::to_string(In.Read.RowsSkipped) + " rows cut)";
+  } else if (In.Read.RowsSkipped > 0) {
     R.Status = MergeMemberStatus::Salvaged;
     R.Reason = ProfileError::MalformedCell;
     R.Detail = std::to_string(In.Read.RowsSkipped) + " rows skipped";
   } else if (P.Header.CoveragePermille < 1000) {
     R.Status = MergeMemberStatus::Salvaged;
-    R.Detail = "partial capture coverage";
+    R.Detail = Sampled ? "partial sampling coverage estimate"
+                       : "partial capture coverage";
   } else {
     R.Status = MergeMemberStatus::Accepted;
   }
@@ -216,7 +235,26 @@ CodeProfile mergeLive(const std::vector<MemberProfile> &Members,
                    [&](size_t A, size_t B) { return Score[A] < Score[B]; });
 
   CodeProfile Out;
-  Out.Header.Mode = TraceMode::CuOrder;
+  // Mode follows the (gate-checked, uniform) member mode; capture kind is
+  // sampled only when every survivor is sampled — one instrumented member
+  // already contributes exact ranks, so the merged profile is not subject
+  // to the sampled gates downstream. A pure-sampled merge carries the
+  // coarsest member period as its effective period.
+  Out.Header.Mode = Live.empty() ? TraceMode::CuOrder
+                                 : Members[Live[0]].Profile.Header.Mode;
+  bool AllSampled = !Live.empty();
+  uint64_t CoarsestPeriod = 0;
+  for (size_t I : Live) {
+    const ProfileHeader &H = Members[I].Profile.Header;
+    if (H.Capture != CaptureKind::Sampled)
+      AllSampled = false;
+    else
+      CoarsestPeriod = std::max(CoarsestPeriod, H.SamplePeriod);
+  }
+  if (AllSampled) {
+    Out.Header.Capture = CaptureKind::Sampled;
+    Out.Header.SamplePeriod = CoarsestPeriod;
+  }
   Out.Header.Generation = NewestGeneration;
   Out.Sigs.reserve(Sigs.size());
   if (AnyCounts)
@@ -356,7 +394,7 @@ MergeResult nimg::aggregateProfiles(const std::vector<MemberProfile> &Members,
   // Pass 5 — the degradation ladder.
   if (Live.empty()) {
     M.Outcome = MergeOutcome::Fallback;
-    Out.Profile.Header.Mode = TraceMode::CuOrder;
+    Out.Profile.Header.Mode = Opts.ExpectedMode;
   } else if (Live.size() == 1) {
     M.Outcome = MergeOutcome::BestSingle;
     Out.Profile = Members[Live[0]].Profile;

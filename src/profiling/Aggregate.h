@@ -64,6 +64,13 @@ struct MergeOptions {
   /// Members whose capture coverage (header cell, permille) is below this
   /// are quarantined (CoverageBelowGate).
   uint32_t MinCoveragePermille = 500;
+  /// Sampled members bypass MinCoveragePermille — their coverage cell is a
+  /// sampling estimate (distinct sampled roots per entered root), not
+  /// salvage evidence, and a staggered fleet recovers the gaps — but are
+  /// still dropped below this floor: a handful of samples carries no rank
+  /// signal. Their merge weight stays coverage-derived, so a sparse member
+  /// votes weakly instead of being quarantined.
+  uint32_t MinSampledCoveragePermille = 50;
   /// Members whose mean |log2| per-CU count ratio against the member
   /// median exceeds this are quarantined (DriftOutlier).
   double MaxDriftScore = 1.5;
@@ -80,6 +87,11 @@ struct MergeOptions {
   /// Drift scoring needs a quorum: with fewer live members a median is
   /// meaningless, so the check is skipped entirely.
   size_t MinMembersForDrift = 3;
+  /// Trace granularity every member must carry; anything else is
+  /// quarantined (ModeMismatch). Rank merging only makes sense within one
+  /// granularity, so a --code method build sets MethodOrder here and a
+  /// cu/cluster build keeps the CuOrder default.
+  TraceMode ExpectedMode = TraceMode::CuOrder;
 };
 
 /// The aggregator's product: the layout-driving profile (empty on

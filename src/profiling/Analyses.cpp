@@ -37,6 +37,8 @@ const char *modeToken(TraceMode M) {
     return "method";
   case TraceMode::HeapOrder:
     return "heap";
+  case TraceMode::Sampled:
+    return "sampled";
   }
   return "cu";
 }
@@ -48,6 +50,18 @@ bool parseModeToken(const std::string &S, TraceMode &Out) {
     Out = TraceMode::MethodOrder;
   else if (S == "heap")
     Out = TraceMode::HeapOrder;
+  else if (S == "sampled")
+    Out = TraceMode::Sampled;
+  else
+    return false;
+  return true;
+}
+
+bool parseCaptureToken(const std::string &S, CaptureKind &Out) {
+  if (S == "instrumented")
+    Out = CaptureKind::Instrumented;
+  else if (S == "sampled")
+    Out = CaptureKind::Sampled;
   else
     return false;
   return true;
@@ -124,6 +138,12 @@ std::string headerRowCsv(const ProfileHeader &H, uint32_t Crc) {
                       H.HasStrategy ? strategyToken(H.Strategy) : "-", Fp,
                       CrcBuf, std::to_string(H.Generation),
                       std::to_string(H.CoveragePermille)});
+  // Sampled-capture profiles append their capture kind and sample period;
+  // instrumented headers stay byte-identical with pre-sampling emitters.
+  if (H.Capture == CaptureKind::Sampled) {
+    Doc.Rows[0].push_back(captureKindName(H.Capture));
+    Doc.Rows[0].push_back(std::to_string(H.SamplePeriod));
+  }
   return writeCsv(Doc);
 }
 
@@ -180,6 +200,20 @@ size_t readProfileHeader(const std::string &Text, const CsvDocument &Doc,
       addIssue(R, R.Fatal, 1, "bad generation/coverage cells");
       return 1;
     }
+    // Optional capture cells (sampled profiles only): the capture kind
+    // token and the sample period. The period is only syntax-checked here;
+    // its plausibility is an aggregation gate (implausible_sample_period),
+    // not a parse error — bad metadata quarantines a member, a lone build
+    // still degrades through the normal profile-rejection path.
+    if (Row.size() >= 9) {
+      if (!parseCaptureToken(Row[8], R.Header.Capture) ||
+          (R.Header.Capture == CaptureKind::Sampled &&
+           (Row.size() < 10 || !parseDecU64(Row[9], R.Header.SamplePeriod)))) {
+        R.Fatal = ProfileError::BadHeader;
+        addIssue(R, R.Fatal, 1, "bad capture cells");
+        return 1;
+      }
+    }
   }
   R.Header.Version = Version;
   R.Header.Fingerprint = Fp;
@@ -188,6 +222,16 @@ size_t readProfileHeader(const std::string &Text, const CsvDocument &Doc,
   size_t Nl = Text.find('\n');
   std::string Payload = Nl == std::string::npos ? "" : Text.substr(Nl + 1);
   if (crc32(Payload) != uint32_t(Crc)) {
+    if (R.Header.Capture == CaptureKind::Sampled) {
+      // A sampled profile is a statistical artifact: a truncated upload
+      // still carries usable hit evidence, so recover the longest
+      // well-formed row prefix instead of rejecting the file. Instrumented
+      // profiles keep the strict contract — every row is rank-bearing.
+      R.PrefixSalvaged = true;
+      addIssue(R, ProfileError::ChecksumMismatch, 0,
+               "payload CRC-32 mismatch; salvaging sampled row prefix");
+      return 1;
+    }
     R.Fatal = ProfileError::ChecksumMismatch;
     addIssue(R, R.Fatal, 0, "payload CRC-32 mismatch");
     return 1;
@@ -254,8 +298,10 @@ CodeProfile CodeProfile::fromCsv(const std::string &Text,
     if (isBlankRow(Row))
       continue;
     if (Row[0].empty() || Row[0].size() > MaxSigBytes) {
-      ++R.RowsSkipped;
+      R.RowsSkipped += R.PrefixSalvaged ? Doc.Rows.size() - I : 1;
       addIssue(R, ProfileError::MalformedCell, I + 1, "bad signature cell");
+      if (R.PrefixSalvaged)
+        break; // Prefix salvage: the first bad row marks the cut point.
       continue;
     }
     // Optional second cell: per-sig event count (v2 cu profiles). A row
@@ -263,8 +309,10 @@ CodeProfile CodeProfile::fromCsv(const std::string &Text,
     uint64_t Count = 1;
     if (Row.size() >= 2 && !Row[1].empty()) {
       if (!parseDecU64(Row[1], Count)) {
-        ++R.RowsSkipped;
+        R.RowsSkipped += R.PrefixSalvaged ? Doc.Rows.size() - I : 1;
         addIssue(R, ProfileError::MalformedCell, I + 1, "bad count cell");
+        if (R.PrefixSalvaged)
+          break;
         continue;
       }
       AnyCount = true;
@@ -273,6 +321,11 @@ CodeProfile CodeProfile::fromCsv(const std::string &Text,
     P.Counts.push_back(Count);
     ++R.RowsKept;
   }
+  // A CRC-mismatched sampled file that salvaged clean to its last row
+  // still lost *something* (the CRC said so): account at least one row so
+  // the aggregator classifies the member as salvaged, not accepted.
+  if (R.PrefixSalvaged && R.RowsSkipped == 0)
+    R.RowsSkipped = 1;
   if (!AnyCount)
     P.Counts.clear(); // No count evidence: keep the legacy shape.
   meterProfileLoad("code", R);
@@ -339,6 +392,11 @@ void nimg::replayThreadPrefix(const Program &P, TraceMode Mode,
     if (tracerec::isCuEnter(W)) {
       for (OrderingAnalysis *A : Analyses)
         A->onCuEnter(tracerec::cuRoot(W));
+      continue;
+    }
+    if (tracerec::isSample(W)) {
+      for (OrderingAnalysis *A : Analyses)
+        A->onSample(tracerec::sampleMethod(W), tracerec::sampleRoot(W));
       continue;
     }
     if (!tracerec::isPath(W))
@@ -424,6 +482,31 @@ class MethodFirstSeen : public OrderingAnalysis {
 public:
   void onMethodEnter(MethodId M) override { Ids.note(M); }
   FirstSeen<MethodId> Ids;
+};
+
+/// Sampled-capture collectors: order by earliest sample, count hits. The
+/// CU-granularity form keys on the sample's CU root, the method form on
+/// the sampled method itself.
+class SampleCuFirstSeen : public OrderingAnalysis {
+public:
+  void onSample(MethodId M, MethodId Root) override {
+    (void)M;
+    Ids.note(Root);
+    ++Counts[Root];
+  }
+  FirstSeen<MethodId> Ids;
+  std::unordered_map<MethodId, uint64_t> Counts;
+};
+
+class SampleMethodFirstSeen : public OrderingAnalysis {
+public:
+  void onSample(MethodId M, MethodId Root) override {
+    (void)Root;
+    Ids.note(M);
+    ++Counts[M];
+  }
+  FirstSeen<MethodId> Ids;
+  std::unordered_map<MethodId, uint64_t> Counts;
 };
 
 class EntryFirstSeen : public OrderingAnalysis {
@@ -579,6 +662,85 @@ CodeProfile nimg::analyzeMethodOrder(const Program &P,
   if (Stats)
     *Stats = Local;
   return Out;
+}
+
+namespace {
+
+/// Shared body of the two sampled rank reconstructions: per-thread
+/// first-sample orders merged in thread-creation order (earliest sample
+/// wins), hit counts merged by summation — a deterministic function of
+/// the capture, independent of --jobs, exactly like analyzeCuOrder.
+template <typename Visitor>
+CodeProfile analyzeSampledWith(const Program &P, const TraceCapture &Capture,
+                               TraceMode OutMode, const char *Stage,
+                               SalvageStats *Stats) {
+  CodeProfile Out;
+  Out.Header.Mode = OutMode;
+  Out.Header.Capture = CaptureKind::Sampled;
+  Out.Header.SamplePeriod = Capture.Options.SamplePeriod;
+  if (Capture.Options.Mode != TraceMode::Sampled) {
+    reportModeMismatch(Stats);
+    return Out;
+  }
+  if (captureEncoded(Capture)) {
+    size_t Cut = 0;
+    TraceCapture Decoded = decodeCapture(Capture, &Cut);
+    Out = analyzeSampledWith<Visitor>(P, Decoded, OutMode, Stage, Stats);
+    if (Stats)
+      Stats->IncompleteTailRecords += Cut;
+    return Out;
+  }
+  PathGraphCache Paths(P); // Unused for sample records; required by scan.
+  SalvageStats Local;
+  std::vector<size_t> Prefix = scanCapture(P, Capture, Paths, Local);
+
+  std::vector<std::pair<std::vector<MethodId>,
+                        std::unordered_map<MethodId, uint64_t>>>
+      PerThread = parallelMap(Capture.Threads.size(), 1, Stage,
+                              [&](size_t T) {
+                                Visitor A;
+                                LocalPathCache LocalPaths(Paths);
+                                replayThreadPrefix(P, Capture.Options.Mode,
+                                                   Capture.Threads[T].Words,
+                                                   Prefix[T], LocalPaths, {&A});
+                                return std::make_pair(std::move(A.Ids.Order),
+                                                      std::move(A.Counts));
+                              });
+
+  std::vector<MethodId> Order;
+  std::unordered_set<MethodId> Seen;
+  std::unordered_map<MethodId, uint64_t> Totals;
+  for (const auto &[ThreadOrder, ThreadCounts] : PerThread) {
+    for (MethodId M : ThreadOrder)
+      if (Seen.insert(M).second)
+        Order.push_back(M);
+    for (const auto &[M, N] : ThreadCounts)
+      Totals[M] += N;
+  }
+  Out.Sigs = sigsOf(P, Order);
+  Out.Counts.reserve(Order.size());
+  for (MethodId M : Order)
+    Out.Counts.push_back(Totals[M]);
+  Out.Header.CoveragePermille = salvageCoveragePermille(Local);
+  if (Stats)
+    *Stats = Local;
+  return Out;
+}
+
+} // namespace
+
+CodeProfile nimg::analyzeSampledCuOrder(const Program &P,
+                                        const TraceCapture &Capture,
+                                        SalvageStats *Stats) {
+  return analyzeSampledWith<SampleCuFirstSeen>(P, Capture, TraceMode::CuOrder,
+                                               "replay_sample_cu", Stats);
+}
+
+CodeProfile nimg::analyzeSampledMethodOrder(const Program &P,
+                                            const TraceCapture &Capture,
+                                            SalvageStats *Stats) {
+  return analyzeSampledWith<SampleMethodFirstSeen>(
+      P, Capture, TraceMode::MethodOrder, "replay_sample_method", Stats);
 }
 
 std::vector<int32_t> nimg::analyzeHeapAccessOrder(const Program &P,

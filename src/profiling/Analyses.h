@@ -79,6 +79,12 @@ public:
   virtual ~OrderingAnalysis() = default;
   virtual void onCuEnter(MethodId Root) { (void)Root; }
   virtual void onMethodEnter(MethodId M) { (void)M; }
+  /// One periodic sample from a Sampled-mode capture: the method that was
+  /// executing at the sample tick and its enclosing CU root.
+  virtual void onSample(MethodId M, MethodId Root) {
+    (void)M;
+    (void)Root;
+  }
   /// One basic-block visit decoded from a path record (method/heap modes;
   /// consecutive duplicates within one path are collapsed).
   virtual void onBlockVisit(MethodId M, BlockId B) {
@@ -119,6 +125,21 @@ CodeProfile analyzeCuOrder(const Program &P, const TraceCapture &Capture,
 CodeProfile analyzeMethodOrder(const Program &P, const TraceCapture &Capture,
                                PathGraphCache &Paths,
                                SalvageStats *Stats = nullptr);
+
+/// Rank reconstruction from a Sampled-mode capture at CU granularity: CU
+/// roots ordered by their earliest sample (per-thread streams merged in
+/// creation order), counts = sample hits per root. The emitted profile is
+/// stamped Mode=cu with Capture=Sampled and the capture's period, so it
+/// flows through the cu/cluster ingestion paths unchanged.
+CodeProfile analyzeSampledCuOrder(const Program &P, const TraceCapture &Capture,
+                                  SalvageStats *Stats = nullptr);
+
+/// Same reconstruction at method granularity (Mode=method, for
+/// `--code method` builds): methods ordered by earliest sample, counts =
+/// sample hits per method.
+CodeProfile analyzeSampledMethodOrder(const Program &P,
+                                      const TraceCapture &Capture,
+                                      SalvageStats *Stats = nullptr);
 
 /// First-access order of snapshot entries from a HeapOrder-mode capture.
 std::vector<int32_t> analyzeHeapAccessOrder(const Program &P,

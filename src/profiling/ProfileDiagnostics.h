@@ -58,6 +58,8 @@ enum class ProfileError : uint8_t {
                        ///< newest member beyond the allowed window.
   DuplicateMember,     ///< Two members of one capture/merge set carry the
                        ///< same instance name; later ones are dropped.
+  ImplausibleSamplePeriod, ///< A sampled profile whose period metadata is
+                           ///< zero or absurdly coarse; member quarantined.
 };
 
 inline const char *profileErrorName(ProfileError E) {
@@ -94,6 +96,8 @@ inline const char *profileErrorName(ProfileError E) {
     return "stale generation";
   case ProfileError::DuplicateMember:
     return "duplicate member name";
+  case ProfileError::ImplausibleSamplePeriod:
+    return "implausible sample period";
   }
   return "unknown";
 }
@@ -134,6 +138,8 @@ inline const char *profileErrorSlug(ProfileError E) {
     return "stale_generation";
   case ProfileError::DuplicateMember:
     return "duplicate_member";
+  case ProfileError::ImplausibleSamplePeriod:
+    return "implausible_sample_period";
   }
   return "unknown";
 }
@@ -144,6 +150,21 @@ struct ProfileIssue {
   size_t Row = 0; ///< 1-based CSV row; 0 = whole file.
   std::string Detail;
 };
+
+/// How the capture behind a profile was taken. Instrumented captures
+/// record every transition; sampled captures record a periodic sample of
+/// the executing method/CU and reconstruct ranks from hit statistics.
+enum class CaptureKind : uint8_t { Instrumented, Sampled };
+
+inline const char *captureKindName(CaptureKind K) {
+  switch (K) {
+  case CaptureKind::Instrumented:
+    return "instrumented";
+  case CaptureKind::Sampled:
+    return "sampled";
+  }
+  return "unknown";
+}
 
 /// The interchange header of a profile CSV (first row). Fingerprint 0
 /// means "unknown" and disables the staleness check.
@@ -157,8 +178,15 @@ struct ProfileHeader {
   /// members are exempt from the merge staleness check.
   uint64_t Generation = 0;
   /// Salvage coverage of the capture that produced this profile, in
-  /// permille (v2 cell 8). v0/v1 files default to full coverage.
+  /// permille (v2 cell 8). v0/v1 files default to full coverage. Sampled
+  /// profiles carry their coverage *estimate* here (distinct sampled CU
+  /// roots per entered root).
   uint32_t CoveragePermille = 1000;
+  /// Capture strategy (v2 cells 9+10, emitted only for sampled profiles
+  /// so instrumented files stay byte-identical with pre-sampling readers).
+  CaptureKind Capture = CaptureKind::Instrumented;
+  /// Sampled captures: the model-clock period the sampler ran at.
+  uint64_t SamplePeriod = 0;
 };
 
 /// Everything fromCsv() learned while reading one profile file.
@@ -171,6 +199,11 @@ struct ProfileReadReport {
   std::vector<ProfileIssue> Issues;
   size_t RowsKept = 0;
   size_t RowsSkipped = 0;
+  /// Sampled profiles only: the payload CRC did not match but the file
+  /// was recovered as its longest well-formed row prefix (a truncated
+  /// fleet upload). Instrumented profiles never set this — a bad CRC
+  /// there stays Fatal, because every row carries rank information.
+  bool PrefixSalvaged = false;
 
   bool usable() const { return Fatal == ProfileError::None; }
 };

@@ -40,6 +40,7 @@ enum class TraceMode : uint8_t {
   CuOrder,     ///< CU-entry events (Sec. 4.1).
   MethodOrder, ///< Method-entry events via path records (Sec. 4.2).
   HeapOrder,   ///< Object accesses via path records + operands (Sec. 5).
+  Sampled,     ///< Periodic samples of the executing method/CU (BOLT-style).
 };
 
 enum class DumpMode : uint8_t { FlushOnFull, MemoryMapped };
@@ -55,6 +56,20 @@ struct TraceOptions {
   DumpMode Dump = DumpMode::FlushOnFull;
   TraceEncoding Encoding = TraceEncoding::Raw;
   uint32_t BufferWords = 16384;
+  /// Sampled mode only: model-clock instructions between samples. The
+  /// default is the tab_profiling_overhead sweet spot — coarse enough
+  /// that capture cost vanishes, fine enough that the first AWFY startup
+  /// phase still lands dozens of samples.
+  uint64_t SamplePeriod = DefaultSamplePeriod;
+  /// Sampled mode only: clock offset of the first sample. Fleet members
+  /// stagger their phases so a merged set covers more of the period.
+  uint64_t SamplePhase = 0;
+
+  static constexpr uint64_t DefaultSamplePeriod = 2048;
+  /// Periods above this are nonsense metadata (a whole run takes well
+  /// under 2^20 modeled instructions times a few): the aggregator
+  /// quarantines such members (`implausible_sample_period`).
+  static constexpr uint64_t MaxSamplePeriod = 1 << 20;
 };
 
 /// LEB128/zigzag-delta coding of trace words (TraceEncoding::VarintDelta).
@@ -107,6 +122,7 @@ namespace tracerec {
 inline constexpr uint64_t KindMask = 0x7;
 inline constexpr uint64_t KindPath = 0x1;
 inline constexpr uint64_t KindCuEnter = 0x2;
+inline constexpr uint64_t KindSample = 0x3;
 
 inline uint64_t makePath(MethodId M, uint64_t PathId) {
   return KindPath | (PathId << 3) | (uint64_t(uint32_t(M)) << 24);
@@ -114,11 +130,25 @@ inline uint64_t makePath(MethodId M, uint64_t PathId) {
 inline uint64_t makeCuEnter(MethodId Root) {
   return KindCuEnter | (uint64_t(uint32_t(Root)) << 3);
 }
+/// A sample record carries both the executing method and its CU root, so
+/// one sampled capture feeds cu- and method-granularity analyses alike:
+/// method in bits [3,31), root in [31,59), bits [59,64) reserved zero.
+inline uint64_t makeSample(MethodId M, MethodId Root) {
+  return KindSample | ((uint64_t(uint32_t(M)) & 0xfffffff) << 3) |
+         ((uint64_t(uint32_t(Root)) & 0xfffffff) << 31);
+}
 inline bool isPath(uint64_t W) { return (W & KindMask) == KindPath; }
 inline bool isCuEnter(uint64_t W) { return (W & KindMask) == KindCuEnter; }
+inline bool isSample(uint64_t W) { return (W & KindMask) == KindSample; }
 inline uint64_t pathId(uint64_t W) { return (W >> 3) & 0x1fffff; }
 inline MethodId pathMethod(uint64_t W) { return MethodId(W >> 24); }
 inline MethodId cuRoot(uint64_t W) { return MethodId(W >> 3); }
+inline MethodId sampleMethod(uint64_t W) {
+  return MethodId((W >> 3) & 0xfffffff);
+}
+inline MethodId sampleRoot(uint64_t W) {
+  return MethodId((W >> 31) & 0xfffffff);
+}
 
 } // namespace tracerec
 

@@ -28,6 +28,19 @@ size_t scanThread(const Program &P, TraceMode Mode,
       ++I;
       continue;
     }
+    if (Mode == TraceMode::Sampled) {
+      // Sample records: bits [59, 64) are reserved, and both the sampled
+      // method and its CU root must exist in the program.
+      if (!tracerec::isSample(W) || (W >> 59) != 0)
+        return I;
+      MethodId M = tracerec::sampleMethod(W);
+      MethodId Root = tracerec::sampleRoot(W);
+      if (M < 0 || size_t(M) >= P.numMethods() || Root < 0 ||
+          size_t(Root) >= P.numMethods())
+        return I;
+      ++I;
+      continue;
+    }
     // Method/heap traces hold path records: bits [56, 64) are reserved,
     // the method must exist, and the path id must decode in its graph.
     if (!tracerec::isPath(W) || (W >> 56) != 0)

@@ -24,6 +24,10 @@ struct ProbeCosts {
   uint64_t EmitRecord = 6;
   uint64_t Operand = 2;
   uint64_t CuEnter = 4;
+  /// Sampled mode: the only charged cost — reading the interrupted PC and
+  /// appending one sample record. Per-transition probes cost nothing
+  /// because sampled binaries carry no instrumentation.
+  uint64_t SampleRecord = 16;
 
   static ProbeCosts forMode(TraceMode Mode) {
     ProbeCosts C;
@@ -50,6 +54,46 @@ public:
                     !Img.Layout.CuColdOffsets.empty()) {}
 
   size_t storedObjectsTouched() const { return TouchedEntries.size(); }
+
+  uint64_t samplesTaken() const { return Samples; }
+  uint64_t sampleEventsSkipped() const { return SkippedEvents; }
+
+  /// Distinct sampled CU roots per distinct entered root, in permille —
+  /// the coverage estimate a sampled profile header is stamped with.
+  uint32_t sampleCoveragePermille() const {
+    if (EnteredRoots.empty())
+      return 0;
+    return uint32_t(SampledRoots.size() * 1000 / EnteredRoots.size());
+  }
+
+  /// Sampled mode: records one sample of whatever \p Tid is executing
+  /// right now. A thread with no open frame (between methods, or already
+  /// finished) yields no record — real samplers drop such ticks too.
+  void takeSample(uint32_t Tid) {
+    if (!Trace)
+      return;
+    // Drain the novelty buffer first: CU roots first entered since the
+    // previous tick, in entry order — the model analog of an LBR-style
+    // hardware buffer read out at the sampling interrupt. This is what
+    // lets a periodic sampler see one-shot startup code whose whole
+    // lifetime fits between two ticks: the entries cost nothing when they
+    // happen (the production binary carries no probes); the records are
+    // paid for here, once per *distinct* root, bounded by the CU count.
+    for (const SampledFrame &F : PendingNewRoots) {
+      Trace->append(Tid, tracerec::makeSample(F.M, F.Root));
+      Trace->addProbeCost(Costs.SampleRecord);
+      SampledRoots.insert(F.Root);
+      ++Samples;
+    }
+    PendingNewRoots.clear();
+    if (Tid >= SampleStacks.size() || SampleStacks[Tid].empty())
+      return;
+    const SampledFrame &F = SampleStacks[Tid].back();
+    Trace->append(Tid, tracerec::makeSample(F.M, F.Root));
+    Trace->addProbeCost(Costs.SampleRecord);
+    SampledRoots.insert(F.Root);
+    ++Samples;
+  }
 
   void onMethodEnter(uint32_t Tid, const ExecContext &Ctx, MethodId M,
                      bool NewCu) override {
@@ -79,6 +123,18 @@ public:
     if (!Trace)
       return;
     ensureStack(Tid);
+    if (Mode == TraceMode::Sampled) {
+      // No record and no probe cost: the sampler only shadows what the
+      // thread is executing so a sample tick can attribute itself, and
+      // counts the transitions instrumentation would have recorded.
+      ensureSampleStack(Tid);
+      MethodId Root = Ctx.Cu >= 0 ? Img.Code.CUs[size_t(Ctx.Cu)].Root : M;
+      SampleStacks[Tid].push_back({M, Root});
+      if (NewCu && Ctx.Cu >= 0 && EnteredRoots.insert(Root).second)
+        PendingNewRoots.push_back({M, Root});
+      ++SkippedEvents;
+      return;
+    }
     if (Mode == TraceMode::CuOrder) {
       if (NewCu && Ctx.Cu >= 0) {
         Trace->append(Tid,
@@ -93,6 +149,13 @@ public:
   }
 
   void onMethodExit(uint32_t Tid, MethodId M, BlockId Block) override {
+    if (Trace && Mode == TraceMode::Sampled) {
+      if (Tid < SampleStacks.size() && !SampleStacks[Tid].empty() &&
+          SampleStacks[Tid].back().M == M)
+        SampleStacks[Tid].pop_back();
+      ++SkippedEvents;
+      return;
+    }
     if (!Trace || Mode == TraceMode::CuOrder)
       return;
     FrameState *F = frameFor(Tid, M);
@@ -104,7 +167,7 @@ public:
   }
 
   void onCallSite(uint32_t Tid, MethodId Caller, uint32_t SiteId) override {
-    if (!Trace || Mode == TraceMode::CuOrder)
+    if (!Trace || Mode == TraceMode::CuOrder || Mode == TraceMode::Sampled)
       return;
     FrameState *F = frameFor(Tid, Caller);
     if (!F)
@@ -128,7 +191,7 @@ public:
                        CS.Blocks[size_t(To)].Size);
       }
     }
-    if (!Trace || Mode == TraceMode::CuOrder)
+    if (!Trace || Mode == TraceMode::CuOrder || Mode == TraceMode::Sampled)
       return;
     FrameState *F2 = frameFor(Tid, M);
     if (!F2)
@@ -194,9 +257,21 @@ private:
     std::vector<uint64_t> Operands;
   };
 
+  /// What one thread frame looks like to the sampler: enough to attribute
+  /// a tick to a method and its enclosing CU root.
+  struct SampledFrame {
+    MethodId M;
+    MethodId Root;
+  };
+
   void ensureStack(uint32_t Tid) {
     if (Tid >= Stacks.size())
       Stacks.resize(Tid + 1);
+  }
+
+  void ensureSampleStack(uint32_t Tid) {
+    if (Tid >= SampleStacks.size())
+      SampleStacks.resize(Tid + 1);
   }
 
   /// The top frame of \p Tid if it belongs to \p M, else nullptr. Hook
@@ -232,6 +307,17 @@ private:
   bool SplitActive;
   std::vector<std::vector<FrameState>> Stacks;
   std::unordered_set<int32_t> TouchedEntries;
+  // Sampled-mode shadow state (simulator-side only; costs nothing in the
+  // time model — a real sampler walks the interrupted stack instead).
+  std::vector<std::vector<SampledFrame>> SampleStacks;
+  std::unordered_set<MethodId> EnteredRoots;
+  std::unordered_set<MethodId> SampledRoots;
+  /// Roots first entered since the last tick (with the entering method),
+  /// in entry order, drained by takeSample(). Entries after the final
+  /// tick are lost, as in a real sampler.
+  std::vector<SampledFrame> PendingNewRoots;
+  uint64_t Samples = 0;
+  uint64_t SkippedEvents = 0;
 };
 
 } // namespace
@@ -299,6 +385,19 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
       Killed = true; // SIGKILL: stop scheduling, lose unflushed buffers.
   };
 
+  // Sampled captures are driven by the global model clock: scheduling
+  // quanta are clamped so no step crosses a sample boundary, and the tick
+  // is attributed to the thread that was running when the clock hit it —
+  // the same answer at any worker count, since the interpreter itself is
+  // sequential and deterministic.
+  bool Sampling = Cfg.Trace && Cfg.Trace->Mode == TraceMode::Sampled;
+  uint64_t SamplePeriod = 0, NextSampleAt = 0;
+  if (Sampling) {
+    SamplePeriod = Cfg.Trace->SamplePeriod ? Cfg.Trace->SamplePeriod
+                                           : TraceOptions::DefaultSamplePeriod;
+    NextSampleAt = Cfg.Trace->SamplePhase + SamplePeriod;
+  }
+
   // Root thread runs main. Deterministic round-robin scheduling.
   I.spawnThread(P.MainMethod, {});
   bool Progress = true;
@@ -308,7 +407,19 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
     for (uint32_t Tid = 0; Tid < NumThreads && !Killed; ++Tid) {
       if (I.threadFinished(Tid))
         continue;
-      uint64_t Ran = I.step(Tid, Cfg.ThreadQuantum);
+      uint64_t Quantum = Cfg.ThreadQuantum;
+      if (Sampling) {
+        uint64_t Clock = I.instructionsExecuted();
+        if (NextSampleAt > Clock && NextSampleAt - Clock < Quantum)
+          Quantum = NextSampleAt - Clock;
+      }
+      uint64_t Ran = I.step(Tid, Quantum);
+      if (Sampling && Ran > 0) {
+        while (I.instructionsExecuted() >= NextSampleAt) {
+          Hooks.takeSample(Tid);
+          NextSampleAt += SamplePeriod;
+        }
+      }
       if (Ran > 0)
         Progress = true;
       if (I.threadTrapped(Tid)) {
@@ -344,6 +455,12 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
   Stats.StoredObjectsTotal = Img.Snapshot.numStored();
   Stats.TextPages = Paging.pageStates(ImageSection::Text);
   Stats.HeapPages = Paging.pageStates(ImageSection::HeapSec);
+  if (Sampling) {
+    Stats.SamplesTaken = Hooks.samplesTaken();
+    Stats.SampleEventsSkipped = Hooks.sampleEventsSkipped();
+    Stats.SampleCoveragePermille = Hooks.sampleCoveragePermille();
+    Stats.SamplePeriod = SamplePeriod;
+  }
   Stats.TimeNs = Cfg.Cost.BaseNs +
                  double(Stats.Instructions) * Cfg.Cost.InstrNs +
                  double(Stats.ProbeUnits) * Cfg.Cost.ProbeUnitNs +
@@ -353,6 +470,13 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
     NIMG_COUNTER_ADD("nimg.split.faults.cold", Stats.TextColdFaults);
     NIMG_COUNTER_ADD("nimg.split.faults.hot",
                      Stats.TextFaults - Stats.TextColdFaults);
+  }
+  if (Sampling) {
+    NIMG_COUNTER_ADD("nimg.sample.runs", 1);
+    NIMG_COUNTER_ADD("nimg.sample.taken", Stats.SamplesTaken);
+    NIMG_COUNTER_ADD("nimg.sample.skipped_events", Stats.SampleEventsSkipped);
+    NIMG_HIST_RECORD("nimg.sample.coverage_permille",
+                     Stats.SampleCoveragePermille);
   }
   NIMG_HIST_RECORD("nimg.run.faults.total", Stats.totalFaults());
   NIMG_HIST_RECORD("nimg.run.instructions", Stats.Instructions);

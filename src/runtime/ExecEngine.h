@@ -97,6 +97,17 @@ struct RunStats {
   /// Page-state maps for the Fig. 6 visualization.
   std::vector<PageState> TextPages;
   std::vector<PageState> HeapPages;
+  /// Sampled-mode capture accounting (all zero for instrumented runs).
+  /// SamplesTaken counts emitted sample records; SampleEventsSkipped counts
+  /// the method-enter/CU-enter transitions the sampler deliberately did
+  /// not record (the events an instrumented capture would have paid for).
+  uint64_t SamplesTaken = 0;
+  uint64_t SampleEventsSkipped = 0;
+  /// Distinct sampled CU roots per distinct entered CU root, in permille —
+  /// the run-side coverage estimate stamped into sampled profile headers.
+  uint32_t SampleCoveragePermille = 0;
+  /// Effective period the sampler ran at (0 for instrumented runs).
+  uint64_t SamplePeriod = 0;
 
   uint64_t totalFaults() const { return TextFaults + HeapFaults; }
 };

@@ -88,6 +88,7 @@ bool FaultInjector::applyMemberFault(std::string &Text, MemberFault Kind,
   case MemberFault::StaleGeneration:
   case MemberFault::DriftSkew:
   case MemberFault::CoverageCollapse:
+  case MemberFault::AbsurdPeriod:
     break;
   }
   // Semantic faults: re-shape a parsed copy and re-emit with a fresh CRC,
@@ -117,6 +118,17 @@ bool FaultInjector::applyMemberFault(std::string &Text, MemberFault Kind,
   }
   case MemberFault::CoverageCollapse:
     P.Header.CoveragePermille = uint32_t(Rng.nextBelow(100));
+    break;
+  case MemberFault::AbsurdPeriod:
+    // A sampler that lost its period config: the member claims to be a
+    // sampled capture ticking either never (0) or so rarely the capture
+    // cannot have seen anything (beyond MaxSamplePeriod). Either stamp
+    // must quarantine as implausible_sample_period.
+    P.Header.Capture = CaptureKind::Sampled;
+    P.Header.SamplePeriod = (Rng.next() & 1)
+                                ? 0
+                                : TraceOptions::MaxSamplePeriod + 1 +
+                                      Rng.nextBelow(1u << 10);
     break;
   case MemberFault::TruncateCsv:
   case MemberFault::BitFlipCsv:

@@ -39,12 +39,14 @@ enum class MemberFault : uint8_t {
   StaleGeneration,  ///< Ancient capture: generation stamp forced to 1.
   DriftSkew,        ///< Counts of alternating sigs inflated 64x.
   CoverageCollapse, ///< Capture coverage stamp collapsed below any gate.
+  AbsurdPeriod,     ///< Sampled member whose period stamp is nonsense.
 };
 
 inline constexpr MemberFault AllMemberFaults[] = {
     MemberFault::TruncateCsv,     MemberFault::BitFlipCsv,
     MemberFault::VersionSkew,     MemberFault::StaleGeneration,
     MemberFault::DriftSkew,       MemberFault::CoverageCollapse,
+    MemberFault::AbsurdPeriod,
 };
 
 class FaultInjector {

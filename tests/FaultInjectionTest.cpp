@@ -87,7 +87,7 @@ struct Corpus {
   Program P;
   NativeImage InstrImg;
   PathGraphCache Paths;
-  TraceCapture Caps[3]; ///< Indexed by TraceMode.
+  TraceCapture Caps[4]; ///< Indexed by TraceMode (incl. Sampled).
   CollectedProfiles Prof;
   uint64_t Fp = 0;
   std::string BaselineOutput;
@@ -105,10 +105,13 @@ struct Corpus {
     InstrImg = buildNativeImage(P, ICfg);
     EXPECT_FALSE(InstrImg.Built.Failed) << InstrImg.Built.FailureMessage;
     for (TraceMode Mode : {TraceMode::CuOrder, TraceMode::MethodOrder,
-                           TraceMode::HeapOrder}) {
+                           TraceMode::HeapOrder, TraceMode::Sampled}) {
       TraceOptions TOpts;
       TOpts.Mode = Mode;
       TOpts.Dump = DumpMode::MemoryMapped;
+      // The workload is small; the default period would tick at most a
+      // couple of times, leaving too few sample words to corrupt.
+      TOpts.SamplePeriod = 128;
       RunConfig RC;
       RC.Trace = &TOpts;
       RunStats S = runImage(InstrImg, RC, &Caps[size_t(Mode)]);
@@ -174,6 +177,14 @@ void runTraceScenario(uint64_t Seed, TraceMode Mode, TraceFault Kind,
     Cfg.HeapProf = &HeapProf;
     break;
   }
+  case TraceMode::Sampled:
+    // A corrupted sampled capture feeds the cu ingestion path, exactly as
+    // a fleet member's damaged upload would.
+    CodeProf = analyzeSampledCuOrder(C.P, Cap, &Stats);
+    CodeProf.Header.Fingerprint = C.Fp;
+    Cfg.CodeOrder = CodeStrategy::CuOrder;
+    Cfg.CodeProf = &CodeProf;
+    break;
   }
 
   // Salvage-stats invariants.
@@ -206,11 +217,11 @@ void runTraceScenario(uint64_t Seed, TraceMode Mode, TraceFault Kind,
 
 } // namespace
 
-// 12 seeds x 3 modes x 3 fault kinds = 108 seeded trace scenarios.
+// 12 seeds x 4 modes x 3 fault kinds = 144 seeded trace scenarios.
 TEST(FaultInjection, TraceFaultMatrixSurvivesOptimizingBuild) {
   for (uint64_t Seed = 1; Seed <= 12; ++Seed)
     for (TraceMode Mode : {TraceMode::CuOrder, TraceMode::MethodOrder,
-                           TraceMode::HeapOrder})
+                           TraceMode::HeapOrder, TraceMode::Sampled})
       for (TraceFault Kind : {TraceFault::TruncateMidRecord,
                               TraceFault::BitFlip, TraceFault::DropThread})
         runTraceScenario(Seed, Mode, Kind, /*AlsoRun=*/Seed % 4 == 0);
@@ -764,6 +775,10 @@ TEST(FaultInjection, MergeMemberFaultMatrixAlwaysBuilds) {
         EXPECT_EQ(R.Status, MergeMemberStatus::Quarantined);
         EXPECT_EQ(R.Reason, ProfileError::CoverageBelowGate);
         break;
+      case MemberFault::AbsurdPeriod:
+        EXPECT_EQ(R.Status, MergeMemberStatus::Quarantined);
+        EXPECT_EQ(R.Reason, ProfileError::ImplausibleSamplePeriod);
+        break;
       case MemberFault::TruncateCsv:
       case MemberFault::BitFlipCsv:
         // Where the mechanical damage lands picks the reason (BadHeader,
@@ -872,12 +887,12 @@ TEST(FaultInjection, AllCorruptMembersFallBackAndStillBuild) {
   // and would survive, which is not the ladder bottom this test wants.
   const MemberFault Kinds[] = {
       MemberFault::TruncateCsv, MemberFault::VersionSkew,
-      MemberFault::CoverageCollapse};
+      MemberFault::CoverageCollapse, MemberFault::AbsurdPeriod};
   FaultInjector Inj(7);
   std::vector<MemberProfile> Members;
   for (size_t I = 0; I < 8; ++I) {
     std::string Text = stampedCuCsv(C, 100 + I);
-    ASSERT_TRUE(Inj.applyMemberFault(Text, Kinds[I % 3], 107));
+    ASSERT_TRUE(Inj.applyMemberFault(Text, Kinds[I % 4], 107));
     Members.push_back(loadMemberProfile("inst" + std::to_string(I), Text));
   }
   BuildConfig Cfg;
@@ -925,4 +940,60 @@ TEST(FaultInjection, MidWriteKillLeavesPreviousProfileIngestible) {
   EXPECT_EQ(R.Manifest.Outcome, MergeOutcome::BestSingle);
   EXPECT_EQ(R.Manifest.Members[0].Status, MergeMemberStatus::Accepted);
   fs::remove(Path);
+}
+
+// A sampled upload cut off mid-payload (the uploader died between row
+// writes) is not thrown away: the CRC mismatch downgrades to a row-prefix
+// salvage, and the surviving prefix still rides along in a sampled fleet
+// merge that drives a completed build.
+TEST(FaultInjection, TruncatedSampledUploadSalvagesToUsablePrefix) {
+  Corpus &C = corpus();
+  CodeProfile Samp =
+      analyzeSampledCuOrder(C.P, C.Caps[size_t(TraceMode::Sampled)]);
+  ASSERT_EQ(Samp.LoadError, ProfileError::None);
+  ASSERT_GT(Samp.Sigs.size(), 1u);
+  Samp.Header.Fingerprint = C.Fp;
+  auto StampedCsv = [&](uint64_t Gen) {
+    CodeProfile P = Samp;
+    P.Header.Generation = Gen;
+    return P.toCsv();
+  };
+
+  // Cut away the final payload row: the header CRC no longer matches, but
+  // every surviving row is intact.
+  std::string Cut = StampedCsv(107);
+  size_t LastRow = Cut.rfind('\n', Cut.size() - 2);
+  ASSERT_NE(LastRow, std::string::npos);
+  Cut.resize(LastRow + 1);
+
+  MemberProfile Victim = loadMemberProfile("inst7", Cut);
+  EXPECT_EQ(Victim.Profile.LoadError, ProfileError::None);
+  EXPECT_TRUE(Victim.Read.usable());
+  EXPECT_TRUE(Victim.Read.PrefixSalvaged);
+  EXPECT_EQ(Victim.Profile.Sigs.size(), Samp.Sigs.size() - 1);
+
+  std::vector<MemberProfile> Members;
+  for (size_t I = 0; I < 7; ++I)
+    Members.push_back(
+        loadMemberProfile("inst" + std::to_string(I), StampedCsv(100 + I)));
+  Members.push_back(Victim);
+
+  BuildConfig Cfg;
+  Cfg.Seed = 3;
+  Cfg.CodeOrder = CodeStrategy::CuOrder;
+  Cfg.CodeMembers = &Members;
+  NativeImage Img = buildNativeImage(C.P, Cfg);
+  ASSERT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+
+  const MergeManifest &M = Img.ProfileDiag.Merge;
+  ASSERT_EQ(M.Members.size(), 8u);
+  EXPECT_EQ(M.Outcome, MergeOutcome::Merged);
+  EXPECT_EQ(M.Members[7].Status, MergeMemberStatus::Salvaged);
+  EXPECT_EQ(M.Members[7].Reason, ProfileError::ChecksumMismatch);
+  EXPECT_TRUE(Img.ProfileDiag.CodeProfileApplied);
+
+  // The salvaged-prefix image still runs the workload to baseline output.
+  RunStats S = runImage(Img, RunConfig());
+  EXPECT_FALSE(S.Trapped) << S.TrapMessage;
+  EXPECT_EQ(S.Output, C.BaselineOutput);
 }

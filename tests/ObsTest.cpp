@@ -409,6 +409,39 @@ TEST(StartupReport, CsvRoundTripCarriesTheSameCounts) {
             std::string::npos);
 }
 
+TEST(StartupReport, ZeroSampleCaptureSectionIsValidJson) {
+  // A sampled run can legitimately take zero samples (period longer than
+  // the run, or every tick landing between frames). The capture section
+  // must still be well-formed JSON with zero counts — including the
+  // overhead ratio, whose denominator can be zero here.
+  RunStats S;
+  S.SamplePeriod = 2048;
+  S.SamplesTaken = 0;
+  S.SampleEventsSkipped = 0;
+  S.SampleCoveragePermille = 0;
+  S.TimeNs = 0;
+
+  StartupReport Report;
+  Report.Command = "profile";
+  Report.setRun(S);
+
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Report.toJson(), V, &Error)) << Error;
+  EXPECT_EQ(V.at("capture.mode")->Str, "sampled");
+  EXPECT_EQ(uint64_t(numAt(V, "capture.sample_period")), 2048u);
+  EXPECT_EQ(uint64_t(numAt(V, "capture.samples_taken")), 0u);
+  EXPECT_EQ(numAt(V, "capture.overhead_permille"), 0.0);
+
+  // An instrumented run (period 0) must not emit the section at all.
+  RunStats Instr;
+  StartupReport Plain;
+  Plain.Command = "run";
+  Plain.setRun(Instr);
+  ASSERT_TRUE(parseJson(Plain.toJson(), V, &Error)) << Error;
+  EXPECT_EQ(V.at("capture"), nullptr);
+}
+
 TEST(StartupReport, DegradedBuildReportStaysValid) {
   ReportEnv E;
   // A garbage profile with a valid-looking header magic forces the

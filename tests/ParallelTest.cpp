@@ -318,6 +318,70 @@ TEST(ParallelPipelineTest, JobsOneAndEightAreByteIdentical) {
   EXPECT_EQ(One.MergedImageBytes, Eight.MergedImageBytes);
 }
 
+/// Sampled-capture analog of PipelineArtifacts: the capture itself (as
+/// its cu profile CSV), the staggered member set, and the sampled-merged
+/// image bytes.
+struct SampledArtifacts {
+  std::string CuCsv, MethodCsv;
+  std::vector<std::string> MemberCsvs;
+  std::vector<uint8_t> MergedImageBytes;
+};
+
+SampledArtifacts runSampledPipeline(int Jobs) {
+  setJobs(Jobs);
+  SampledArtifacts Art;
+
+  Program P;
+  std::vector<std::string> Errors;
+  if (!compileSources({kSpawnWorkload}, P, Errors)) {
+    for (const std::string &E : Errors)
+      ADD_FAILURE() << E;
+    return Art;
+  }
+
+  BuildConfig ProfCfg;
+  ProfCfg.Seed = 1001;
+  ProfCfg.ProfileCapture = CaptureKind::Sampled;
+  ProfCfg.SamplePeriod = 512;
+  CollectedProfiles Prof = collectProfiles(P, ProfCfg, RunConfig());
+  EXPECT_GT(Prof.CuRun.SamplesTaken, 0u);
+  Art.CuCsv = Prof.Cu.toCsv();
+  Art.MethodCsv = Prof.Method.toCsv();
+
+  BuildConfig SetCfg = ProfCfg;
+  SetCfg.ProfileGeneration = 100;
+  std::vector<MemberProfile> Members =
+      collectProfileSet(P, SetCfg, RunConfig(), {"a", "b", "c"});
+  EXPECT_EQ(Members.size(), 3u);
+  for (const MemberProfile &M : Members)
+    Art.MemberCsvs.push_back(M.Profile.toCsv());
+
+  BuildConfig Opt;
+  Opt.Seed = 7;
+  Opt.CodeOrder = CodeStrategy::CuOrder;
+  Opt.CodeMembers = &Members;
+  NativeImage Img = buildNativeImage(P, Opt);
+  EXPECT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+  EXPECT_TRUE(Img.ProfileDiag.CodeProfileApplied);
+  Art.MergedImageBytes = serializeImage(P, Img);
+  return Art;
+}
+
+TEST(ParallelPipelineTest, SampledCaptureIsWorkerCountInvariant) {
+  // The sample stream is driven by the sequential interpreter's model
+  // clock, so the capture — and everything built from it — must be
+  // byte-identical at any --jobs.
+  SampledArtifacts One = runSampledPipeline(1);
+  for (int Jobs : {2, 5, 8}) {
+    SampledArtifacts J = runSampledPipeline(Jobs);
+    EXPECT_EQ(One.CuCsv, J.CuCsv) << "jobs=" << Jobs;
+    EXPECT_EQ(One.MethodCsv, J.MethodCsv) << "jobs=" << Jobs;
+    EXPECT_EQ(One.MemberCsvs, J.MemberCsvs) << "jobs=" << Jobs;
+    EXPECT_EQ(One.MergedImageBytes, J.MergedImageBytes) << "jobs=" << Jobs;
+  }
+  setJobs(0);
+}
+
 TEST(ParallelPipelineTest, IntermediateJobCountsMatchToo) {
   // 1 vs 8 is the headline contract; 2 and 5 cover uneven chunk shapes
   // (5 workers over small ranges produce ragged final chunks).
