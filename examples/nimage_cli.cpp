@@ -7,7 +7,7 @@
 //
 //   nimage_cli build  <bench|file.mj> [--out image.nimg] [--seed N]
 //                     [--code cu|method|cluster] [--heap inc|struct|path]
-//                     [--split none|hotcold]
+//                     [--split none|hotcold] [--blocks none|exttsp]
 //   nimage_cli run    <bench|file.mj> [--image image.nimg] [--warm]
 //   nimage_cli profile <bench|file.mj> [--dir profiles/] [--cluster-budget B]
 //
@@ -119,7 +119,8 @@ int usage() {
                "  nimage_cli build   <target> [--out F] [--seed N] "
                "[--profiles DIR|a.csv,b.csv,...] [--profile-dir DIR] "
                "[--code cu|method|cluster] "
-               "[--heap inc|struct|path] [--split none|hotcold]\n"
+               "[--heap inc|struct|path] [--split none|hotcold] "
+               "[--blocks none|exttsp]\n"
                "  nimage_cli run     <target> [--image F] [--warm]\n"
                "  nimage_cli profile <target> [--dir DIR] "
                "[--generation N] [--cluster-budget BYTES]\n"
@@ -146,6 +147,13 @@ int usage() {
                "                     (default: NIMG_JOBS env, then hardware "
                "concurrency; output is\n"
                "                     byte-identical for any N)\n"
+               "block layout (build):\n"
+               "  --blocks exttsp    reorder blocks inside each split CU's "
+               "hot fragment by the\n"
+               "  ext-TSP objective, driven by DIR/edges.csv (written by "
+               "'profile'); needs\n"
+               "  --split hotcold. Missing/unusable edge counts keep block "
+               "index order.\n"
                "observability (any command):\n"
                "  --metrics          print the metrics registry on exit\n"
                "  --trace-out FILE   write Chrome trace-event JSON spans\n"
@@ -244,6 +252,7 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
             writeFile(Dir + "/method.csv", Prof.Method.toCsv()) &&
             writeFile(Dir + "/cluster.csv", Prof.Cluster.toCsv()) &&
             writeFile(Dir + "/blocks.csv", Prof.Blocks.toCsv()) &&
+            writeFile(Dir + "/edges.csv", Prof.Edges.toCsv()) &&
             writeFile(Dir + "/heap_inc.csv", Prof.IncrementalId.toCsv()) &&
             writeFile(Dir + "/heap_struct.csv", Prof.StructuralHash.toCsv()) &&
             writeFile(Dir + "/heap_path.csv", Prof.HeapPath.toCsv());
@@ -252,7 +261,7 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
     return 1;
   }
   std::printf("wrote ordering profiles to %s/{cu,method,cluster,blocks,"
-              "heap_inc,heap_struct,heap_path}.csv\n",
+              "edges,heap_inc,heap_struct,heap_path}.csv\n",
               Dir.c_str());
   std::printf("  cu entries: %zu, methods: %zu, heap objects: %zu\n",
               Prof.Cu.Sigs.size(), Prof.Method.Sigs.size(),
@@ -422,6 +431,39 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
       return 2;
     }
   }
+  EdgeProfile EdgeProf;
+  if (const char *Blocks = flagValue(Argc, Argv, "--blocks")) {
+    if (std::strcmp(Blocks, "exttsp") == 0) {
+      if (Cfg.Split != SplitMode::HotCold) {
+        std::fprintf(stderr,
+                     "error: --blocks exttsp needs --split hotcold (it "
+                     "reorders within hot fragments)\n");
+        return 2;
+      }
+      Cfg.SplitOpts.Blocks = BlockOrderMode::ExtTsp;
+      std::string File = Dir + "/edges.csv";
+      std::string Csv;
+      if (readFile(File, Csv)) {
+        ProfileReadReport Report;
+        EdgeProf = EdgeProfile::fromCsv(Csv, &Report);
+        Cfg.EdgeProf = &EdgeProf;
+        if (Report.RowsSkipped > 0)
+          std::fprintf(stderr, "warning: %s: skipped %zu malformed row(s)\n",
+                       File.c_str(), Report.RowsSkipped);
+      } else {
+        // A missing edge profile is not fatal: hot fragments keep block
+        // index order and insufficient_edge_profile is recorded.
+        std::fprintf(stderr,
+                     "warning: missing profile %s; keeping block index "
+                     "order (run 'profile' first)\n",
+                     File.c_str());
+      }
+    } else if (std::strcmp(Blocks, "none") != 0) {
+      std::fprintf(stderr, "error: --blocks expects none|exttsp, got '%s'\n",
+                   Blocks);
+      return 2;
+    }
+  }
 
   NativeImage Img = buildNativeImage(*P, Cfg);
 
@@ -442,6 +484,9 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
   if (Cfg.Split == SplitMode::HotCold)
     Report.Variant += (Report.Variant.empty() ? "" : " ") +
                       std::string("split=hotcold");
+  if (Cfg.SplitOpts.Blocks == BlockOrderMode::ExtTsp)
+    Report.Variant += (Report.Variant.empty() ? "" : " ") +
+                      std::string("blocks=exttsp");
   Report.setImage(Img);
 
   if (Img.Built.Failed) {
@@ -466,6 +511,16 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
                 Img.Split.SplitCus, Img.Split.DegradedCus,
                 (unsigned long long)Img.Layout.ColdTailSize,
                 (unsigned long long)Img.Split.StubBytes);
+  if (Img.Split.ExtTsp.Requested) {
+    const ExtTspSummary &T = Img.Split.ExtTsp;
+    std::printf("  blocks: exttsp reordered %u CU(s), %u degraded, %llu "
+                "chain merge(s), score %+.1f%%\n",
+                T.ReorderedCus, T.DegradedCus,
+                (unsigned long long)T.ChainMerges,
+                T.ScoreBefore > 0
+                    ? 100.0 * (T.ScoreAfter - T.ScoreBefore) / T.ScoreBefore
+                    : 0.0);
+  }
   if (Img.ProfileDiag.Merge.attempted()) {
     const MergeManifest &M = Img.ProfileDiag.Merge;
     std::printf("  merge: %s — %zu member(s): %zu accepted, %zu "

@@ -1,0 +1,197 @@
+//===- ExtTsp.cpp - Ext-TSP basic-block ordering --------------------------===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ordering/ExtTsp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+using namespace nimg;
+
+namespace {
+
+/// Credit of one edge given the source's end offset and the target's
+/// start offset in a linear layout.
+double edgeCredit(uint64_t SrcEnd, uint64_t DstStart,
+                  const ExtTspOptions &Opts) {
+  if (DstStart == SrcEnd)
+    return Opts.FallthroughWeight;
+  if (DstStart > SrcEnd) {
+    uint64_t D = DstStart - SrcEnd;
+    if (D < Opts.ForwardWindow)
+      return Opts.JumpWeight * (1.0 - double(D) / double(Opts.ForwardWindow));
+    return 0.0;
+  }
+  uint64_t D = SrcEnd - DstStart;
+  if (D < Opts.BackwardWindow)
+    return Opts.JumpWeight * (1.0 - double(D) / double(Opts.BackwardWindow));
+  return 0.0;
+}
+
+/// Aggregates raw edges: drops self-edges, out-of-range endpoints and
+/// zero weights; sums duplicates. Sorted by (From, To) so everything
+/// downstream iterates deterministically.
+std::vector<ExtTspEdge> cleanEdges(size_t N,
+                                   const std::vector<ExtTspEdge> &Edges) {
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> Agg;
+  for (const ExtTspEdge &E : Edges) {
+    if (E.From == E.To || E.From >= N || E.To >= N || E.Weight == 0)
+      continue;
+    Agg[{E.From, E.To}] += E.Weight;
+  }
+  std::vector<ExtTspEdge> Out;
+  Out.reserve(Agg.size());
+  for (const auto &[Key, W] : Agg)
+    Out.push_back({Key.first, Key.second, W});
+  return Out;
+}
+
+/// One growing chain of blocks. Offsets are the per-block start offsets
+/// within the chain; Bytes is the chain's total size.
+struct Chain {
+  std::vector<uint32_t> Blocks;
+  uint64_t Bytes = 0;
+  bool Alive = true;
+};
+
+} // namespace
+
+double nimg::extTspScore(const std::vector<uint32_t> &Order,
+                         const std::vector<uint32_t> &Sizes,
+                         const std::vector<ExtTspEdge> &Edges,
+                         const ExtTspOptions &Opts) {
+  assert(Order.size() == Sizes.size() && "order must cover every block");
+  std::vector<uint64_t> Start(Sizes.size(), 0);
+  uint64_t Cur = 0;
+  for (uint32_t B : Order) {
+    Start[B] = Cur;
+    Cur += Sizes[B];
+  }
+  double Score = 0;
+  for (const ExtTspEdge &E : Edges) {
+    if (E.From == E.To || E.From >= Sizes.size() || E.To >= Sizes.size())
+      continue;
+    Score += double(E.Weight) *
+             edgeCredit(Start[E.From] + Sizes[E.From], Start[E.To], Opts);
+  }
+  return Score;
+}
+
+ExtTspResult nimg::extTspOrder(const std::vector<uint32_t> &Sizes,
+                               const std::vector<ExtTspEdge> &Edges,
+                               const ExtTspOptions &Opts) {
+  const size_t N = Sizes.size();
+  ExtTspResult R;
+  R.Order.resize(N);
+  std::iota(R.Order.begin(), R.Order.end(), 0);
+  R.IdentityScore = extTspScore(R.Order, Sizes, Edges, Opts);
+  R.Score = R.IdentityScore;
+  R.KeptIdentity = true;
+
+  // A 2-block fragment has only one order with the entry pinned, and a
+  // pathologically huge fragment is not worth the quadratic pass (real
+  // hot fragments are tens of blocks).
+  std::vector<ExtTspEdge> Work = cleanEdges(N, Edges);
+  if (N < 3 || N > 4096 || Work.empty())
+    return R;
+
+  // Every block starts as its own chain; chain id == initial block index.
+  std::vector<Chain> Chains(N);
+  std::vector<uint32_t> ChainOf(N), OffsetIn(N, 0);
+  for (uint32_t B = 0; B < N; ++B) {
+    Chains[B].Blocks = {B};
+    Chains[B].Bytes = Sizes[B];
+    ChainOf[B] = B;
+  }
+  size_t Merges = 0;
+
+  // Greedy: each round scores every ordered chain pair (A then B) that at
+  // least one edge crosses, by the credit its crossing edges would earn if
+  // B were appended after A. Merge the best positive pair; stop when no
+  // pair gains. Edges within a chain keep their relative offsets under
+  // concatenation, so the crossing credit IS the score delta.
+  while (true) {
+    std::map<std::pair<uint32_t, uint32_t>, double> Gain;
+    for (const ExtTspEdge &E : Work) {
+      uint32_t CF = ChainOf[E.From], CT = ChainOf[E.To];
+      if (CF == CT)
+        continue;
+      // A = chain of From, B = chain of To: the edge runs forward across
+      // the junction (or falls through when From ends A and To starts B).
+      {
+        uint64_t SrcEnd = OffsetIn[E.From] + Sizes[E.From];
+        uint64_t DstStart = Chains[CF].Bytes + OffsetIn[E.To];
+        double C = edgeCredit(SrcEnd, DstStart, Opts);
+        if (C > 0)
+          Gain[{CF, CT}] += double(E.Weight) * C;
+      }
+      // A = chain of To, B = chain of From: the edge jumps backward.
+      {
+        uint64_t SrcEnd = Chains[CT].Bytes + OffsetIn[E.From] + Sizes[E.From];
+        uint64_t DstStart = OffsetIn[E.To];
+        double C = edgeCredit(SrcEnd, DstStart, Opts);
+        if (C > 0)
+          Gain[{CT, CF}] += double(E.Weight) * C;
+      }
+    }
+
+    // Deterministic argmax: the std::map iterates pairs in ascending
+    // (A, B), so equal gains resolve to the smallest pair.
+    double Best = 0;
+    std::pair<uint32_t, uint32_t> BestPair{0, 0};
+    for (const auto &[Pair, G] : Gain) {
+      if (Pair.second == ChainOf[0]) // Nothing may precede the entry chain.
+        continue;
+      if (G > Best) {
+        Best = G;
+        BestPair = Pair;
+      }
+    }
+    if (Best <= 0)
+      break;
+
+    Chain &A = Chains[BestPair.first];
+    Chain &B = Chains[BestPair.second];
+    for (uint32_t Blk : B.Blocks) {
+      ChainOf[Blk] = BestPair.first;
+      OffsetIn[Blk] += A.Bytes;
+    }
+    A.Blocks.insert(A.Blocks.end(), B.Blocks.begin(), B.Blocks.end());
+    A.Bytes += B.Bytes;
+    B.Blocks.clear();
+    B.Bytes = 0;
+    B.Alive = false;
+    ++Merges;
+  }
+
+  // Final order: the entry chain first, then surviving chains by their
+  // head block's index.
+  std::vector<uint32_t> Candidate;
+  Candidate.reserve(N);
+  uint32_t EntryChain = ChainOf[0];
+  Candidate.insert(Candidate.end(), Chains[EntryChain].Blocks.begin(),
+                   Chains[EntryChain].Blocks.end());
+  for (uint32_t C = 0; C < N; ++C)
+    if (C != EntryChain && Chains[C].Alive)
+      Candidate.insert(Candidate.end(), Chains[C].Blocks.begin(),
+                       Chains[C].Blocks.end());
+  assert(Candidate.size() == N && Candidate[0] == 0 &&
+         "chain concatenation must be an entry-first permutation");
+
+  // Safety net: never emit an order the objective does not strictly
+  // prefer over leaving the blocks alone.
+  double CandidateScore = extTspScore(Candidate, Sizes, Edges, Opts);
+  if (CandidateScore > R.IdentityScore) {
+    R.Order = std::move(Candidate);
+    R.Score = CandidateScore;
+    R.ChainMerges = Merges;
+    R.KeptIdentity = false;
+  }
+  return R;
+}

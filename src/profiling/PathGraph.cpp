@@ -350,8 +350,17 @@ uint64_t PathGraph::retEmitAdd(BlockId Block) const {
 
 PathEvents PathGraph::decode(uint64_t PathId) const {
   PathEvents Events;
+  decodeInto(PathId, Events);
+  return Events;
+}
+
+void PathGraph::decodeInto(uint64_t PathId, PathEvents &Events) const {
+  Events.MethodEntry = false;
+  Events.Sites.clear();
+  Events.OperandCount = 0;
+  Events.Blocks.clear();
   if (PathId >= TotalPaths || EntryEdges.empty())
-    return Events;
+    return;
 
   // Pick the entry edge with the largest value <= PathId.
   uint64_t Remaining = PathId;
@@ -385,5 +394,4 @@ PathEvents PathGraph::decode(uint64_t PathId) const {
     Remaining -= Edge->second;
     Cur = Edge->first;
   }
-  return Events;
 }

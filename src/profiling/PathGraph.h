@@ -86,6 +86,11 @@ public:
   /// out-of-range id returns empty events rather than asserting.
   PathEvents decode(uint64_t PathId) const;
 
+  /// Scratch-reusing variant of decode(): clears and refills \p Events in
+  /// place, so a replay loop decoding one record per trace word keeps one
+  /// PathEvents per worker instead of reallocating its vectors per record.
+  void decodeInto(uint64_t PathId, PathEvents &Events) const;
+
 private:
   PathGraph() = default;
 

@@ -1,0 +1,185 @@
+//===- ExtTspTest.cpp - Ext-TSP block reordering properties ----------------===//
+//
+// Property tests for the ext-TSP solver (src/ordering/ExtTsp.h) on random
+// CFGs — the emitted order is always a permutation with the entry block
+// first and never scores below block index order — plus build-level
+// determinism: an ext-TSP image is byte-identical at any --jobs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Builder.h"
+#include "src/image/ImageFile.h"
+#include "src/lang/Compile.h"
+#include "src/ordering/ExtTsp.h"
+#include "src/support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+using namespace nimg;
+
+namespace {
+
+/// One random CFG: block sizes plus weighted edges. Edge endpoints may
+/// repeat and include self-loops/out-of-range targets on purpose — the
+/// solver must sanitize, not trust.
+struct RandomCfg {
+  std::vector<uint32_t> Sizes;
+  std::vector<ExtTspEdge> Edges;
+};
+
+RandomCfg makeCfg(std::mt19937 &Rng) {
+  RandomCfg C;
+  std::uniform_int_distribution<uint32_t> NumBlocks(3, 40);
+  std::uniform_int_distribution<uint32_t> BlockSize(4, 96);
+  uint32_t N = NumBlocks(Rng);
+  C.Sizes.resize(N);
+  for (uint32_t &S : C.Sizes)
+    S = BlockSize(Rng);
+  std::uniform_int_distribution<uint32_t> NumEdges(0, 3 * N);
+  std::uniform_int_distribution<uint32_t> Endpoint(0, N + 1); // incl. bad
+  std::uniform_int_distribution<uint64_t> Weight(0, 1000);    // incl. zero
+  uint32_t E = NumEdges(Rng);
+  for (uint32_t I = 0; I < E; ++I)
+    C.Edges.push_back({Endpoint(Rng), Endpoint(Rng), Weight(Rng)});
+  return C;
+}
+
+TEST(ExtTspTest, EmittedOrderIsEntryFirstPermutationScoringAtLeastIdentity) {
+  std::mt19937 Rng(20250809);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    SCOPED_TRACE(::testing::Message() << "trial=" << Trial);
+    RandomCfg C = makeCfg(Rng);
+    ExtTspResult R = extTspOrder(C.Sizes, C.Edges);
+
+    // Permutation bijection over [0, N) with the entry block first.
+    ASSERT_EQ(R.Order.size(), C.Sizes.size());
+    ASSERT_FALSE(R.Order.empty());
+    EXPECT_EQ(R.Order[0], 0u);
+    std::vector<uint32_t> Sorted = R.Order;
+    std::sort(Sorted.begin(), Sorted.end());
+    std::vector<uint32_t> Iota(C.Sizes.size());
+    std::iota(Iota.begin(), Iota.end(), 0u);
+    EXPECT_EQ(Sorted, Iota);
+
+    // The emitted order never loses to block index order, and the
+    // reported scores match an independent re-evaluation.
+    EXPECT_GE(R.Score, R.IdentityScore);
+    EXPECT_DOUBLE_EQ(R.Score, extTspScore(R.Order, C.Sizes, C.Edges));
+    EXPECT_DOUBLE_EQ(R.IdentityScore, extTspScore(Iota, C.Sizes, C.Edges));
+    if (R.KeptIdentity)
+      EXPECT_EQ(R.Order, Iota);
+    else
+      EXPECT_GT(R.Score, R.IdentityScore);
+  }
+}
+
+TEST(ExtTspTest, SolverIsDeterministic) {
+  std::mt19937 Rng(7);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    RandomCfg C = makeCfg(Rng);
+    ExtTspResult A = extTspOrder(C.Sizes, C.Edges);
+    // Shuffling the edge list must not change the result: the solver
+    // aggregates into a canonical form before chaining.
+    std::shuffle(C.Edges.begin(), C.Edges.end(), Rng);
+    ExtTspResult B = extTspOrder(C.Sizes, C.Edges);
+    EXPECT_EQ(A.Order, B.Order) << "trial=" << Trial;
+    EXPECT_DOUBLE_EQ(A.Score, B.Score) << "trial=" << Trial;
+    EXPECT_EQ(A.ChainMerges, B.ChainMerges) << "trial=" << Trial;
+  }
+}
+
+TEST(ExtTspTest, DiamondCfgChainsTheHotPath) {
+  // 0 -> 1 (hot) / 0 -> 2 (cold), both -> 3. Index order interposes the
+  // cold block between the hot edge's endpoints; ext-TSP moves it out so
+  // 0->1 and 1->3 fall through.
+  std::vector<uint32_t> Sizes = {16, 16, 600, 16};
+  std::vector<ExtTspEdge> Edges = {
+      {0, 1, 1000}, {0, 2, 1}, {1, 3, 1000}, {2, 3, 1}};
+  ExtTspResult R = extTspOrder(Sizes, Edges);
+  EXPECT_FALSE(R.KeptIdentity);
+  std::vector<uint32_t> Want = {0, 1, 3, 2};
+  EXPECT_EQ(R.Order, Want);
+  EXPECT_GT(R.Score, R.IdentityScore);
+}
+
+TEST(ExtTspTest, DegenerateCfgsKeepIdentity) {
+  // Too small to benefit, or nothing to steer by — identity, not a crash.
+  EXPECT_TRUE(extTspOrder({}, {}).KeptIdentity);
+  EXPECT_TRUE(extTspOrder({8}, {}).KeptIdentity);
+  EXPECT_TRUE(extTspOrder({8, 8}, {{0, 1, 5}}).KeptIdentity);
+  EXPECT_TRUE(extTspOrder({8, 8, 8}, {}).KeptIdentity);
+  // Self-loops and out-of-range endpoints are dropped, leaving nothing.
+  EXPECT_TRUE(extTspOrder({8, 8, 8}, {{1, 1, 9}, {7, 2, 9}}).KeptIdentity);
+}
+
+//===----------------------------------------------------------------------===//
+// Build-level determinism: --blocks exttsp at any --jobs.
+//===----------------------------------------------------------------------===//
+
+const char *kBranchyWorkload = R"(
+class Main {
+  static int classify(int x) {
+    if (x % 15 == 0) { return 3; }
+    if (x % 3 == 0) { return 1; }
+    if (x % 5 == 0) { return 2; }
+    return 0;
+  }
+  static int main() {
+    int[] tally = new int[4];
+    for (int i = 1; i <= 200; i = i + 1) {
+      tally[classify(i)] = tally[classify(i)] + 1;
+    }
+    Sys.print("tally: " + tally[0] + " " + tally[1] + " " + tally[2] + " "
+              + tally[3]);
+    return tally[0];
+  }
+}
+)";
+
+std::vector<uint8_t> buildExtTspImage(int Jobs, std::string *EdgesCsv) {
+  setJobs(Jobs);
+  Program P;
+  std::vector<std::string> Errors;
+  if (!compileSources({kBranchyWorkload}, P, Errors)) {
+    for (const std::string &E : Errors)
+      ADD_FAILURE() << E;
+    return {};
+  }
+  BuildConfig ProfCfg;
+  ProfCfg.Seed = 1001;
+  CollectedProfiles Prof = collectProfiles(P, ProfCfg, RunConfig());
+  if (EdgesCsv)
+    *EdgesCsv = Prof.Edges.toCsv();
+
+  BuildConfig Cfg;
+  Cfg.Seed = 5;
+  Cfg.CodeOrder = CodeStrategy::MethodOrder;
+  Cfg.CodeProf = &Prof.Method;
+  Cfg.Split = SplitMode::HotCold;
+  Cfg.SplitOpts.Blocks = BlockOrderMode::ExtTsp;
+  Cfg.BlockProf = &Prof.Blocks;
+  Cfg.EdgeProf = &Prof.Edges;
+  NativeImage Img = buildNativeImage(P, Cfg);
+  EXPECT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+  EXPECT_TRUE(Img.Split.ExtTsp.Requested);
+  return serializeImage(P, Img);
+}
+
+TEST(ExtTspTest, BuildIsByteIdenticalAtAnyJobs) {
+  std::string EdgesOne;
+  std::vector<uint8_t> One = buildExtTspImage(1, &EdgesOne);
+  ASSERT_FALSE(One.empty());
+  for (int Jobs : {2, 5, 8}) {
+    std::string EdgesJ;
+    std::vector<uint8_t> J = buildExtTspImage(Jobs, &EdgesJ);
+    EXPECT_EQ(EdgesOne, EdgesJ) << "jobs=" << Jobs;
+    EXPECT_EQ(One, J) << "jobs=" << Jobs;
+  }
+  setJobs(0);
+}
+
+} // namespace
