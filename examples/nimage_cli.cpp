@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "src/core/Builder.h"
+#include "src/fleet/FleetSim.h"
 #include "src/image/ImageFile.h"
 #include "src/lang/Compile.h"
 #include "src/obs/Metrics.h"
@@ -122,10 +123,26 @@ int usage() {
                "[--heap inc|struct|path] [--split none|hotcold] "
                "[--blocks none|exttsp]\n"
                "  nimage_cli run     <target> [--image F] [--warm]\n"
+               "                     [--fleet N] "
+               "[--arrivals uniform|poisson|storm]\n"
+               "                     [--arrival-window-ns W] [--fleet-seed S] "
+               "[--storm-bursts B]\n"
+               "                     [--cache-pages C]\n"
                "  nimage_cli profile <target> [--dir DIR] "
                "[--generation N] [--cluster-budget BYTES]\n"
                "                     [--profile-mode instrumented|sampled] "
                "[--sample-period N]\n"
+               "fleet simulation (run):\n"
+               "  --fleet N          simulate N concurrent instances sharing "
+               "a fork/COW page\n"
+               "                     cache (cold-start storm); --arrivals "
+               "picks the arrival\n"
+               "                     distribution over --arrival-window-ns "
+               "(default storm),\n"
+               "                     --cache-pages caps the shared cache "
+               "(FIFO eviction, 0 =\n"
+               "                     unlimited), --fleet-seed drives the "
+               "traffic generator\n"
                "profiling:\n"
                "  --profile-mode sampled records periodic samples of the "
                "executing method/CU\n"
@@ -587,6 +604,103 @@ int cmdRun(const std::string &Target, int Argc, char **Argv) {
   }
   RunConfig Run;
   Run.ColdCache = !hasFlag(Argc, Argv, "--warm");
+
+  if (const char *Fleet = flagValue(Argc, Argv, "--fleet")) {
+    long long N = std::atoll(Fleet);
+    if (N <= 0) {
+      std::fprintf(stderr,
+                   "error: --fleet expects an instance count >= 1, got "
+                   "'%s'\n",
+                   Fleet);
+      return 2;
+    }
+    FleetConfig FC;
+    FC.Instances = uint32_t(N);
+    if (const char *Arrivals = flagValue(Argc, Argv, "--arrivals")) {
+      if (!parseArrivalKind(Arrivals, FC.Arrivals)) {
+        std::fprintf(stderr,
+                     "error: --arrivals expects uniform|poisson|storm, got "
+                     "'%s'\n",
+                     Arrivals);
+        return 2;
+      }
+    }
+    if (const char *Window = flagValue(Argc, Argv, "--arrival-window-ns")) {
+      double W = std::atof(Window);
+      if (W < 0) {
+        std::fprintf(stderr,
+                     "error: --arrival-window-ns expects a window >= 0, got "
+                     "'%s'\n",
+                     Window);
+        return 2;
+      }
+      FC.ArrivalWindowNs = W;
+    }
+    if (const char *Seed = flagValue(Argc, Argv, "--fleet-seed"))
+      FC.Seed = std::strtoull(Seed, nullptr, 10);
+    if (const char *Bursts = flagValue(Argc, Argv, "--storm-bursts")) {
+      long long B = std::atoll(Bursts);
+      if (B <= 0) {
+        std::fprintf(stderr,
+                     "error: --storm-bursts expects a burst count >= 1, got "
+                     "'%s'\n",
+                     Bursts);
+        return 2;
+      }
+      FC.StormBursts = uint32_t(B);
+    }
+    if (const char *Cache = flagValue(Argc, Argv, "--cache-pages")) {
+      long long C = std::atoll(Cache);
+      if (C < 0) {
+        std::fprintf(stderr,
+                     "error: --cache-pages expects a page count >= 0 "
+                     "(0 = unlimited), got '%s'\n",
+                     Cache);
+        return 2;
+      }
+      FC.CachePages = uint64_t(C);
+    }
+
+    RunStats Ref;
+    FleetResult FR = runFleet(Img, Run, FC, &Ref);
+    std::fputs(Ref.Output.c_str(), stdout);
+
+    obs::StartupReport Report;
+    Report.Target = Target;
+    Report.Command = "run";
+    Report.setJobs(currentJobs());
+    Report.Variant = std::string("fleet=") + std::to_string(FC.Instances) +
+                     " arrivals=" + arrivalKindName(FC.Arrivals);
+    Report.setRun(Ref);
+    Report.setImage(Img);
+    Report.setFleet(FR, FC);
+    if (!emitReport(Report, Argc, Argv))
+      return 1;
+
+    if (Ref.Trapped) {
+      std::fprintf(stderr, "trap: %s\n", Ref.TrapMessage.c_str());
+      return 1;
+    }
+    std::printf("[fleet] %u instance(s), %s arrivals over %.2f ms, cache "
+                "%llu page(s)%s\n",
+                FC.Instances, arrivalKindName(FC.Arrivals),
+                FC.ArrivalWindowNs / 1e6,
+                (unsigned long long)FC.CachePages,
+                FC.CachePages == 0 ? " (unlimited)" : "");
+    std::printf("[fleet] cold start p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, "
+                "mean %.2f ms (single run %.2f ms)\n",
+                FR.P50Ns / 1e6, FR.P90Ns / 1e6, FR.P99Ns / 1e6,
+                FR.MeanNs / 1e6, FR.ReferenceTimeNs / 1e6);
+    std::printf("[fleet] %llu major fault(s) over %llu unique page(s), "
+                "%llu warm hit(s) (%.1f%% warm), %llu eviction(s)\n",
+                (unsigned long long)FR.TotalMajors,
+                (unsigned long long)FR.UniquePages,
+                (unsigned long long)FR.TotalWarmHits,
+                FR.warmHitRatio() * 100.0,
+                (unsigned long long)FR.Evictions);
+    return 0;
+  }
+
   RunStats S = runImage(Img, Run);
   std::fputs(S.Output.c_str(), stdout);
 

@@ -1,0 +1,63 @@
+//===- FleetCache.cpp - Shared fork/COW page cache --------------------------===//
+
+#include "src/fleet/FleetCache.h"
+
+#include <cassert>
+
+using namespace nimg;
+
+FleetPageCache::FleetPageCache(uint64_t TextSize, uint64_t HeapSize,
+                               const PagingConfig &Config,
+                               uint64_t CapacityPages)
+    : Sim(TextSize, HeapSize, Config), Capacity(CapacityPages) {
+  if (Capacity != 0 && Capacity < Config.ReadaheadPages)
+    Capacity = Config.ReadaheadPages;
+  EverFaulted[0].assign(Sim.pageStates(ImageSection::Text).size(), false);
+  EverFaulted[1].assign(Sim.pageStates(ImageSection::HeapSec).size(), false);
+}
+
+FleetTouch FleetPageCache::touchPage(ImageSection Sec, uint64_t Page) {
+  const std::vector<PageState> &States = Sim.pageStates(Sec);
+  if (Page >= States.size())
+    return FleetTouch::WarmHit; // Out of range: free, like PagingSim::touch.
+  if (States[size_t(Page)] != PageState::Untouched) {
+    // Already in the shared cache (faulted or readahead by an earlier
+    // instance): minor fault only.
+    ++WarmHits;
+    return FleetTouch::WarmHit;
+  }
+
+  // Fleet-wide cold: a real major through the simulator, which pulls the
+  // aligned readahead cluster in exactly as a single run would. Snapshot
+  // which cluster pages were cold first so the FIFO mirrors the page-in
+  // order (faulting page, then cluster pages ascending).
+  const PagingConfig &Cfg = Sim.config();
+  uint64_t ClusterStart =
+      Page / Cfg.ReadaheadPages * Cfg.ReadaheadPages;
+  uint64_t ClusterEnd = ClusterStart + Cfg.ReadaheadPages;
+  if (ClusterEnd > States.size())
+    ClusterEnd = States.size();
+  Fifo.emplace_back(Sec, Page);
+  for (uint64_t Ahead = ClusterStart; Ahead < ClusterEnd; ++Ahead)
+    if (Ahead != Page && States[size_t(Ahead)] == PageState::Untouched)
+      Fifo.emplace_back(Sec, Ahead);
+  Sim.touch(Sec, Page * Cfg.PageSize, 1);
+  if (!EverFaulted[size_t(Sec)][size_t(Page)]) {
+    EverFaulted[size_t(Sec)][size_t(Page)] = true;
+    ++UniquePages;
+  }
+
+  if (Capacity != 0) {
+    while (Fifo.size() > Capacity) {
+      auto [ESec, EPage] = Fifo.front();
+      Fifo.pop_front();
+      // Invariant: the FIFO holds exactly the resident pages, each once,
+      // so eviction always succeeds.
+      bool Evicted = Sim.evictPage(ESec, EPage);
+      assert(Evicted && "fleet FIFO desynced from the resident set");
+      (void)Evicted;
+      ++Evictions;
+    }
+  }
+  return FleetTouch::Major;
+}

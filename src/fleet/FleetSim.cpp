@@ -1,0 +1,149 @@
+//===- FleetSim.cpp - Fleet serving simulator -------------------------------===//
+
+#include "src/fleet/FleetSim.h"
+
+#include "src/fleet/FleetCache.h"
+#include "src/obs/Metrics.h"
+#include "src/obs/SpanTracer.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+using namespace nimg;
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double percentile(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Rank = size_t(Q * double(Sorted.size()) + 0.999999);
+  if (Rank == 0)
+    Rank = 1;
+  if (Rank > Sorted.size())
+    Rank = Sorted.size();
+  return Sorted[Rank - 1];
+}
+
+} // namespace
+
+FleetResult nimg::simulateFleet(const RunStats &Reference, uint64_t TextSize,
+                                uint64_t HeapSize, const PagingConfig &Paging,
+                                const CostModel &Cost,
+                                const FleetConfig &Cfg) {
+  FleetResult R;
+  R.ReferenceFaults = Reference.totalFaults();
+  R.ReferenceTimeNs = Reference.TimeNs;
+  if (Cfg.Instances == 0)
+    return R;
+
+  // The shared demand-fault trace: WasFault first-touches of the reference
+  // run, in program order. Touches the reference got from its own
+  // readahead are dropped here — every instance's private readahead covers
+  // them identically, at no additional device or mapping cost.
+  std::vector<std::pair<ImageSection, uint64_t>> DemandPages;
+  std::vector<uint64_t> DemandClocks;
+  for (const PageTouch &T : Reference.Touches) {
+    if (!T.WasFault)
+      continue;
+    DemandPages.emplace_back(T.Sec, T.Page);
+    DemandClocks.push_back(T.Clock);
+  }
+
+  TrafficConfig Traffic;
+  Traffic.Kind = Cfg.Arrivals;
+  Traffic.Instances = Cfg.Instances;
+  Traffic.WindowNs = Cfg.ArrivalWindowNs;
+  Traffic.Seed = Cfg.Seed;
+  Traffic.StormBursts = Cfg.StormBursts;
+  std::vector<double> Arrivals = generateArrivals(Traffic);
+
+  FleetPageCache Cache(TextSize, HeapSize, Paging, Cfg.CachePages);
+  double MajorNs = Cost.majorFaultNs(Paging.PageSize);
+  // Everything after the last demand fault: remaining instructions plus
+  // any probe overhead, identical for every instance.
+  double TailNs = Cost.BaseNs + double(Reference.Instructions) * Cost.InstrNs +
+                  double(Reference.ProbeUnits) * Cost.ProbeUnitNs;
+
+  R.Instances.resize(Cfg.Instances);
+  std::vector<size_t> NextEvent(Cfg.Instances, 0);
+  std::vector<double> FaultAccumNs(Cfg.Instances, 0.0);
+
+  // Min-heap of (absolute model time of the instance's next demand fault,
+  // instance id). Ties break by instance id — fully deterministic.
+  using Ev = std::pair<double, uint32_t>;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> Queue;
+  auto eventTime = [&](uint32_t Inst) {
+    return Arrivals[Inst] + Cost.BaseNs +
+           double(DemandClocks[NextEvent[Inst]]) * Cost.InstrNs +
+           FaultAccumNs[Inst];
+  };
+  for (uint32_t Inst = 0; Inst < Cfg.Instances; ++Inst) {
+    R.Instances[Inst].ArrivalNs = Arrivals[Inst];
+    if (!DemandPages.empty())
+      Queue.push({eventTime(Inst), Inst});
+  }
+
+  while (!Queue.empty()) {
+    auto [Now, Inst] = Queue.top();
+    (void)Now;
+    Queue.pop();
+    size_t Idx = NextEvent[Inst]++;
+    FleetTouch Outcome =
+        Cache.touchPage(DemandPages[Idx].first, DemandPages[Idx].second);
+    if (Outcome == FleetTouch::Major) {
+      ++R.Instances[Inst].Majors;
+      FaultAccumNs[Inst] += MajorNs;
+    } else {
+      ++R.Instances[Inst].WarmHits;
+      FaultAccumNs[Inst] += Cost.MinorFaultNs;
+    }
+    if (NextEvent[Inst] < DemandPages.size())
+      Queue.push({eventTime(Inst), Inst});
+  }
+
+  std::vector<double> ColdStarts;
+  ColdStarts.reserve(Cfg.Instances);
+  for (uint32_t Inst = 0; Inst < Cfg.Instances; ++Inst) {
+    FleetInstanceStats &S = R.Instances[Inst];
+    S.ColdStartNs = TailNs + FaultAccumNs[Inst];
+    ColdStarts.push_back(S.ColdStartNs);
+    R.MeanNs += S.ColdStartNs;
+  }
+  R.MeanNs /= double(Cfg.Instances);
+  std::sort(ColdStarts.begin(), ColdStarts.end());
+  R.P50Ns = percentile(ColdStarts, 0.50);
+  R.P90Ns = percentile(ColdStarts, 0.90);
+  R.P99Ns = percentile(ColdStarts, 0.99);
+  R.TotalMajors = Cache.majors();
+  R.TotalWarmHits = Cache.warmHits();
+  R.UniquePages = Cache.uniquePages();
+  R.Evictions = Cache.evictions();
+  return R;
+}
+
+FleetResult nimg::runFleet(const NativeImage &Img, const RunConfig &RunCfg,
+                           const FleetConfig &Cfg, RunStats *ReferenceOut) {
+  NIMG_SPAN_NAMED(FleetSpan, "pipeline", "runFleet");
+  RunConfig RefCfg = RunCfg;
+  RefCfg.RecordTouches = true;
+  // The simulation is about cold starts: a warm-cache reference would
+  // record its pre-faulting as demand faults and break the N=1 anchor.
+  RefCfg.ColdCache = true;
+  RunStats Reference = runImage(Img, RefCfg);
+  FleetResult R =
+      simulateFleet(Reference, Img.Layout.TextSize, Img.Layout.HeapSize,
+                    RunCfg.Paging, RunCfg.Cost, Cfg);
+  if (ReferenceOut)
+    *ReferenceOut = std::move(Reference);
+  NIMG_COUNTER_ADD("nimg.fleet.runs", 1);
+  NIMG_COUNTER_ADD("nimg.fleet.instances", Cfg.Instances);
+  NIMG_COUNTER_ADD("nimg.fleet.major_faults", R.TotalMajors);
+  NIMG_COUNTER_ADD("nimg.fleet.warm_hits", R.TotalWarmHits);
+  NIMG_COUNTER_ADD("nimg.fleet.unique_pages", R.UniquePages);
+  NIMG_COUNTER_ADD("nimg.fleet.evictions", R.Evictions);
+  for (const FleetInstanceStats &S : R.Instances)
+    NIMG_HIST_RECORD("nimg.fleet.cold_start_ns", uint64_t(S.ColdStartNs));
+  return R;
+}

@@ -1,0 +1,65 @@
+//===- Traffic.h - Fleet arrival-time generator -----------------*- C++ -*-===//
+//
+// Part of the nimage project, a reproduction of "Improving Native-Image
+// Startup Performance" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic seeded arrival-time generation for the fleet serving
+/// simulator: when does each of the N simulated instances start? Three
+/// profiles cover the regimes layout work is evaluated in at fleet scale:
+/// steady uniform load, memoryless Poisson load, and the cold-start storm
+/// (a deploy or failover wakes a whole burst of instances at once — the
+/// worst case for a shared page cache, and the best case for layout
+/// quality, whose faults are paid once and amortized across the burst).
+///
+/// All times are model nanoseconds on the same clock CostModel converts
+/// simulated work into; all randomness flows from one SplitMix64 seed so
+/// an arrival schedule is a pure function of (kind, N, window, seed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NIMG_FLEET_TRAFFIC_H
+#define NIMG_FLEET_TRAFFIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nimg {
+
+/// Arrival distribution of fleet instances over the arrival window.
+enum class ArrivalKind : uint8_t {
+  Uniform, ///< i.i.d. uniform over the window, sorted ascending.
+  Poisson, ///< Memoryless: exponential inter-arrival times with mean
+           ///< window/N (inverse-CDF over SplitMix64 doubles).
+  Storm,   ///< Burst profile: instances concentrate into a few tight
+           ///< bursts (deploy/failover cold-start storm).
+};
+
+struct TrafficConfig {
+  ArrivalKind Kind = ArrivalKind::Storm;
+  uint32_t Instances = 1;
+  /// Arrival window in model nanoseconds. Uniform arrivals land inside
+  /// it; Poisson arrivals have mean inter-arrival WindowNs/Instances (the
+  /// tail may exceed the window); storm bursts are spread across it.
+  double WindowNs = 1e9;
+  uint64_t Seed = 0x5eedf1ee7ULL;
+  /// Storm only: number of bursts the instances are dealt into
+  /// (round-robin). 1 = everything arrives in one thundering herd.
+  uint32_t StormBursts = 4;
+};
+
+/// Generates one arrival time per instance, in model nanoseconds,
+/// non-decreasing (instance 0 arrives first). Deterministic in the config.
+std::vector<double> generateArrivals(const TrafficConfig &Cfg);
+
+const char *arrivalKindName(ArrivalKind Kind);
+
+/// Parses "uniform" / "poisson" / "storm"; returns false on anything else.
+bool parseArrivalKind(const std::string &Name, ArrivalKind &Out);
+
+} // namespace nimg
+
+#endif // NIMG_FLEET_TRAFFIC_H

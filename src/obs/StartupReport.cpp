@@ -186,6 +186,30 @@ std::string StartupReport::toJson() const {
     W.endObject();
   }
 
+  if (HasFleet) {
+    W.key("fleet");
+    W.beginObject();
+    W.member("instances", uint64_t(FleetCfg.Instances));
+    W.member("arrivals", arrivalKindName(FleetCfg.Arrivals));
+    W.member("arrival_window_ns", FleetCfg.ArrivalWindowNs);
+    W.member("seed", FleetCfg.Seed);
+    if (FleetCfg.Arrivals == ArrivalKind::Storm)
+      W.member("storm_bursts", uint64_t(FleetCfg.StormBursts));
+    W.member("cache_pages", FleetCfg.CachePages);
+    W.member("major_faults", Fleet.TotalMajors);
+    W.member("warm_hits", Fleet.TotalWarmHits);
+    W.member("warm_hit_permille", uint64_t(Fleet.warmHitRatio() * 1000.0));
+    W.member("unique_pages", Fleet.UniquePages);
+    W.member("evictions", Fleet.Evictions);
+    W.member("cold_start_p50_ns", Fleet.P50Ns);
+    W.member("cold_start_p90_ns", Fleet.P90Ns);
+    W.member("cold_start_p99_ns", Fleet.P99Ns);
+    W.member("cold_start_mean_ns", Fleet.MeanNs);
+    W.member("reference_faults", Fleet.ReferenceFaults);
+    W.member("reference_time_ns", Fleet.ReferenceTimeNs);
+    W.endObject();
+  }
+
   if (HasDiag) {
     W.key("profile_diag");
     W.beginObject();
@@ -375,6 +399,30 @@ std::string StartupReport::toCsv() const {
            num(BlocksFallthroughPermilleIndex));
     csvRow(Out, "blocks", "score_uplift_permille",
            std::to_string(BlocksScoreUpliftPermille));
+  }
+
+  if (HasFleet) {
+    csvRow(Out, "fleet", "instances", num(FleetCfg.Instances));
+    csvRow(Out, "fleet", "arrivals", arrivalKindName(FleetCfg.Arrivals));
+    csvRow(Out, "fleet", "arrival_window_ns",
+           std::to_string(FleetCfg.ArrivalWindowNs));
+    csvRow(Out, "fleet", "seed", num(FleetCfg.Seed));
+    if (FleetCfg.Arrivals == ArrivalKind::Storm)
+      csvRow(Out, "fleet", "storm_bursts", num(FleetCfg.StormBursts));
+    csvRow(Out, "fleet", "cache_pages", num(FleetCfg.CachePages));
+    csvRow(Out, "fleet", "major_faults", num(Fleet.TotalMajors));
+    csvRow(Out, "fleet", "warm_hits", num(Fleet.TotalWarmHits));
+    csvRow(Out, "fleet", "warm_hit_permille",
+           num(uint64_t(Fleet.warmHitRatio() * 1000.0)));
+    csvRow(Out, "fleet", "unique_pages", num(Fleet.UniquePages));
+    csvRow(Out, "fleet", "evictions", num(Fleet.Evictions));
+    csvRow(Out, "fleet", "cold_start_p50_ns", std::to_string(Fleet.P50Ns));
+    csvRow(Out, "fleet", "cold_start_p90_ns", std::to_string(Fleet.P90Ns));
+    csvRow(Out, "fleet", "cold_start_p99_ns", std::to_string(Fleet.P99Ns));
+    csvRow(Out, "fleet", "cold_start_mean_ns", std::to_string(Fleet.MeanNs));
+    csvRow(Out, "fleet", "reference_faults", num(Fleet.ReferenceFaults));
+    csvRow(Out, "fleet", "reference_time_ns",
+           std::to_string(Fleet.ReferenceTimeNs));
   }
 
   if (HasDiag) {

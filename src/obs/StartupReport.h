@@ -24,6 +24,7 @@
 #ifndef NIMG_OBS_STARTUPREPORT_H
 #define NIMG_OBS_STARTUPREPORT_H
 
+#include "src/fleet/FleetSim.h"
 #include "src/image/NativeImage.h"
 #include "src/profiling/TraceSalvage.h"
 #include "src/runtime/ExecEngine.h"
@@ -57,6 +58,13 @@ public:
   void setImage(const NativeImage &Img);
   void addSalvage(std::string Phase, const SalvageStats &Stats) {
     Salvage.emplace_back(std::move(Phase), Stats);
+  }
+  /// Fleet serving-simulation summary (`nimage_cli run --fleet N`).
+  void setFleet(const FleetResult &R, const FleetConfig &Cfg) {
+    HasFleet = true;
+    Fleet = R;
+    Fleet.Instances.clear(); // Summary only; per-instance rows stay out.
+    FleetCfg = Cfg;
   }
   /// Appends the global metrics registry snapshot at serialization time.
   void includeMetrics(bool On = true) { WithMetrics = On; }
@@ -107,6 +115,10 @@ private:
   uint64_t BlocksFallthroughPermilleIndex = 0;
   /// Ext-TSP score uplift of the emitted order over index order, permille.
   int64_t BlocksScoreUpliftPermille = 0;
+
+  bool HasFleet = false;
+  FleetResult Fleet;
+  FleetConfig FleetCfg;
 
   bool HasDiag = false;
   ProfileDiagnostics Diag;

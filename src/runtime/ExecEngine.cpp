@@ -338,6 +338,11 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
   Heap RunHeap(*Img.Built.BuildHeap);
 
   PagingSim Paging(Img.Layout.TextSize, Img.Layout.HeapSize, Cfg.Paging);
+  // Fleet reference trace: the clock cell is refreshed once per scheduling
+  // quantum below, so recorded touch clocks carry quantum granularity.
+  uint64_t TouchClock = 0;
+  if (Cfg.RecordTouches)
+    Paging.recordTouches(&Stats.Touches, &TouchClock);
   if (Img.Split.active() && Img.Layout.ColdTailSize > 0)
     Paging.setTextColdRegion(Img.Layout.ColdTailOffset,
                              Img.Layout.ColdTailSize);
@@ -377,10 +382,8 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
       return;
     Stats.Responded = true;
     uint64_t Faults = Paging.totalFaults() - WarmFaultsText - WarmFaultsHeap;
-    Stats.TimeToFirstResponseNs =
-        Cfg.Cost.BaseNs + double(I.instructionsExecuted()) * Cfg.Cost.InstrNs +
-        double(Writer.probeUnits()) * Cfg.Cost.ProbeUnitNs +
-        double(Faults) * Cfg.Cost.FaultNs;
+    Stats.TimeToFirstResponseNs = Cfg.Cost.startupNs(
+        I.instructionsExecuted(), Writer.probeUnits(), Faults);
     if (Cfg.StopAtFirstResponse)
       Killed = true; // SIGKILL: stop scheduling, lose unflushed buffers.
   };
@@ -407,6 +410,7 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
     for (uint32_t Tid = 0; Tid < NumThreads && !Killed; ++Tid) {
       if (I.threadFinished(Tid))
         continue;
+      TouchClock = I.instructionsExecuted();
       uint64_t Quantum = Cfg.ThreadQuantum;
       if (Sampling) {
         uint64_t Clock = I.instructionsExecuted();
@@ -461,10 +465,8 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
     Stats.SampleCoveragePermille = Hooks.sampleCoveragePermille();
     Stats.SamplePeriod = SamplePeriod;
   }
-  Stats.TimeNs = Cfg.Cost.BaseNs +
-                 double(Stats.Instructions) * Cfg.Cost.InstrNs +
-                 double(Stats.ProbeUnits) * Cfg.Cost.ProbeUnitNs +
-                 double(Stats.totalFaults()) * Cfg.Cost.FaultNs;
+  Stats.TimeNs = Cfg.Cost.startupNs(Stats.Instructions, Stats.ProbeUnits,
+                                    Stats.totalFaults());
 
   if (Img.Split.active()) {
     NIMG_COUNTER_ADD("nimg.split.faults.cold", Stats.TextColdFaults);

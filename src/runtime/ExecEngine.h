@@ -23,6 +23,7 @@
 
 #include "src/image/NativeImage.h"
 #include "src/profiling/Trace.h"
+#include "src/runtime/CostModel.h"
 #include "src/runtime/Interpreter.h"
 #include "src/runtime/Paging.h"
 
@@ -52,14 +53,6 @@ private:
   const CompiledProgram &CP;
 };
 
-/// Converts simulated work into nanoseconds.
-struct CostModel {
-  double InstrNs = 1.0;      ///< Per interpreted instruction.
-  double ProbeUnitNs = 1.0;  ///< Per tracing-probe unit.
-  double FaultNs = 80000.0;  ///< SSD major-fault service time (Sec. 7.1).
-  double BaseNs = 250000.0;  ///< exec/mmap/runtime-entry constant.
-};
-
 struct RunConfig {
   /// Cold page cache (caches dropped before the run, Sec. 7.1).
   bool ColdCache = true;
@@ -72,6 +65,10 @@ struct RunConfig {
   CostModel Cost;
   /// Non-null: run with tracing probes enabled (instrumented image).
   const TraceOptions *Trace = nullptr;
+  /// Record the ordered first-touch page trace into RunStats::Touches
+  /// (reference run for the fleet serving simulator). Touch clocks carry
+  /// scheduling-quantum granularity (<= ThreadQuantum instructions).
+  bool RecordTouches = false;
 };
 
 struct RunStats {
@@ -108,6 +105,8 @@ struct RunStats {
   uint32_t SampleCoveragePermille = 0;
   /// Effective period the sampler ran at (0 for instrumented runs).
   uint64_t SamplePeriod = 0;
+  /// Ordered first-touch page trace (only when RunConfig::RecordTouches).
+  std::vector<PageTouch> Touches;
 
   uint64_t totalFaults() const { return TextFaults + HeapFaults; }
 };

@@ -34,6 +34,11 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
   if (Last >= S.size())
     Last = S.size() - 1;
   for (uint64_t Page = First; Page <= Last; ++Page) {
+    if (TouchLog && !Touched[size_t(Section)][size_t(Page)]) {
+      Touched[size_t(Section)][size_t(Page)] = true;
+      TouchLog->push_back({Section, Page, Clock ? *Clock : 0,
+                           S[size_t(Page)] == PageState::Untouched});
+    }
     if (S[size_t(Page)] != PageState::Untouched)
       continue;
     // Major fault: read an aligned readahead cluster from the device.
@@ -62,6 +67,32 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
       }
     }
   }
+}
+
+bool PagingSim::evictPage(ImageSection Section, uint64_t Page) {
+  size_t Sec = size_t(Section);
+  if (Page >= Pages[Sec].size())
+    return false;
+  PageState &P = Pages[Sec][size_t(Page)];
+  if (P == PageState::Untouched)
+    return false;
+  if (P == PageState::Prefetched)
+    --Prefetched;
+  P = PageState::Untouched;
+  // O(1) unlink from the intrusive resident list.
+  int64_t Pr = Prev[Sec][size_t(Page)], Nx = Next[Sec][size_t(Page)];
+  if (Pr != -1)
+    Next[Sec][size_t(Pr)] = Nx;
+  else
+    Head[Sec] = Nx;
+  if (Nx != -1)
+    Prev[Sec][size_t(Nx)] = Pr;
+  else
+    Tail[Sec] = Pr;
+  Prev[Sec][size_t(Page)] = Next[Sec][size_t(Page)] = -1;
+  --Resident[Sec];
+  ++EvictedPages;
+  return true;
 }
 
 void PagingSim::dropCaches() {

@@ -72,6 +72,23 @@ struct PagingCounters {
   }
 };
 
+/// One recorded first-touch event: the first time the running program
+/// touched \p Page of \p Sec (at page granularity; later touches of the
+/// same page are not recorded). \p WasFault distinguishes a demand major
+/// fault from a page that readahead had already brought in — a replay only
+/// has to re-issue the WasFault events to reproduce the run's fault set
+/// exactly, because the readahead clusters they pull in are deterministic.
+/// This is the fleet serving simulator's reference trace.
+struct PageTouch {
+  ImageSection Sec;
+  uint64_t Page;
+  /// Model instruction clock at the touch. The engine updates the clock
+  /// cell once per scheduling quantum, so this carries quantum (not
+  /// per-instruction) granularity.
+  uint64_t Clock;
+  bool WasFault;
+};
+
 /// The page-cache simulator for one image file with two sections.
 class PagingSim {
 public:
@@ -84,6 +101,27 @@ public:
   /// Evicts everything (clean caches and reclaimable objects, Sec. 7.1).
   /// Walks only the resident list — O(resident pages), not O(all pages).
   void dropCaches();
+
+  /// Evicts one resident page (capacity pressure in the fleet page cache).
+  /// Returns false (no-op) when the page is out of range or not resident.
+  /// Unlike dropCaches(), this is a targeted O(1) unlink; a later touch
+  /// re-faults the page as a fresh major.
+  bool evictPage(ImageSection Section, uint64_t Page);
+
+  /// Starts recording first-touch events into \p Log, reading the model
+  /// clock from \p ClockCell at each event (nullptr clock records 0).
+  /// Recording tracks "ever touched by the program" separately from the
+  /// resident state: a prefetched page's first program touch is recorded
+  /// (with WasFault=false) even though it causes no fault. Pass
+  /// Log=nullptr to stop.
+  void recordTouches(std::vector<PageTouch> *Log,
+                     const uint64_t *ClockCell = nullptr) {
+    TouchLog = Log;
+    Clock = ClockCell;
+    if (Log)
+      for (size_t Sec = 0; Sec < 2; ++Sec)
+        Touched[Sec].assign(Pages[Sec].size(), false);
+  }
 
   /// Registers the cold-tail byte range of .text (hot/cold splitting) so
   /// faults can be attributed hot vs cold. Pass Size 0 to clear.
@@ -159,6 +197,10 @@ private:
   uint64_t EvictedPages = 0;
   uint64_t TextColdFaults = 0;
   uint64_t ColdFirstPage = 0, ColdEndPage = 0; ///< Empty when equal.
+  /// First-touch recording (fleet reference trace); inactive when null.
+  std::vector<PageTouch> *TouchLog = nullptr;
+  const uint64_t *Clock = nullptr;
+  std::vector<bool> Touched[2];
 };
 
 } // namespace nimg

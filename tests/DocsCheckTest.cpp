@@ -5,9 +5,11 @@
 // the source (a static NIMG_COUNTER_ADD / NIMG_GAUGE_SET /
 // NIMG_HIST_RECORD literal, a documented dynamic family, or a family
 // prefix of such a literal), and conversely every static metric literal
-// in src/ must be documented in docs/OBSERVABILITY.md. Runs in tier-1
-// under the "docs" ctest label, so a renamed counter fails the build
-// until the reference table follows.
+// in src/ must be documented in docs/OBSERVABILITY.md — as must every
+// startup-report section name (the csvRow section literals in
+// StartupReport.cpp). Runs in tier-1 under the "docs" ctest label, so a
+// renamed counter or a new report section fails the build until the
+// reference table follows.
 //
 //===----------------------------------------------------------------------===//
 
@@ -143,7 +145,7 @@ std::vector<fs::path> docFiles() {
 TEST(DocsCheck, ExpectedDocsExist) {
   fs::path Docs = fs::path(NIMG_SOURCE_DIR) / "docs";
   for (const char *Name :
-       {"ARCHITECTURE.md", "ORDERING.md", "OBSERVABILITY.md"})
+       {"ARCHITECTURE.md", "ORDERING.md", "OBSERVABILITY.md", "FLEET.md"})
     EXPECT_TRUE(fs::is_regular_file(Docs / Name)) << Name;
 }
 
@@ -170,7 +172,39 @@ TEST(DocsCheck, EveryStaticMetricIsDocumented) {
 TEST(DocsCheck, ReadmeLinksTheDocs) {
   std::string Readme = readFile(fs::path(NIMG_SOURCE_DIR) / "README.md");
   for (const char *Link : {"docs/ARCHITECTURE.md", "docs/ORDERING.md",
-                           "docs/OBSERVABILITY.md"})
+                           "docs/OBSERVABILITY.md", "docs/FLEET.md"})
     EXPECT_NE(Readme.find(Link), std::string::npos)
         << "README.md does not link " << Link;
+}
+
+/// The startup report's CSV rows name their section in the first `csvRow`
+/// argument; those section names double as the report's public schema.
+/// Each one (family prefix before any '.') must have a field-group row in
+/// OBSERVABILITY.md of the form "- `<section>` —", so a new report
+/// section fails this test until the reference list follows.
+TEST(DocsCheck, EveryReportSectionIsDocumented) {
+  std::string Src = readFile(fs::path(NIMG_SOURCE_DIR) / "src" / "obs" /
+                             "StartupReport.cpp");
+  std::set<std::string> Sections;
+  const std::string Marker = "csvRow(Out, \"";
+  for (size_t At = Src.find(Marker); At != std::string::npos;
+       At = Src.find(Marker, At + 1)) {
+    size_t Start = At + Marker.size();
+    size_t End = Src.find('"', Start);
+    if (End == std::string::npos)
+      continue;
+    std::string Sec = Src.substr(Start, End - Start);
+    Sec = Sec.substr(0, Sec.find('.'));
+    if (!Sec.empty())
+      Sections.insert(Sec);
+  }
+  ASSERT_GE(Sections.size(), 5u) << "section extraction looks broken";
+
+  std::string Ref = readFile(fs::path(NIMG_SOURCE_DIR) / "docs" /
+                             "OBSERVABILITY.md");
+  for (const std::string &Sec : Sections)
+    EXPECT_NE(Ref.find("- `" + Sec + "` —"), std::string::npos)
+        << "startup-report section '" << Sec
+        << "' is missing its field-group row \"- `" << Sec
+        << "` — ...\" in docs/OBSERVABILITY.md";
 }
