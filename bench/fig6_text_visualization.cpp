@@ -67,7 +67,8 @@ MapSummary printPages(const std::vector<PageState> &Pages,
 }
 
 MapSummary printPageMap(const char *Title, const RunStats &Stats,
-                        const NativeImage *Split = nullptr) {
+                        const NativeImage *Split = nullptr,
+                        uint64_t HugeLane = 0) {
   std::printf("%s\n", Title);
   int64_t Boundary = -1;
   if (Split && Split->Layout.ColdTailSize > 0)
@@ -76,6 +77,22 @@ MapSummary printPageMap(const char *Title, const RunStats &Stats,
   std::printf(".text (%zu pages; # fault, + readahead, . unmapped%s):\n",
               Stats.TextPages.size(),
               Boundary >= 0 ? ", | cold-tail start" : "");
+  if (HugeLane > 0) {
+    // Page-size lane: the map above is indexed in native pages, so one 'H'
+    // cell is a whole 2 MiB page (512 small cells' worth of bytes).
+    std::printf("page sizes (H = 2 MiB, . = 4 KiB):\n");
+    const int Columns = 64;
+    int Col = 0;
+    for (size_t I = 0; I < Stats.TextPages.size(); ++I) {
+      std::putchar(I < HugeLane ? 'H' : '.');
+      if (++Col == Columns) {
+        std::putchar('\n');
+        Col = 0;
+      }
+    }
+    if (Col)
+      std::putchar('\n');
+  }
   MapSummary Sum = printPages(Stats.TextPages, Boundary);
   if (Split) {
     Sum.ColdFaults = Stats.TextColdFaults;
@@ -143,6 +160,17 @@ int main(int Argc, char **Argv) {
       "(c) same, plus --split hotcold (cold tail after '|')", SplitStats,
       &SplitImg);
 
+  // Panel (d): the cu-ordered image with a 2 MiB huge page over the hot
+  // prefix. The first map cell is the whole huge page: every hot fault it
+  // absorbs collapses into one bigger (284.4 us vs 80 us) device read.
+  BuildConfig HugeCfg = CuCfg;
+  HugeCfg.Image.HugePages = 1;
+  NativeImage HugeImg = buildNativeImage(*P, HugeCfg);
+  RunStats HugeStats = runImage(HugeImg, Run);
+  MapSummary HugeSum =
+      printPageMap("(d) same as (b), plus --huge-pages 1 ('H' lane below)",
+                   HugeStats, nullptr, HugeImg.Layout.HugePages);
+
   bool Ok = benchjson::writeBenchJson(
       "BENCH_fig6.json", "fig6", [&](obs::JsonWriter &W) {
         W.member("benchmark", std::string(Spec.Name));
@@ -159,6 +187,10 @@ int main(int Argc, char **Argv) {
         Panel("regular", RegularSum, RegularStats);
         Panel("cu_heap_path", OptimizedSum, OptimizedStats);
         Panel("cu_heap_path_split", SplitSum, SplitStats);
+        Panel("cu_heap_path_huge", HugeSum, HugeStats);
+        W.member("huge_pages", uint64_t(HugeImg.Layout.HugePages));
+        W.member("huge_region_size", HugeImg.Layout.HugeRegionSize);
+        W.member("huge_text_faults", HugeStats.TextHugeFaults);
         W.member("cold_tail_offset", SplitImg.Layout.ColdTailOffset);
         W.member("cold_tail_size", SplitImg.Layout.ColdTailSize);
         W.member("cold_tail_first_run_faults", SplitStats.TextColdFaults);

@@ -114,6 +114,24 @@ bool hasFlag(int Argc, char **Argv, const char *Flag) {
   return false;
 }
 
+/// Parses --huge-pages into \p Cfg (build and profile both consume it: the
+/// layout maps the region, the cluster solver packs against the budget).
+/// Returns false after printing an error for a malformed value.
+bool parseHugePages(int Argc, char **Argv, BuildConfig &Cfg) {
+  const char *Huge = flagValue(Argc, Argv, "--huge-pages");
+  if (!Huge)
+    return true;
+  long long N = std::atoll(Huge);
+  if (N < 0 || N > (1ll << 20)) {
+    std::fprintf(stderr, "error: --huge-pages expects a 2 MiB page count "
+                         ">= 0 (0 = no huge pages), got '%s'\n",
+                 Huge);
+    return false;
+  }
+  Cfg.Image.HugePages = uint32_t(N);
+  return true;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -121,7 +139,7 @@ int usage() {
                "[--profiles DIR|a.csv,b.csv,...] [--profile-dir DIR] "
                "[--code cu|method|cluster] "
                "[--heap inc|struct|path] [--split none|hotcold] "
-               "[--blocks none|exttsp]\n"
+               "[--blocks none|exttsp] [--huge-pages N]\n"
                "  nimage_cli run     <target> [--image F] [--warm]\n"
                "                     [--fleet N] "
                "[--arrivals uniform|poisson|storm]\n"
@@ -129,7 +147,7 @@ int usage() {
                "[--storm-bursts B]\n"
                "                     [--cache-pages C]\n"
                "  nimage_cli profile <target> [--dir DIR] "
-               "[--generation N] [--cluster-budget BYTES]\n"
+               "[--generation N] [--cluster-budget BYTES] [--huge-pages N]\n"
                "                     [--profile-mode instrumented|sampled] "
                "[--sample-period N]\n"
                "fleet simulation (run):\n"
@@ -164,6 +182,17 @@ int usage() {
                "                     (default: NIMG_JOBS env, then hardware "
                "concurrency; output is\n"
                "                     byte-identical for any N)\n"
+               "huge pages (build, profile):\n"
+               "  --huge-pages N     map up to N 2 MiB huge pages at the "
+               "front of .text (pure\n"
+               "                     page-size overlay: 0 is byte-identical "
+               "to omitting the flag).\n"
+               "                     The count clamps to the hot prefix; an "
+               "unfillable remainder\n"
+               "                     records huge_budget_unfillable. In "
+               "'profile' the cluster\n"
+               "                     solver packs the hottest clusters into "
+               "the huge budget.\n"
                "block layout (build):\n"
                "  --blocks exttsp    reorder blocks inside each split CU's "
                "hot fragment by the\n"
@@ -223,6 +252,8 @@ int cmdProfile(const std::string &Target, int Argc, char **Argv) {
     }
     Cfg.ClusterPageBudget = uint32_t(B);
   }
+  if (!parseHugePages(Argc, Argv, Cfg))
+    return 2;
   if (const char *PMode = flagValue(Argc, Argv, "--profile-mode")) {
     if (std::strcmp(PMode, "sampled") == 0) {
       Cfg.ProfileCapture = CaptureKind::Sampled;
@@ -305,6 +336,8 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
   BuildConfig Cfg;
   if (const char *Seed = flagValue(Argc, Argv, "--seed"))
     Cfg.Seed = uint64_t(std::atoll(Seed));
+  if (!parseHugePages(Argc, Argv, Cfg))
+    return 2;
 
   // --profiles keeps its classic meaning for a bare directory (read
   // {cu,method,...}.csv from it). A comma-separated list or a single
@@ -504,6 +537,10 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
   if (Cfg.SplitOpts.Blocks == BlockOrderMode::ExtTsp)
     Report.Variant += (Report.Variant.empty() ? "" : " ") +
                       std::string("blocks=exttsp");
+  if (Cfg.Image.HugePages > 0)
+    Report.Variant += (Report.Variant.empty() ? "" : " ") +
+                      std::string("huge-pages=") +
+                      std::to_string(Cfg.Image.HugePages);
   Report.setImage(Img);
 
   if (Img.Built.Failed) {
@@ -522,6 +559,11 @@ int cmdBuild(const std::string &Target, int Argc, char **Argv) {
               (unsigned long long)(Img.imageBytes() / 1024),
               (unsigned long long)(Img.Layout.TextSize / 1024),
               (unsigned long long)(Img.Layout.HeapSize / 1024));
+  if (Img.Layout.HugePagesRequested > 0)
+    std::printf("  huge pages: %u of %u requested (%llu KiB at 2 MiB "
+                "granularity)\n",
+                Img.Layout.HugePages, Img.Layout.HugePagesRequested,
+                (unsigned long long)(Img.Layout.HugeRegionSize / 1024));
   if (Img.Split.active())
     std::printf("  split: %u CU(s) split, %u degraded, cold tail %llu "
                 "bytes (+%llu stub bytes)\n",

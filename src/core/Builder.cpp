@@ -334,6 +334,30 @@ NativeImage nimg::buildNativeImage(Program &P, const BuildConfig &Cfg) {
         computeImageLayout(P, Img.Code, Img.Snapshot, CuOrder, ObjOrder,
                            Cfg.Image, &Img.Split);
   }
+  // A huge-page budget the hot .text prefix cannot fill degrades typed:
+  // the clamp already happened in the layout, this records why.
+  if (Img.Layout.HugePagesRequested > Img.Layout.HugePages) {
+    addDiag(Img.ProfileDiag, ProfileError::HugeBudgetUnfillable,
+            "hot .text justifies only " +
+                std::to_string(Img.Layout.HugePages) + " of " +
+                std::to_string(Img.Layout.HugePagesRequested) +
+                " requested huge pages; remainder stays on 4 KiB pages");
+    NIMG_COUNTER_ADD_DYN(
+        std::string("nimg.build.profile_rejected.") +
+            profileErrorSlug(ProfileError::HugeBudgetUnfillable),
+        1);
+  }
+  // Multi-size packing is part of the build identity: fold the huge-page
+  // decision into the image's decision fingerprint. Gated on the request
+  // so a zero budget stays byte-identical to a build without the option
+  // (and this runs after the snapshot, so PEA elision — which consumes
+  // the fingerprint state above — is untouched either way).
+  if (Img.Layout.HugePagesRequested > 0)
+    Img.Split.DecisionFingerprint =
+        mix64(mix64(Img.Split.DecisionFingerprint,
+                    uint64_t(Img.Layout.HugePagesRequested)),
+              mix64(uint64_t(Img.Layout.HugePages), Img.Layout.HugeRegionSize));
+
   NIMG_GAUGE_SET("nimg.build.last_text_size", int64_t(Img.Layout.TextSize));
   NIMG_GAUGE_SET("nimg.build.last_heap_size", int64_t(Img.Layout.HeapSize));
   return Img;
@@ -467,6 +491,7 @@ CollectedProfiles nimg::collectProfiles(Program &P,
       NIMG_SPAN("profile", "post.cluster");
       ClusterOptions COpts;
       COpts.PageBudgetBytes = Cfg.ClusterPageBudget;
+      COpts.HugePages = Cfg.Image.HugePages;
       Out.Cluster =
           analyzeClusterOrder(P, CuCap, Img.Code, COpts, nullptr,
                               &Out.ClusterIssues, &Out.ClusterLayoutStats);

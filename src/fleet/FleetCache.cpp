@@ -30,18 +30,17 @@ FleetTouch FleetPageCache::touchPage(ImageSection Sec, uint64_t Page) {
   // Fleet-wide cold: a real major through the simulator, which pulls the
   // aligned readahead cluster in exactly as a single run would. Snapshot
   // which cluster pages were cold first so the FIFO mirrors the page-in
-  // order (faulting page, then cluster pages ascending).
-  const PagingConfig &Cfg = Sim.config();
-  uint64_t ClusterStart =
-      Page / Cfg.ReadaheadPages * Cfg.ReadaheadPages;
-  uint64_t ClusterEnd = ClusterStart + Cfg.ReadaheadPages;
-  if (ClusterEnd > States.size())
-    ClusterEnd = States.size();
+  // order (faulting page, then cluster pages ascending). The cluster and
+  // the byte offset come from the simulator so pages keep their native
+  // size: a huge text page is its own cluster and occupies one FIFO slot,
+  // same as in the per-instance resident list.
+  uint64_t ClusterStart, ClusterEnd;
+  Sim.clusterRange(Sec, Page, ClusterStart, ClusterEnd);
   Fifo.emplace_back(Sec, Page);
   for (uint64_t Ahead = ClusterStart; Ahead < ClusterEnd; ++Ahead)
     if (Ahead != Page && States[size_t(Ahead)] == PageState::Untouched)
       Fifo.emplace_back(Sec, Ahead);
-  Sim.touch(Sec, Page * Cfg.PageSize, 1);
+  Sim.touch(Sec, Sim.pageStartOffset(Sec, Page), 1);
   if (!EverFaulted[size_t(Sec)][size_t(Page)]) {
     EverFaulted[size_t(Sec)][size_t(Page)] = true;
     ++UniquePages;

@@ -60,7 +60,6 @@ FleetResult nimg::simulateFleet(const RunStats &Reference, uint64_t TextSize,
   std::vector<double> Arrivals = generateArrivals(Traffic);
 
   FleetPageCache Cache(TextSize, HeapSize, Paging, Cfg.CachePages);
-  double MajorNs = Cost.majorFaultNs(Paging.PageSize);
   // Everything after the last demand fault: remaining instructions plus
   // any probe overhead, identical for every instance.
   double TailNs = Cost.BaseNs + double(Reference.Instructions) * Cost.InstrNs +
@@ -94,7 +93,14 @@ FleetResult nimg::simulateFleet(const RunStats &Reference, uint64_t TextSize,
         Cache.touchPage(DemandPages[Idx].first, DemandPages[Idx].second);
     if (Outcome == FleetTouch::Major) {
       ++R.Instances[Inst].Majors;
-      FaultAccumNs[Inst] += MajorNs;
+      // Charged at the page's native size: a fault in the huge-page text
+      // region pays the one-seek-plus-bigger-transfer huge service time,
+      // everything else the base-page cost. All service costs are
+      // integer-valued ns, so this per-fault accumulation reproduces the
+      // reference run's multiplied formula exactly (the N=1 anchor).
+      FaultAccumNs[Inst] += Cost.majorFaultNs(
+          Cache.sim().pageSizeBytes(DemandPages[Idx].first,
+                                    DemandPages[Idx].second));
     } else {
       ++R.Instances[Inst].WarmHits;
       FaultAccumNs[Inst] += Cost.MinorFaultNs;
@@ -132,9 +138,16 @@ FleetResult nimg::runFleet(const NativeImage &Img, const RunConfig &RunCfg,
   // record its pre-faulting as demand faults and break the N=1 anchor.
   RefCfg.ColdCache = true;
   RunStats Reference = runImage(Img, RefCfg);
+  // Mirror the engine's paging setup: an image built with a huge-page
+  // budget maps its text region at huge granularity unless the run config
+  // overrides the count — the shared cache must use the same page index
+  // space as the reference run for the N=1 anchor to hold.
+  PagingConfig PC = RunCfg.Paging;
+  if (PC.HugeTextPages == 0)
+    PC.HugeTextPages = Img.Layout.HugePages;
   FleetResult R =
-      simulateFleet(Reference, Img.Layout.TextSize, Img.Layout.HeapSize,
-                    RunCfg.Paging, RunCfg.Cost, Cfg);
+      simulateFleet(Reference, Img.Layout.TextSize, Img.Layout.HeapSize, PC,
+                    RunCfg.Cost, Cfg);
   if (ReferenceOut)
     *ReferenceOut = std::move(Reference);
   NIMG_COUNTER_ADD("nimg.fleet.runs", 1);

@@ -76,8 +76,9 @@ struct FleetResult {
   double P99Ns = 0;
   double MeanNs = 0;
   /// The single-run anchor: the reference run's fault count and modeled
-  /// time. At Instances=1 TotalMajors must equal ReferenceFaults exactly,
-  /// and (at the base page size) P50Ns must equal ReferenceTimeNs.
+  /// time. At Instances=1 TotalMajors must equal ReferenceFaults exactly
+  /// and P50Ns must equal ReferenceTimeNs, at any page-size mix (per-size
+  /// fault charging is byte-exact against the single-run formula).
   uint64_t ReferenceFaults = 0;
   double ReferenceTimeNs = 0;
 

@@ -3,12 +3,17 @@
 #include "src/image/ImageFile.h"
 
 #include "src/heap/BuildHeap.h"
+#include "src/runtime/Paging.h"
 #include "src/support/ByteBuffer.h"
 #include "src/support/Murmur3.h"
 
 using namespace nimg;
 
-static constexpr uint32_t kMagic = 0x314D494Eu; // "NIM1"
+// Format versions, newest written. V2 appends the per-region page-size
+// table (the --huge-pages overlay) after the V1 payload; V1 files remain
+// loadable and read back as all-4 KiB images with a zero huge budget.
+static constexpr uint32_t kMagicV1 = 0x314D494Eu; // "NIM1"
+static constexpr uint32_t kMagicV2 = 0x324D494Eu; // "NIM2"
 
 uint64_t nimg::programFingerprint(const Program &P) {
   ByteBuffer B;
@@ -187,7 +192,7 @@ std::vector<uint8_t> nimg::serializeImage(const Program &P,
                                           const NativeImage &Img) {
   assert(Img.P == &P && "image was built from a different program");
   ByteBuffer B;
-  B.appendU32(kMagic);
+  B.appendU32(kMagicV2);
   B.appendU64(programFingerprint(P));
   B.appendU8(Img.Instrumented ? 1 : 0);
   B.appendU64(Img.Seed);
@@ -308,6 +313,30 @@ std::vector<uint8_t> nimg::serializeImage(const Program &P,
   B.appendU64(Img.Layout.ColdTailOffset);
   B.appendU64(Img.Layout.ColdTailSize);
 
+  // V2: huge-page budget plus the per-region page-size table. The table is
+  // self-describing — each mapped region names its section, byte span, and
+  // page size — so future multi-size policies extend it without another
+  // format break.
+  B.appendU32(Img.Layout.HugePagesRequested);
+  B.appendU32(Img.Layout.HugePages);
+  B.appendU64(Img.Layout.HugeRegionSize);
+  uint32_t NumRegions = Img.Layout.HugeRegionSize > 0 ? 3 : 2;
+  B.appendU32(NumRegions);
+  if (Img.Layout.HugeRegionSize > 0) {
+    B.appendU8(uint8_t(ImageSection::Text));
+    B.appendU64(0);
+    B.appendU64(Img.Layout.HugeRegionSize);
+    B.appendU32(HugePageBytes);
+  }
+  B.appendU8(uint8_t(ImageSection::Text));
+  B.appendU64(Img.Layout.HugeRegionSize);
+  B.appendU64(Img.Layout.TextSize - Img.Layout.HugeRegionSize);
+  B.appendU32(Img.Layout.PageSize);
+  B.appendU8(uint8_t(ImageSection::HeapSec));
+  B.appendU64(0);
+  B.appendU64(Img.Layout.HeapSize);
+  B.appendU32(Img.Layout.PageSize);
+
   return B.bytes();
 }
 
@@ -318,7 +347,8 @@ bool nimg::deserializeImage(Program &P, const std::vector<uint8_t> &Bytes,
   // matches the one the image was built from.
   ensureClassMetaClass(P);
   Cursor C(Bytes, Error);
-  if (C.u32() != kMagic) {
+  uint32_t Magic = C.u32();
+  if (Magic != kMagicV1 && Magic != kMagicV2) {
     Error = "not a nimage file (bad magic)";
     return false;
   }
@@ -498,10 +528,44 @@ bool nimg::deserializeImage(Program &P, const std::vector<uint8_t> &Bytes,
   Out.Layout.ColdTailOffset = C.u64();
   Out.Layout.ColdTailSize = C.u64();
 
+  // V2 tail: huge-page budget + per-region page-size table. A V1 file
+  // simply has none of it — the zero-initialized Layout fields already
+  // mean "all 4 KiB, no huge budget", so old images load unchanged.
+  Out.Layout.HugePagesRequested = 0;
+  Out.Layout.HugePages = 0;
+  Out.Layout.HugeRegionSize = 0;
+  if (Magic == kMagicV2) {
+    Out.Layout.HugePagesRequested = C.u32();
+    Out.Layout.HugePages = C.u32();
+    Out.Layout.HugeRegionSize = C.u64();
+    uint32_t NumRegions = C.u32();
+    uint64_t HugeTableBytes = 0;
+    for (uint32_t I = 0; I < NumRegions && C.ok(); ++I) {
+      uint8_t Sec = C.u8();
+      uint64_t Off = C.u64();
+      uint64_t Size = C.u64();
+      uint32_t PageSz = C.u32();
+      if (Sec > uint8_t(ImageSection::HeapSec) || PageSz == 0 ||
+          PageSz % Out.Layout.PageSize != 0) {
+        C.fail("corrupt page-size table");
+        return false;
+      }
+      if (ImageSection(Sec) == ImageSection::Text && Off == 0 &&
+          PageSz == HugePageBytes)
+        HugeTableBytes = Size;
+    }
+    if (C.ok() && HugeTableBytes != Out.Layout.HugeRegionSize) {
+      Error = "page-size table disagrees with the huge-page region";
+      return false;
+    }
+  }
+
   if (!C.ok())
     return false;
   if (Out.Layout.CuOffsets.size() != Out.Code.CUs.size() ||
       Out.Ids.IncrementalIds.size() != Out.Snapshot.Entries.size() ||
+      Out.Layout.HugeRegionSize > Out.Layout.TextSize ||
+      Out.Layout.HugePages > Out.Layout.HugePagesRequested ||
       (Out.Split.active() &&
        (Out.Split.PerCu.size() != Out.Code.CUs.size() ||
         Out.Layout.CuColdOffsets.size() != Out.Code.CUs.size()))) {

@@ -60,6 +60,23 @@ ImageLayout nimg::computeImageLayout(const Program &P,
   L.NativeTailSize = Opts.NativeTailSize;
   L.TextSize = L.NativeTailOffset + L.NativeTailSize;
 
+  // --- huge-page overlay ---------------------------------------------------
+  // The budget maps the hot .text prefix (everything the code strategies
+  // placed, before the cold tail) at 2 MiB granularity. Clamp to the pages
+  // the hot prefix justifies: huge pages covering only cold-tail or
+  // native-tail bytes would pay the bigger fault for code that never runs
+  // at startup. The region is an overlay — no offset above moved.
+  L.HugePagesRequested = Opts.HugePages;
+  if (Opts.HugePages > 0) {
+    uint64_t HotEnd = Splitting ? L.ColdTailOffset : L.NativeTailOffset;
+    uint64_t Justified = (HotEnd + HugePageBytes - 1) / HugePageBytes;
+    L.HugePages = uint32_t(Opts.HugePages < Justified ? Opts.HugePages
+                                                      : Justified);
+    L.HugeRegionSize = uint64_t(L.HugePages) * HugePageBytes;
+    if (L.HugeRegionSize > L.TextSize)
+      L.HugeRegionSize = L.TextSize;
+  }
+
   // --- .svm_heap --------------------------------------------------------------
   L.StaticsBase.assign(P.numClasses(), 0);
   uint64_t HOff = 0;

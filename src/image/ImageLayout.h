@@ -24,21 +24,31 @@
 #include "src/compiler/Inliner.h"
 #include "src/compiler/Splitter.h"
 #include "src/heap/Snapshot.h"
+#include "src/runtime/CostModel.h"
 
 #include <vector>
 
 namespace nimg {
 
 struct ImageOptions {
-  uint32_t PageSize = 4096;
+  uint32_t PageSize = BasePageBytes;
   uint32_t CuAlignment = 16;
   uint32_t ObjectAlignment = 8;
   /// Bytes of unprofiled statically-linked native code at the end of .text.
   uint64_t NativeTailSize = 192 * 1024;
+  /// `--huge-pages N`: map up to N huge pages (N x 2 MiB) at the front of
+  /// `.text`. The huge-page region is a pure page-size overlay: no byte
+  /// offset of the layout moves, so a zero budget is byte-identical to a
+  /// build without the option. The effective count is clamped to the hot
+  /// `.text` prefix (the profiled/ordered code before the cold and native
+  /// tails) — an unfillable remainder degrades with a typed
+  /// huge_budget_unfillable diagnostic instead of mapping never-touched
+  /// tail bytes at huge granularity.
+  uint32_t HugePages = 0;
 };
 
 struct ImageLayout {
-  uint32_t PageSize = 4096;
+  uint32_t PageSize = BasePageBytes;
 
   // .text ------------------------------------------------------------------
   std::vector<int32_t> CuOrder;    ///< CU indices in placement order.
@@ -54,6 +64,13 @@ struct ImageLayout {
   uint64_t NativeTailOffset = 0;
   uint64_t NativeTailSize = 0;
   uint64_t TextSize = 0;
+  /// Huge-page region at the front of `.text` (--huge-pages): the budget
+  /// as requested, the effective page count after clamping to the hot
+  /// prefix, and the bytes those pages nominally span. Pure overlay — no
+  /// CU offset depends on these.
+  uint32_t HugePagesRequested = 0;
+  uint32_t HugePages = 0;
+  uint64_t HugeRegionSize = 0;
 
   // .svm_heap ---------------------------------------------------------------
   std::vector<uint64_t> StaticsBase; ///< Per class id; offset of its statics.

@@ -49,6 +49,13 @@ void StartupReport::setImage(const NativeImage &Img) {
     ColdTailOffset = Img.Layout.ColdTailOffset;
     ColdTailSize = Img.Layout.ColdTailSize;
   }
+  HasPages = Img.Layout.HugePagesRequested > 0;
+  if (HasPages) {
+    HugePagesRequested = Img.Layout.HugePagesRequested;
+    HugePages = Img.Layout.HugePages;
+    HugeRegionSize = Img.Layout.HugeRegionSize;
+    PageSize = Img.Layout.PageSize;
+  }
   HasBlocks = Img.Split.ExtTsp.Requested;
   if (HasBlocks) {
     const ExtTspSummary &T = Img.Split.ExtTsp;
@@ -183,6 +190,21 @@ std::string StartupReport::toJson() const {
     W.member("fallthrough_permille", BlocksFallthroughPermille);
     W.member("fallthrough_permille_index", BlocksFallthroughPermilleIndex);
     W.member("score_uplift_permille", BlocksScoreUpliftPermille);
+    W.endObject();
+  }
+
+  if (HasPages) {
+    W.key("pages");
+    W.beginObject();
+    W.member("page_size", uint64_t(PageSize));
+    W.member("huge_page_size", uint64_t(HugePageBytes));
+    W.member("huge_pages_requested", uint64_t(HugePagesRequested));
+    W.member("huge_pages", uint64_t(HugePages));
+    W.member("huge_region_size", HugeRegionSize);
+    if (HasRun) {
+      W.member("text_huge_faults", Run.TextHugeFaults);
+      W.member("text_small_faults", Run.TextFaults - Run.TextHugeFaults);
+    }
     W.endObject();
   }
 
@@ -399,6 +421,19 @@ std::string StartupReport::toCsv() const {
            num(BlocksFallthroughPermilleIndex));
     csvRow(Out, "blocks", "score_uplift_permille",
            std::to_string(BlocksScoreUpliftPermille));
+  }
+
+  if (HasPages) {
+    csvRow(Out, "pages", "page_size", num(PageSize));
+    csvRow(Out, "pages", "huge_page_size", num(HugePageBytes));
+    csvRow(Out, "pages", "huge_pages_requested", num(HugePagesRequested));
+    csvRow(Out, "pages", "huge_pages", num(HugePages));
+    csvRow(Out, "pages", "huge_region_size", num(HugeRegionSize));
+    if (HasRun) {
+      csvRow(Out, "pages", "text_huge_faults", num(Run.TextHugeFaults));
+      csvRow(Out, "pages", "text_small_faults",
+             num(Run.TextFaults - Run.TextHugeFaults));
+    }
   }
 
   if (HasFleet) {

@@ -116,6 +116,14 @@ private:
   /// Ext-TSP score uplift of the emitted order over index order, permille.
   int64_t BlocksScoreUpliftPermille = 0;
 
+  /// Multi-size page geometry (present when the image was built with
+  /// --huge-pages, even if the budget was clamped to zero effective pages).
+  bool HasPages = false;
+  uint32_t HugePagesRequested = 0;
+  uint32_t HugePages = 0;
+  uint64_t HugeRegionSize = 0;
+  uint32_t PageSize = 0;
+
   bool HasFleet = false;
   FleetResult Fleet;
   FleetConfig FleetCfg;

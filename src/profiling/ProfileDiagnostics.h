@@ -62,6 +62,10 @@ enum class ProfileError : uint8_t {
                        ///< same instance name; later ones are dropped.
   ImplausibleSamplePeriod, ///< A sampled profile whose period metadata is
                            ///< zero or absurdly coarse; member quarantined.
+  HugeBudgetUnfillable, ///< Profile coverage / hot-prefix size cannot
+                        ///< justify the full --huge-pages budget; the
+                        ///< effective region is clamped, the tail of the
+                        ///< budget stays on base pages.
 };
 
 inline const char *profileErrorName(ProfileError E) {
@@ -102,6 +106,8 @@ inline const char *profileErrorName(ProfileError E) {
     return "duplicate member name";
   case ProfileError::ImplausibleSamplePeriod:
     return "implausible sample period";
+  case ProfileError::HugeBudgetUnfillable:
+    return "huge budget unfillable";
   }
   return "unknown";
 }
@@ -146,6 +152,8 @@ inline const char *profileErrorSlug(ProfileError E) {
     return "duplicate_member";
   case ProfileError::ImplausibleSamplePeriod:
     return "implausible_sample_period";
+  case ProfileError::HugeBudgetUnfillable:
+    return "huge_budget_unfillable";
   }
   return "unknown";
 }

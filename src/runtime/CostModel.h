@@ -22,6 +22,19 @@
 
 namespace nimg {
 
+/// The base (small) page size every section is mapped with by default.
+/// Historically this was a hard-coded 4096 in Paging.h, ImageLayout.h and
+/// the KiB math below; the multi-size paging model needs one source of
+/// truth.
+inline constexpr uint32_t BasePageBytes = 4096;
+
+/// The 2 MiB huge-page size of the x86-64/aarch64 PMD level — the page
+/// size of the optional `--huge-pages` region at the front of `.text`.
+inline constexpr uint32_t HugePageBytes = 2u * 1024 * 1024;
+
+/// How many base pages one huge page spans (512).
+inline constexpr uint32_t SmallPagesPerHugePage = HugePageBytes / BasePageBytes;
+
 /// Converts simulated work into nanoseconds.
 struct CostModel {
   double InstrNs = 1.0;      ///< Per interpreted instruction.
@@ -36,15 +49,18 @@ struct CostModel {
   double MinorFaultNs = 2000.0;
   /// Extra device-transfer time per KiB beyond the base 4 KiB page — the
   /// per-size term for larger page sizes (2 MiB huge pages pay the seek
-  /// once but stream more bytes).
-  double TransferNsPerKiB = 250.0;
+  /// once but stream more bytes). 100 ns/KiB models ~10 GB/s sequential
+  /// NVMe streaming; the seek-dominated base cost stays in FaultNs. A
+  /// 2 MiB fault therefore costs 80000 + 2044*100 = 284400 ns, so a huge
+  /// page pays off once it absorbs >= 4 base-page faults.
+  double TransferNsPerKiB = 100.0;
 
   /// Major-fault service time for a page of \p PageSizeBytes: the base
   /// SSD seek/service cost plus transfer time for bytes beyond 4 KiB.
   /// Exactly FaultNs at the default 4 KiB page size.
   double majorFaultNs(uint32_t PageSizeBytes) const {
-    double ExtraKiB = PageSizeBytes > 4096
-                          ? double(PageSizeBytes - 4096) / 1024.0
+    double ExtraKiB = PageSizeBytes > BasePageBytes
+                          ? double(PageSizeBytes - BasePageBytes) / 1024.0
                           : 0.0;
     return FaultNs + ExtraKiB * TransferNsPerKiB;
   }
@@ -58,6 +74,18 @@ struct CostModel {
                    uint64_t Faults) const {
     return BaseNs + double(Instructions) * InstrNs +
            double(ProbeUnits) * ProbeUnitNs + double(Faults) * FaultNs;
+  }
+
+  /// Per-size variant: \p SmallFaults are charged at the base page size,
+  /// \p HugeFaults at majorFaultNs(HugePageSizeBytes). With zero huge
+  /// faults the result is bit-identical to the three-argument form
+  /// (adding +0.0 to a finite nonnegative double is exact), which is the
+  /// `--huge-pages 0` byte-identity guarantee.
+  double startupNs(uint64_t Instructions, uint64_t ProbeUnits,
+                   uint64_t SmallFaults, uint64_t HugeFaults,
+                   uint32_t HugePageSizeBytes) const {
+    return startupNs(Instructions, ProbeUnits, SmallFaults) +
+           double(HugeFaults) * majorFaultNs(HugePageSizeBytes);
   }
 };
 

@@ -337,7 +337,12 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
   // mapped image is copy-on-write per process.
   Heap RunHeap(*Img.Built.BuildHeap);
 
-  PagingSim Paging(Img.Layout.TextSize, Img.Layout.HeapSize, Cfg.Paging);
+  // The image's --huge-pages budget configures the front-of-.text huge
+  // region; a caller-supplied HugeTextPages (FleetSim reruns) wins.
+  PagingConfig PCfg = Cfg.Paging;
+  if (PCfg.HugeTextPages == 0)
+    PCfg.HugeTextPages = Img.Layout.HugePages;
+  PagingSim Paging(Img.Layout.TextSize, Img.Layout.HeapSize, PCfg);
   // Fleet reference trace: the clock cell is refreshed once per scheduling
   // quantum below, so recorded touch clocks carry quantum granularity.
   uint64_t TouchClock = 0;
@@ -354,6 +359,7 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
   uint64_t WarmFaultsText = Paging.faults(ImageSection::Text);
   uint64_t WarmFaultsHeap = Paging.faults(ImageSection::HeapSec);
   uint64_t WarmFaultsCold = Paging.counters().TextColdFaults;
+  uint64_t WarmFaultsHuge = Paging.counters().TextHugeFaults;
 
   TraceWriter Writer(Cfg.Trace ? *Cfg.Trace : TraceOptions{});
   PathGraphCache Paths(P);
@@ -382,8 +388,10 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
       return;
     Stats.Responded = true;
     uint64_t Faults = Paging.totalFaults() - WarmFaultsText - WarmFaultsHeap;
-    Stats.TimeToFirstResponseNs = Cfg.Cost.startupNs(
-        I.instructionsExecuted(), Writer.probeUnits(), Faults);
+    uint64_t Huge = Paging.counters().TextHugeFaults - WarmFaultsHuge;
+    Stats.TimeToFirstResponseNs =
+        Cfg.Cost.startupNs(I.instructionsExecuted(), Writer.probeUnits(),
+                           Faults - Huge, Huge, PCfg.HugePageSize);
     if (Cfg.StopAtFirstResponse)
       Killed = true; // SIGKILL: stop scheduling, lose unflushed buffers.
   };
@@ -451,6 +459,7 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
   Stats.TextFaults = Paging.faults(ImageSection::Text) - WarmFaultsText;
   Stats.HeapFaults = Paging.faults(ImageSection::HeapSec) - WarmFaultsHeap;
   Stats.TextColdFaults = Paging.counters().TextColdFaults - WarmFaultsCold;
+  Stats.TextHugeFaults = Paging.counters().TextHugeFaults - WarmFaultsHuge;
   Stats.Instructions = I.instructionsExecuted();
   Stats.ProbeUnits = Writer.probeUnits();
   Stats.PrefetchedPages = Paging.prefetchedPages();
@@ -465,8 +474,10 @@ RunStats nimg::runImage(const NativeImage &Img, const RunConfig &Cfg,
     Stats.SampleCoveragePermille = Hooks.sampleCoveragePermille();
     Stats.SamplePeriod = SamplePeriod;
   }
-  Stats.TimeNs = Cfg.Cost.startupNs(Stats.Instructions, Stats.ProbeUnits,
-                                    Stats.totalFaults());
+  Stats.TimeNs = Cfg.Cost.startupNs(
+      Stats.Instructions, Stats.ProbeUnits,
+      Stats.totalFaults() - Stats.TextHugeFaults, Stats.TextHugeFaults,
+      PCfg.HugePageSize);
 
   if (Img.Split.active()) {
     NIMG_COUNTER_ADD("nimg.split.faults.cold", Stats.TextColdFaults);

@@ -77,6 +77,11 @@ struct RunStats {
   /// Text faults attributed to the cold tail (subset of TextFaults; 0 for
   /// unsplit images). Hot-side faults are TextFaults - TextColdFaults.
   uint64_t TextColdFaults = 0;
+  /// Text faults served by a 2 MiB huge page of the image's front region
+  /// (subset of TextFaults; 0 without --huge-pages). These are charged at
+  /// the per-size majorFaultNs cost; small-page majors are
+  /// totalFaults() - TextHugeFaults.
+  uint64_t TextHugeFaults = 0;
   uint64_t Instructions = 0;
   uint64_t ProbeUnits = 0;
   uint64_t PrefetchedPages = 0;

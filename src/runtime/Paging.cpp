@@ -13,7 +13,22 @@ PagingSim::PagingSim(uint64_t TextSize, uint64_t HeapSize,
     : Config(Cfg) {
   assert(Config.PageSize > 0 && Config.ReadaheadPages > 0 &&
          "invalid paging configuration");
-  Pages[0].assign((TextSize + Config.PageSize - 1) / Config.PageSize,
+  assert(Config.HugePageSize > 0 &&
+         Config.HugePageSize % Config.PageSize == 0 &&
+         "huge page size must be a multiple of the base page size");
+  // The huge-page region sits at the front of .text: the configured budget
+  // clamped to what the section covers (the last huge page may cover a
+  // partial tail). The remaining bytes stay on base pages; indices are
+  // contiguous across the size boundary.
+  uint64_t MaxHuge =
+      (TextSize + Config.HugePageSize - 1) / Config.HugePageSize;
+  HugeCount = Config.HugeTextPages < MaxHuge ? Config.HugeTextPages : MaxHuge;
+  HugeCovered = HugeCount * uint64_t(Config.HugePageSize);
+  if (HugeCovered > TextSize)
+    HugeCovered = TextSize;
+  uint64_t SmallTail = TextSize - HugeCovered;
+  Pages[0].assign(HugeCount +
+                      (SmallTail + Config.PageSize - 1) / Config.PageSize,
                   PageState::Untouched);
   Pages[1].assign((HeapSize + Config.PageSize - 1) / Config.PageSize,
                   PageState::Untouched);
@@ -27,8 +42,8 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
   std::vector<PageState> &S = Pages[size_t(Section)];
   if (S.empty() || Len == 0)
     return;
-  uint64_t First = Off / Config.PageSize;
-  uint64_t Last = (Off + Len - 1) / Config.PageSize;
+  uint64_t First = pageOf(Section, Off);
+  uint64_t Last = pageOf(Section, Off + Len - 1);
   if (First >= S.size())
     return;
   if (Last >= S.size())
@@ -41,10 +56,15 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
     }
     if (S[size_t(Page)] != PageState::Untouched)
       continue;
-    // Major fault: read an aligned readahead cluster from the device.
+    // Major fault: read an aligned readahead cluster from the device (a
+    // huge page is its own cluster — no readahead inside the huge region).
     ++Faults[size_t(Section)];
     if (Section == ImageSection::Text) {
       NIMG_COUNTER_ADD("nimg.paging.faults.text", 1);
+      if (Page < HugeCount) {
+        ++TextHugeFaults;
+        NIMG_COUNTER_ADD("nimg.paging.huge.faults", 1);
+      }
       if (Page >= ColdFirstPage && Page < ColdEndPage)
         ++TextColdFaults;
     } else {
@@ -52,11 +72,8 @@ void PagingSim::touch(ImageSection Section, uint64_t Off, uint64_t Len) {
     }
     S[size_t(Page)] = PageState::Faulted;
     linkResident(size_t(Section), Page);
-    uint64_t ClusterStart =
-        Page / Config.ReadaheadPages * Config.ReadaheadPages;
-    uint64_t ClusterEnd = ClusterStart + Config.ReadaheadPages;
-    if (ClusterEnd > S.size())
-      ClusterEnd = S.size();
+    uint64_t ClusterStart, ClusterEnd;
+    clusterRange(Section, Page, ClusterStart, ClusterEnd);
     for (uint64_t Ahead = ClusterStart; Ahead < ClusterEnd; ++Ahead) {
       if (S[size_t(Ahead)] == PageState::Untouched) {
         S[size_t(Ahead)] = PageState::Prefetched;
@@ -78,6 +95,8 @@ bool PagingSim::evictPage(ImageSection Section, uint64_t Page) {
     return false;
   if (P == PageState::Prefetched)
     --Prefetched;
+  if (Section == ImageSection::Text && Page < HugeCount)
+    NIMG_COUNTER_ADD("nimg.paging.huge.evictions", 1);
   P = PageState::Untouched;
   // O(1) unlink from the intrusive resident list.
   int64_t Pr = Prev[Sec][size_t(Page)], Nx = Next[Sec][size_t(Page)];

@@ -22,6 +22,8 @@
 #ifndef NIMG_RUNTIME_PAGING_H
 #define NIMG_RUNTIME_PAGING_H
 
+#include "src/runtime/CostModel.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -38,10 +40,17 @@ enum class PageState : uint8_t {
 };
 
 struct PagingConfig {
-  uint32_t PageSize = 4096;
+  uint32_t PageSize = BasePageBytes;
   /// Pages loaded per fault (aligned readahead cluster; models the
   /// kernel's ~16 KiB read-around for cold file-backed mappings).
   uint32_t ReadaheadPages = 4;
+  /// Number of huge pages mapped at the front of `.text` (the image's
+  /// `--huge-pages` region; the remainder of the section and all of the
+  /// heap stay on PageSize pages). The simulator clamps this to the pages
+  /// the section can actually cover.
+  uint32_t HugeTextPages = 0;
+  /// Size of one huge page. Must be a multiple of PageSize.
+  uint32_t HugePageSize = HugePageBytes;
 };
 
 /// A monotonic snapshot of the simulator's cumulative counters. Take one
@@ -55,6 +64,10 @@ struct PagingCounters {
   /// setTextColdRegion() (hot/cold splitting attribution; a subset of
   /// TextFaults, 0 when no region is set).
   uint64_t TextColdFaults = 0;
+  /// Text faults served by a huge page of the front region (a subset of
+  /// TextFaults, 0 when HugeTextPages is 0). The per-size cost model
+  /// charges these at majorFaultNs(HugePageSize).
+  uint64_t TextHugeFaults = 0;
   /// Readahead page-ins, cumulative (counts every prefetch event, even for
   /// pages later evicted — unlike PagingSim::prefetchedPages()).
   uint64_t PrefetchEvents = 0;
@@ -67,6 +80,7 @@ struct PagingCounters {
   PagingCounters operator-(const PagingCounters &Start) const {
     return {TextFaults - Start.TextFaults, HeapFaults - Start.HeapFaults,
             TextColdFaults - Start.TextColdFaults,
+            TextHugeFaults - Start.TextHugeFaults,
             PrefetchEvents - Start.PrefetchEvents,
             EvictedPages - Start.EvictedPages};
   }
@@ -126,11 +140,66 @@ public:
   /// Registers the cold-tail byte range of .text (hot/cold splitting) so
   /// faults can be attributed hot vs cold. Pass Size 0 to clear.
   void setTextColdRegion(uint64_t Off, uint64_t Size) {
-    ColdFirstPage = Off / Config.PageSize;
+    ColdFirstPage = pageOf(ImageSection::Text, Off);
     ColdEndPage = Size == 0 ? ColdFirstPage
-                            : (Off + Size + Config.PageSize - 1) /
-                                  Config.PageSize;
+                            : pageOf(ImageSection::Text, Off + Size - 1) + 1;
   }
+
+  /// Page index covering byte \p Off of \p Section. With a huge-page
+  /// region, text indices [0, hugeTextPages()) are the huge pages and the
+  /// small pages of the remainder follow; indices stay contiguous so every
+  /// page walk is size-agnostic.
+  uint64_t pageOf(ImageSection Section, uint64_t Off) const {
+    if (Section == ImageSection::Text && HugeCount > 0) {
+      if (Off < HugeCovered)
+        return Off / Config.HugePageSize;
+      return HugeCount + (Off - HugeCovered) / Config.PageSize;
+    }
+    return Off / Config.PageSize;
+  }
+
+  /// Byte size of page \p Page: HugePageSize inside the text huge region,
+  /// PageSize everywhere else.
+  uint32_t pageSizeBytes(ImageSection Section, uint64_t Page) const {
+    return Section == ImageSection::Text && Page < HugeCount
+               ? Config.HugePageSize
+               : Config.PageSize;
+  }
+
+  /// First byte offset of page \p Page within its section.
+  uint64_t pageStartOffset(ImageSection Section, uint64_t Page) const {
+    if (Section == ImageSection::Text && HugeCount > 0) {
+      if (Page < HugeCount)
+        return Page * uint64_t(Config.HugePageSize);
+      return HugeCovered + (Page - HugeCount) * uint64_t(Config.PageSize);
+    }
+    return Page * uint64_t(Config.PageSize);
+  }
+
+  /// The readahead cluster a fault of \p Page pulls in, as the half-open
+  /// page-index range [\p Start, \p End). A huge page is its own cluster
+  /// (readahead is a no-op inside the huge region); small-page clusters
+  /// align relative to the end of the huge region, so with a zero budget
+  /// this degenerates to the classic aligned cluster.
+  void clusterRange(ImageSection Section, uint64_t Page, uint64_t &Start,
+                    uint64_t &End) const {
+    size_t Sec = size_t(Section);
+    if (Section == ImageSection::Text && Page < HugeCount) {
+      Start = Page;
+      End = Page + 1;
+      return;
+    }
+    uint64_t Base = Section == ImageSection::Text ? HugeCount : 0;
+    uint64_t Rel = Page - Base;
+    Start = Base + Rel / Config.ReadaheadPages * Config.ReadaheadPages;
+    End = Start + Config.ReadaheadPages;
+    if (End > Pages[Sec].size())
+      End = Pages[Sec].size();
+  }
+
+  /// Effective huge-page count of the text section (the configured budget
+  /// clamped to what the section covers).
+  uint64_t hugeTextPages() const { return HugeCount; }
 
   uint64_t faults(ImageSection Section) const {
     return Faults[size_t(Section)];
@@ -154,8 +223,8 @@ public:
   /// Snapshot of the cumulative counters; subtract two snapshots to
   /// attribute activity to a phase.
   PagingCounters counters() const {
-    return {Faults[0], Faults[1], TextColdFaults, PrefetchEvents,
-            EvictedPages};
+    return {Faults[0], Faults[1], TextColdFaults, TextHugeFaults,
+            PrefetchEvents, EvictedPages};
   }
   /// Convenience: activity since \p Start (a prior counters() snapshot).
   PagingCounters deltaSince(const PagingCounters &Start) const {
@@ -196,6 +265,11 @@ private:
   uint64_t PrefetchEvents = 0;
   uint64_t EvictedPages = 0;
   uint64_t TextColdFaults = 0;
+  uint64_t TextHugeFaults = 0;
+  /// Effective huge-page region of the text section: HugeCount pages
+  /// covering bytes [0, HugeCovered).
+  uint64_t HugeCount = 0;
+  uint64_t HugeCovered = 0;
   uint64_t ColdFirstPage = 0, ColdEndPage = 0; ///< Empty when equal.
   /// First-touch recording (fleet reference trace); inactive when null.
   std::vector<PageTouch> *TouchLog = nullptr;

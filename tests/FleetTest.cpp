@@ -171,6 +171,36 @@ TEST(FleetSim, OneInstanceStaysExactUnderTinyCache) {
   EXPECT_GT(FR.Evictions, 0u);
 }
 
+TEST(FleetSim, OneInstanceStaysExactWithHugePages) {
+  // The anchor must hold at any page-size mix: per-fault accumulation of
+  // majorFaultNs(native size) equals the single run's multiplied formula
+  // because both cost values are integer-valued doubles.
+  Env E;
+  BuildConfig Cfg;
+  Cfg.Seed = 1;
+  Cfg.CodeOrder = CodeStrategy::Cluster;
+  Cfg.CodeProf = &E.Prof.Cluster;
+  Cfg.Image.HugePages = 1;
+  NativeImage Img = buildNativeImage(E.P, Cfg);
+  ASSERT_FALSE(Img.Built.Failed);
+  ASSERT_GT(Img.Layout.HugePages, 0u);
+
+  RunConfig Run = demandRun();
+  RunStats Single = runImage(Img, Run);
+  ASSERT_GT(Single.TextHugeFaults, 0u);
+
+  FleetConfig FC;
+  FC.Instances = 1;
+  RunStats Ref;
+  FleetResult FR = runFleet(Img, Run, FC, &Ref);
+  EXPECT_EQ(FR.TotalMajors, Single.totalFaults());
+  EXPECT_EQ(FR.ReferenceFaults, Single.totalFaults());
+  EXPECT_EQ(FR.TotalWarmHits, 0u);
+  EXPECT_EQ(FR.P50Ns, Single.TimeNs);
+  EXPECT_EQ(FR.P99Ns, Single.TimeNs);
+  EXPECT_EQ(Ref.TextHugeFaults, Single.TextHugeFaults);
+}
+
 //===----------------------------------------------------------------------===//
 // Determinism: seeds and --jobs.
 //===----------------------------------------------------------------------===//

@@ -185,6 +185,68 @@ TEST(ImageFile, SplitGeometryRoundTripsAndRunsIdentically) {
   EXPECT_EQ(A.Instructions, B.Instructions);
 }
 
+TEST(ImageFile, HugePageGeometryRoundTrips) {
+  Fixture F;
+  BuildConfig Cfg;
+  Cfg.Seed = 21;
+  Cfg.Image.HugePages = 2;
+  NativeImage Img = buildNativeImage(F.P, Cfg);
+  ASSERT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+  ASSERT_GT(Img.Layout.HugePagesRequested, 0u);
+
+  std::vector<uint8_t> Bytes = serializeImage(F.P, Img);
+  NativeImage Loaded;
+  std::string Error;
+  ASSERT_TRUE(deserializeImage(F.P, Bytes, Loaded, Error)) << Error;
+  EXPECT_EQ(Loaded.Layout.HugePagesRequested, Img.Layout.HugePagesRequested);
+  EXPECT_EQ(Loaded.Layout.HugePages, Img.Layout.HugePages);
+  EXPECT_EQ(Loaded.Layout.HugeRegionSize, Img.Layout.HugeRegionSize);
+  EXPECT_EQ(Loaded.Split.DecisionFingerprint, Img.Split.DecisionFingerprint);
+
+  // The loaded image pages (and is charged) exactly like the original,
+  // including the per-size fault split.
+  RunConfig RC;
+  RunStats A = runImage(Img, RC);
+  RunStats B = runImage(Loaded, RC);
+  ASSERT_FALSE(A.Trapped) << A.TrapMessage;
+  ASSERT_FALSE(B.Trapped) << B.TrapMessage;
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.TextFaults, B.TextFaults);
+  EXPECT_EQ(A.TextHugeFaults, B.TextHugeFaults);
+  EXPECT_EQ(A.TimeNs, B.TimeNs);
+}
+
+TEST(ImageFile, LoadsV1ImagesWithoutHugeFields) {
+  // Emulate a pre-huge-page "NIM1" file: the V1 payload is exactly the V2
+  // bytes minus the appended page-size tail, with the old magic. For an
+  // image with no huge region the tail is fixed-size: requested/effective/
+  // region (4+4+8) + region count (4) + two table entries (1+8+8+4 each).
+  Fixture F;
+  std::vector<uint8_t> Bytes = serializeImage(F.P, F.Img);
+  ASSERT_EQ(F.Img.Layout.HugeRegionSize, 0u);
+  constexpr size_t kV2TailBytes = 4 + 4 + 8 + 4 + 2 * (1 + 8 + 8 + 4);
+  ASSERT_GT(Bytes.size(), kV2TailBytes);
+  Bytes.resize(Bytes.size() - kV2TailBytes);
+  Bytes[0] = 0x4E; // "NIM1", little-endian
+  Bytes[1] = 0x49;
+  Bytes[2] = 0x4D;
+  Bytes[3] = 0x31;
+
+  NativeImage Loaded;
+  std::string Error;
+  ASSERT_TRUE(deserializeImage(F.P, Bytes, Loaded, Error)) << Error;
+  EXPECT_EQ(Loaded.Layout.HugePagesRequested, 0u);
+  EXPECT_EQ(Loaded.Layout.HugePages, 0u);
+  EXPECT_EQ(Loaded.Layout.HugeRegionSize, 0u);
+
+  RunConfig RC;
+  RunStats A = runImage(F.Img, RC);
+  RunStats B = runImage(Loaded, RC);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.TextFaults, B.TextFaults);
+  EXPECT_EQ(A.TimeNs, B.TimeNs);
+}
+
 TEST(ImageFile, RejectsWrongProgram) {
   Fixture F;
   std::vector<uint8_t> Bytes = serializeImage(F.P, F.Img);

@@ -400,6 +400,38 @@ TEST(ParallelPipelineTest, SampledCaptureIsWorkerCountInvariant) {
   setJobs(0);
 }
 
+TEST(ParallelPipelineTest, HugePageBuildsAreWorkerCountInvariant) {
+  // Multi-size packing is a sequential post-pass over the final clusters,
+  // so a --huge-pages build (including its PackFingerprint fold into the
+  // decision fingerprint) must be byte-identical at any --jobs.
+  auto BuildHuge = [](int Jobs) {
+    setJobs(Jobs);
+    Program P;
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(compileSources({kSpawnWorkload}, P, Errors));
+    BuildConfig ProfCfg;
+    ProfCfg.Seed = 1001;
+    ProfCfg.Image.HugePages = 2;
+    CollectedProfiles Prof = collectProfiles(P, ProfCfg, RunConfig());
+    BuildConfig Opt;
+    Opt.Seed = 7;
+    Opt.CodeOrder = CodeStrategy::Cluster;
+    Opt.CodeProf = &Prof.Cluster;
+    Opt.Image.HugePages = 2;
+    NativeImage Img = buildNativeImage(P, Opt);
+    EXPECT_FALSE(Img.Built.Failed) << Img.Built.FailureMessage;
+    return std::make_pair(serializeImage(P, Img),
+                          Img.Split.DecisionFingerprint);
+  };
+  auto One = BuildHuge(1);
+  for (int Jobs : {2, 5, 8}) {
+    auto J = BuildHuge(Jobs);
+    EXPECT_EQ(One.first, J.first) << "jobs=" << Jobs;
+    EXPECT_EQ(One.second, J.second) << "jobs=" << Jobs;
+  }
+  setJobs(0);
+}
+
 TEST(ParallelPipelineTest, IntermediateJobCountsMatchToo) {
   // 1 vs 8 is the headline contract; 2 and 5 cover uneven chunk shapes
   // (5 workers over small ranges produce ragged final chunks).
